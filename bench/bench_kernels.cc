@@ -1,0 +1,77 @@
+// Microbenchmarks of the library's computational kernels (google-benchmark):
+// the rank-based CUSUM detector, fluid-queue integration, fast-path probes,
+// and longest-prefix FIB lookups.  These are throughput sanity checks for
+// the year-long campaign drivers, not paper results.
+#include <benchmark/benchmark.h>
+
+#include "net/prefix_map.h"
+#include "sim/queue.h"
+#include "stats/changepoint.h"
+#include "tslp/level_shift.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ixp;
+
+void BM_CusumDetection(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (i > n / 2 ? 25.0 : 10.0) + rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::detect_change_points(v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CusumDetection)->Arg(288)->Arg(2016);
+
+void BM_LevelShiftDay(benchmark::State& state) {
+  // One year of 5-minute samples with a daily congestion plateau.
+  tslp::RttSeries s;
+  s.interval = kMinute * 5;
+  Rng rng(2);
+  for (int d = 0; d < static_cast<int>(state.range(0)); ++d) {
+    for (int i = 0; i < 288; ++i) {
+      const double hour = i / 12.0;
+      s.ms.push_back((hour > 12 && hour < 18 ? 22.0 : 2.0) + 0.3 * std::fabs(rng.normal()));
+    }
+  }
+  tslp::LevelShiftDetector det;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.detect(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.ms.size()));
+}
+BENCHMARK(BM_LevelShiftDay)->Arg(30)->Arg(365);
+
+void BM_FluidQueueAdvance(benchmark::State& state) {
+  sim::DiurnalProfile::Config cfg;
+  cfg.base_bps = 30e6;
+  cfg.peak_bps = 90e6;
+  sim::FluidQueue q({100e6, 350e3, std::make_shared<sim::DiurnalProfile>(cfg), kMinute, 0.0});
+  TimePoint t{};
+  for (auto _ : state) {
+    t += kMinute * 5;
+    benchmark::DoNotOptimize(q.queuing_delay(t));
+  }
+}
+BENCHMARK(BM_FluidQueueAdvance);
+
+void BM_PrefixLookup(benchmark::State& state) {
+  net::PrefixMap<int> m;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    m.insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng.next())), 22), i);
+  }
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(m.lookup(net::Ipv4Address(x)));
+  }
+}
+BENCHMARK(BM_PrefixLookup);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Regenerates Table 2: per-VP evolution of discovered IP (peering) links,
+// congested links, and AS neighbors (peers) at the paper's snapshot dates,
+// plus the §6.1 headline (2.2 % of discovered IP peering links congested)
+// and the per-VP congestion fractions.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ixp;
+  std::cout << "bench_table2: evolution of discovered links / neighbors / congestion\n";
+  std::cout << "cadence: " << format_duration(bench::round_interval_from_env()) << "\n";
+
+  std::vector<analysis::Table2Row> rows;
+  std::vector<analysis::VpCampaignResult> results;
+  std::vector<analysis::VpSpec> specs = analysis::make_all_vps();
+  for (const auto& spec : specs) {
+    std::cout << "running " << spec.vp_name << "...\n" << std::flush;
+    auto result = bench::run_vp(spec);
+    for (auto& row : analysis::make_table2_rows(result, spec)) rows.push_back(row);
+    results.push_back(std::move(result));
+  }
+  std::cout << "\n";
+  analysis::print_table2(std::cout, rows);
+
+  // §6.1 aggregates.
+  const auto headline = analysis::make_headline(results);
+  std::cout << "\nHeadline (6.1): " << headline.congested_links << " of "
+            << headline.total_peering_links << " monitored IP peering links congested = "
+            << strformat("%.1f%%", headline.fraction()) << "   (paper: 2.2%)\n";
+  std::cout << "Per-VP fraction of links with any congestion (paper: VP1 7.7%, VP2 3.3%, "
+               "VP3 0.6%, VP4 33%, VP5 0%, VP6 0%):\n";
+  for (const auto& r : results) {
+    std::size_t peering = 0, congested = 0;
+    for (std::size_t i = 0; i < r.series.size(); ++i) {
+      if (!r.series[i].at_ixp) continue;
+      ++peering;
+      if (r.reports[i].congested()) ++congested;
+    }
+    std::cout << strformat("  %s: %zu/%zu = %.1f%%\n", r.vp_name.c_str(), congested, peering,
+                           peering ? 100.0 * congested / peering : 0.0);
+  }
+  return 0;
+}

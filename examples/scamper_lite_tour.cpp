@@ -1,0 +1,93 @@
+// A tour of scamper-lite, the measurement engine: ping, TTL-limited
+// probing, traceroute, and record-route -- the primitives the TSLP
+// methodology is assembled from.
+//
+// Usage: ./build/examples/scamper_lite_tour
+#include <iostream>
+
+#include "analysis/scenario.h"
+#include "prober/prober.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace ixp;
+
+  // A three-member exchange to probe.
+  analysis::VpSpec spec;
+  spec.vp_name = "TOUR";
+  spec.ixp.name = "TOURX";
+  spec.ixp.country = "KE";
+  spec.ixp.city = "Nairobi";
+  spec.ixp.peering_prefix = *net::Ipv4Prefix::parse("196.6.0.0/24");
+  spec.ixp.management_prefix = *net::Ipv4Prefix::parse("196.6.1.0/24");
+  spec.vp_asn = 64600;
+  spec.vp_as_name = "TOUR-IX";
+  spec.vp_org = "ORG-TOUR";
+  spec.country = "KE";
+  for (int i = 0; i < 3; ++i) {
+    analysis::NeighborSpec m;
+    m.name = "MEMBER" + std::to_string(i);
+    m.asn = 64601 + static_cast<topo::Asn>(i);
+    m.country = "KE";
+    if (i == 2) m.ptp_links = 1;  // one private interconnect too
+    spec.neighbors.push_back(m);
+  }
+  auto world = analysis::build_scenario(spec);
+  prober::Prober scamper(world->topology.net(), world->vp_host, 100.0);
+  std::cout << "vantage point at " << scamper.source_address().to_string() << "\n";
+
+  const auto truth = world->topology.interdomain_links_of(spec.vp_asn);
+  std::cout << "\n== ping every interdomain far end ==\n";
+  for (const auto& t : truth) {
+    const auto r = scamper.probe(t.far_ip);
+    std::cout << "  " << t.far_ip.to_string() << " (AS" << t.far_asn << ", "
+              << (t.at_ixp ? "IXP LAN" : "private") << "): "
+              << (r.answered ? strformat("%.3f ms", to_ms(r.rtt)) : std::string("timeout")) << "\n";
+  }
+
+  std::cout << "\n== traceroute to a member LAN address ==\n";
+  const auto dst = truth.front().far_ip;
+  for (const auto& hop : scamper.traceroute(dst)) {
+    std::cout << "  " << hop.ttl << "  "
+              << (hop.addr.is_unspecified() ? std::string("*") : hop.addr.to_string());
+    if (!hop.addr.is_unspecified()) std::cout << "  " << strformat("%.3f ms", to_ms(hop.rtt));
+    std::cout << "\n";
+  }
+
+  std::cout << "\n== TTL-limited probing (the TSLP primitive) ==\n";
+  const auto far_ttl = scamper.hop_distance(dst);
+  if (far_ttl) {
+    prober::ProbeOptions near_opt;
+    near_opt.ttl = static_cast<std::uint8_t>(*far_ttl - 1);
+    const auto near = scamper.probe(dst, near_opt);
+    prober::ProbeOptions far_opt;
+    far_opt.ttl = static_cast<std::uint8_t>(*far_ttl);
+    const auto far = scamper.probe(dst, far_opt);
+    std::cout << "  far end at TTL " << *far_ttl << "\n";
+    if (near.answered) {
+      std::cout << "  near probe (TTL " << *far_ttl - 1 << "): TIME_EXCEEDED from "
+                << near.responder.to_string() << ", " << strformat("%.3f ms", to_ms(near.rtt))
+                << "\n";
+    }
+    if (far.answered) {
+      std::cout << "  far probe  (TTL " << *far_ttl << "): reply from "
+                << far.responder.to_string() << ", " << strformat("%.3f ms", to_ms(far.rtt))
+                << "\n";
+    }
+  }
+
+  std::cout << "\n== record-route (path symmetry, §5.2) ==\n";
+  prober::ProbeOptions rr;
+  rr.record_route = true;
+  const auto r = scamper.probe(dst, rr);
+  if (r.answered) {
+    std::cout << "  stamps:";
+    for (const auto& a : r.record_route) std::cout << " " << a.to_string();
+    const auto sym = scamper.record_route_symmetric(dst);
+    std::cout << "\n  symmetric: " << (sym ? (*sym ? "yes" : "no") : "undecidable") << "\n";
+  }
+
+  std::cout << "\nprobes sent: " << scamper.probes_sent()
+            << ", replies: " << scamper.replies_received() << "\n";
+  return 0;
+}

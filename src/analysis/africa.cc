@@ -1,0 +1,795 @@
+#include "analysis/africa.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ixp::analysis {
+namespace {
+
+using topo::date;
+
+topo::IxpInfo gixa_info() {
+  topo::IxpInfo i;
+  i.name = "GIXA";
+  i.long_name = "Ghana Internet eXchange Association";
+  i.country = "GH";
+  i.city = "Accra";
+  i.sub_region = "West Africa";
+  i.ixp_asn = 30997;
+  i.launch_year = 2005;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.49.1.0/24");
+  return i;
+}
+
+topo::IxpInfo tix_info() {
+  topo::IxpInfo i;
+  i.name = "TIX";
+  i.long_name = "Tanzania Internet eXchange";
+  i.country = "TZ";
+  i.city = "Dar es Salaam";
+  i.sub_region = "East Africa";
+  i.ixp_asn = 33791;
+  i.launch_year = 2004;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.32.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.32.1.0/24");
+  return i;
+}
+
+topo::IxpInfo jinx_info() {
+  topo::IxpInfo i;
+  i.name = "JINX";
+  i.long_name = "Johannesburg INternet eXchange";
+  i.country = "ZA";
+  i.city = "Johannesburg";
+  i.sub_region = "Southern Africa";
+  i.ixp_asn = 37474;
+  i.launch_year = 1996;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.60.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.60.1.0/24");
+  return i;
+}
+
+topo::IxpInfo sixp_info() {
+  topo::IxpInfo i;
+  i.name = "SIXP";
+  i.long_name = "Serekunda Internet eXchange Point";
+  i.country = "GM";
+  i.city = "Serekunda";
+  i.sub_region = "West Africa";
+  i.ixp_asn = 327719;
+  i.launch_year = 2014;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.46.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.46.1.0/24");
+  return i;
+}
+
+topo::IxpInfo kixp_info() {
+  topo::IxpInfo i;
+  i.name = "KIXP";
+  i.long_name = "Kenya Internet eXchange Point";
+  i.country = "KE";
+  i.city = "Nairobi";
+  i.sub_region = "East Africa";
+  i.ixp_asn = 4558;
+  i.launch_year = 2002;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.6.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.6.1.0/24");
+  return i;
+}
+
+topo::IxpInfo rinex_info() {
+  topo::IxpInfo i;
+  i.name = "RINEX";
+  i.long_name = "Rwanda Internet eXchange";
+  i.country = "RW";
+  i.city = "Kigali";
+  i.sub_region = "East Africa";
+  i.ixp_asn = 37224;
+  i.launch_year = 2004;
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.12.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.12.1.0/24");
+  return i;
+}
+
+NeighborSpec member(const std::string& name, Asn asn, const std::string& country, int lan_routers) {
+  NeighborSpec n;
+  n.name = name;
+  n.asn = asn;
+  n.country = country;
+  n.lan_routers = lan_routers;
+  return n;
+}
+
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VP1 -- GIXA (Ghana), AS30997, content network of the IXP.
+
+VpSpec make_vp1_gixa() {
+  VpSpec s;
+  s.vp_name = "VP1";
+  s.ixp = gixa_info();
+  s.vp_asn = 30997;
+  s.vp_as_name = "GIXA";
+  s.vp_org = "ORG-GIXA";
+  s.country = "GH";
+  s.vp_is_ixp_network = true;
+  s.vp_has_regional_transit = false;  // transit came through GHANATEL
+  s.seed = 101;
+  s.campaign_start = date(27, 2, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(17, 3, 2016), date(18, 6, 2016), date(15, 11, 2016)};
+
+  // GHANATEL (Vodafone Ghana, AS29614): the VP's transit provider over a
+  // 100 Mb/s ptp (congested, A_w 27.9 ms, ~20 h events, weekday > weekend,
+  // both directions -- the "peak on top of the peak"); shut off 14/06/2016.
+  // Its LAN port is then used for peering with a 10 ms amplitude until the
+  // far end stops answering on 06/08/2016.
+  {
+    NeighborSpec g;
+    g.name = "GHANATEL";
+    g.asn = 29614;
+    g.country = "GH";
+    g.type = topo::AsType::kTransit;
+    g.rel = NeighborSpec::Rel::kProviderOfVp;
+    g.lan_routers = 1;
+    g.ptp_links = 1;
+    g.port_capacity_bps = 100e6;
+    g.lan_windows = {{TimePoint{}, date(6, 8, 2016)}};
+    g.ptp_windows = {{TimePoint{}, date(14, 6, 2016)}};
+    // Per-direction buffer of 22 ms: with the forward direction saturated
+    // ~18 h and the reverse ~6 h around the evening peak, the union of the
+    // two (the far-RTT elevation) spans ~20 h with peaks of ~44 ms when
+    // both queues stand and ~22 ms otherwise -- matching the paper's
+    // A_w = 27.9 ms average, 20-50 ms peaks, and ~20 h dt_UD.
+    CongestionSpec phase1;
+    phase1.a_w_ms = 22.0;
+    phase1.dt_ud = kHour * 18;
+    phase1.peak_hour = 13.0;
+    phase1.weekend_scale = 0.84;
+    phase1.overload = 1.25;
+    phase1.reverse_direction = true;
+    phase1.reverse_peak_hour = 19.0;
+    phase1.reverse_dt_ud = kHour * 6;
+    phase1.begin = date(3, 3, 2016);
+    phase1.end = date(14, 6, 2016);
+    g.congestion_ptp = {phase1};
+    CongestionSpec phase2;
+    phase2.a_w_ms = 10.0;
+    phase2.dt_ud = kHour * 10;
+    phase2.peak_hour = 14.0;
+    phase2.overload = 1.45;  // heavy loss during phase 2 (up to ~30 %)
+    phase2.begin = date(15, 6, 2016);
+    phase2.end = date(6, 8, 2016);
+    g.congestion = {phase2};
+    s.neighbors.push_back(std::move(g));
+  }
+
+  // KNET (AS33786): appears 29/06/2016; from 06/08/2016 its far-side RTTs
+  // show a sustained diurnal waveform with a midnight dip, caused by the
+  // router's control plane (slow ICMP), with ~0.1 % loss.  The six-VP
+  // variant uses a 13 ms amplitude so the Table 1 row matches; the figure
+  // bench (make_fig_knet) uses the case study's 17.5 ms.
+  {
+    NeighborSpec k;
+    k.name = "KNET";
+    k.asn = 33786;
+    k.country = "GH";
+    k.join = date(29, 6, 2016);
+    k.port_base_loss = 0.001;
+    SlowIcmpSpec icmp;
+    icmp.extra_ms = 17.0;  // measured episode magnitude lands in [10, 15) ms
+    icmp.peak_hour = 15.0;
+    icmp.half_width_hours = 4.0;
+    icmp.midnight_dip = 0.9;
+    icmp.begin = date(6, 8, 2016);
+    k.slow_icmp = icmp;
+    s.neighbors.push_back(std::move(k));
+  }
+
+  // INTERCOSAT: the intercontinental ISP the IXP hired in October 2016 to
+  // feed the Google caches (620 Mb/s).
+  {
+    NeighborSpec i;
+    i.name = "INTERCOSAT";
+    i.asn = 64949;
+    i.country = "GB";
+    i.type = topo::AsType::kTransit;
+    i.rel = NeighborSpec::Rel::kProviderOfVp;
+    i.port_capacity_bps = 620e6;
+    i.join = date(5, 10, 2016);
+    s.neighbors.push_back(std::move(i));
+  }
+
+  // Regular members.  Multiplicities reproduce Table 2's link counts:
+  // stayers [3,2,2,2,1,1,1], June leavers [5,5,5,4,4] with ptps [3,3,2,1,0],
+  // October leavers are the stayers with 3 and 1 ports.
+  const int stay_mult[] = {3, 2, 2, 2, 1, 1, 1};
+  for (int i = 0; i < 7; ++i) {
+    auto m = member(strformat("GHMEM%02d", i), 65100 + static_cast<Asn>(i), "GH", stay_mult[i]);
+    if (i == 0 || i == 6) m.leave = date(10, 10, 2016);  // October policy change
+    // Two of the stayers carry route-change noise (Table 1's non-diurnal
+    // flagged links): magnitudes 17 ms and 28 ms.
+    if (i == 1) m.noise_list.push_back({17.0, 4, kDay * 2, 11, false, 0});
+    if (i == 2) m.noise_list.push_back({28.0, 3, kDay * 2, 12, false, 0});
+    s.neighbors.push_back(std::move(m));
+  }
+  // One member whose router never answers ICMP: present in the ground
+  // truth, invisible to bdrmap (the paper's 96.2 % recall).
+  {
+    auto m = member("GHSILENT", 65120, "GH", 1);
+    m.silent = true;
+    s.neighbors.push_back(std::move(m));
+  }
+  const int leave_mult[] = {5, 5, 5, 4, 4};
+  const int leave_ptps[] = {3, 3, 2, 1, 0};
+  for (int i = 0; i < 5; ++i) {
+    auto m = member(strformat("GHLVR%02d", i), 65110 + static_cast<Asn>(i), "GH", leave_mult[i]);
+    m.ptp_links = leave_ptps[i];
+    m.leave = date(10, 6, 2016);  // commercialisation of the content network
+    s.neighbors.push_back(std::move(m));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VP2 -- TIX (Tanzania), AS33791.
+
+VpSpec make_vp2_tix() {
+  VpSpec s;
+  s.vp_name = "VP2";
+  s.ixp = tix_info();
+  s.vp_asn = 33791;
+  s.vp_as_name = "TIX";
+  s.vp_org = "ORG-TIX";
+  s.country = "TZ";
+  s.vp_is_ixp_network = true;
+  s.vp_has_regional_transit = false;
+  s.seed = 202;
+  s.campaign_start = date(28, 2, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(19, 3, 2016), date(18, 6, 2016), date(16, 11, 2016)};
+
+  // Transit arrives over the LAN.
+  {
+    NeighborSpec t;
+    t.name = "TZTRANSIT";
+    t.asn = 65200;
+    t.country = "TZ";
+    t.type = topo::AsType::kTransit;
+    t.rel = NeighborSpec::Rel::kProviderOfVp;
+    s.neighbors.push_back(std::move(t));
+  }
+  // Two large members.
+  s.neighbors.push_back(member("TZBIG00", 65201, "TZ", 11));
+  s.neighbors.push_back(member("TZBIG01", 65202, "TZ", 10));
+  s.neighbors.back().leave = date(1, 10, 2016);
+  s.neighbors[s.neighbors.size() - 2].leave = date(1, 10, 2016);
+  // Ten mid members (two of them transiently congested, two noisy).
+  for (int i = 0; i < 10; ++i) {
+    auto m = member(strformat("TZMID%02d", i), 65210 + static_cast<Asn>(i), "TZ", 2);
+    if (i == 0) {
+      CongestionSpec c;
+      c.a_w_ms = 12.0;
+      c.dt_ud = kHour * 5;
+      c.peak_hour = 13.5;
+      c.overload = 1.12;
+      c.begin = date(1, 3, 2016);
+      c.end = date(15, 9, 2016);
+      m.congestion = {c};
+    }
+    if (i == 1) {
+      CongestionSpec c;
+      c.a_w_ms = 24.0;
+      c.dt_ud = kHour * 7;
+      c.peak_hour = 15.0;
+      c.overload = 1.15;
+      c.begin = date(1, 3, 2016);
+      c.end = date(8, 9, 2016);
+      m.congestion = {c};
+    }
+    if (i == 2) m.noise_list.push_back({7.0, 4, kDay * 2, 21, false, 0});
+    if (i == 3) m.noise_list.push_back({17.0, 4, kDay * 2, 22, false, 0});
+    if (i == 4) m.noise_list.push_back({25.0, 3, kDay * 2, 23, false, 0});
+    if (i == 5) m.noise_list.push_back({30.0, 3, kDay * 2, 24, false, 0});
+    s.neighbors.push_back(std::move(m));
+  }
+  // Seventeen small members; four are customers of the IXP AS.
+  for (int i = 0; i < 17; ++i) {
+    auto m = member(strformat("TZSML%02d", i), 65230 + static_cast<Asn>(i), "TZ", 1);
+    if (i < 4) m.rel = NeighborSpec::Rel::kCustomerOfVp;
+    if (i >= 13) m.leave = date(1, 5, 2016);  // four leave before the May wave
+    else if (i >= 12) m.leave = date(1, 10, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  // The May joiners with big port counts (the mid-campaign link spike).
+  const int may_mult[] = {17, 14, 12};
+  for (int i = 0; i < 3; ++i) {
+    auto m = member(strformat("TZMAY%02d", i), 65250 + static_cast<Asn>(i), "TZ", may_mult[i]);
+    m.join = date(5, 5, 2016);
+    m.leave = date(1, 10, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  {
+    auto m = member("TZSILENT", 65280, "TZ", 1);
+    m.silent = true;
+    s.neighbors.push_back(std::move(m));
+  }
+  // Autumn joiners (the November growth in neighbors).
+  for (int i = 0; i < 12; ++i) {
+    auto m = member(strformat("TZNOV%02d", i), 65260 + static_cast<Asn>(i), "TZ", 1);
+    m.join = date(5, 10, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VP3 -- JINX (South Africa), AS37474.
+
+VpSpec make_vp3_jinx() {
+  VpSpec s;
+  s.vp_name = "VP3";
+  s.ixp = jinx_info();
+  s.vp_asn = 37474;
+  s.vp_as_name = "JINX";
+  s.vp_org = "ORG-JINX";
+  s.country = "ZA";
+  s.vp_is_ixp_network = true;
+  s.vp_has_regional_transit = false;
+  s.seed = 303;
+  s.campaign_start = date(5, 3, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(27, 7, 2016), date(15, 11, 2016), date(19, 2, 2017)};
+
+  {
+    NeighborSpec t;
+    t.name = "ZATRANSIT";
+    t.asn = 65300;
+    t.country = "ZA";
+    t.type = topo::AsType::kTransit;
+    t.rel = NeighborSpec::Rel::kProviderOfVp;
+    s.neighbors.push_back(std::move(t));
+  }
+
+  // 31 members: 15 with 6 ports, 16 with 5 ports.  From 01/09/2016 many
+  // members renumber ports onto private interconnects: LAN ports go down,
+  // ptp links come up (the Table 2 peering-share decline).
+  Rng rng(s.seed);
+  int noise_budget_low = 19;    // [5,10) ms
+  int noise_budget_mid = 7;     // [10,15)
+  int noise_budget_high = 7;    // [15,20)
+  int noise_budget_top = 34;    // >= 20 (one more link is the diurnal one)
+  for (int i = 0; i < 31; ++i) {
+    const int mult = i < 15 ? 6 : 5;
+    auto m = member(strformat("ZAMEM%02d", i), 65301 + static_cast<Asn>(i), "ZA", mult);
+    if (i < 4) m.rel = NeighborSpec::Rel::kCustomerOfVp;
+    // Port-to-PNI migration on 01/09/2016: the first 13 six-port members
+    // drop 5 LAN ports, the next 4 drop 4; 15 members gain 4 ptps each.
+    if (i < 13) {
+      for (int p = mult - 5; p < mult; ++p) m.lan_windows.resize(static_cast<std::size_t>(mult));
+      for (int p = 1; p < mult; ++p) m.lan_windows[static_cast<std::size_t>(p)].down = date(1, 9, 2016);
+    } else if (i < 17) {
+      m.lan_windows.resize(static_cast<std::size_t>(mult));
+      for (int p = mult - 4; p < mult; ++p) m.lan_windows[static_cast<std::size_t>(p)].down = date(1, 9, 2016);
+    }
+    if (i < 15) {
+      for (int p = 0; p < 4; ++p) m.ptp_windows.push_back({date(1, 9, 2016), kForever});
+    }
+    // January 2017: a further 20 LAN ports retire, 10 ptps appear.
+    if (i >= 17 && i < 27) {
+      m.lan_windows.resize(static_cast<std::size_t>(mult));
+      m.lan_windows[static_cast<std::size_t>(mult - 1)].down = date(1, 1, 2017);
+      m.lan_windows[static_cast<std::size_t>(mult - 2)].down = date(1, 1, 2017);
+      if (i < 27) m.ptp_windows.push_back({date(1, 1, 2017), kForever});
+    }
+    // The one congested (transient) link: member 20, gone by September.
+    if (i == 20) {
+      CongestionSpec c;
+      c.a_w_ms = 25.0;
+      c.dt_ud = kHour * 6;
+      c.peak_hour = 14.0;
+      c.overload = 1.12;
+      c.begin = date(10, 3, 2016);
+      c.end = date(1, 9, 2016);
+      m.congestion = {c};
+    }
+    // Route-change noise spread across ports to hit Table 1's bins.
+    auto draw_noise = [&](double lo, double hi, int port) {
+      NoiseShiftSpec ns;
+      ns.magnitude_ms = rng.uniform(lo, hi);
+      ns.events = 3 + static_cast<int>(rng.uniform_int(0, 2));
+      ns.event_duration = kDay + Duration(rng.uniform_int(0, kDay.count()));
+      ns.seed = rng.next();
+      ns.port_index = port;
+      m.noise_list.push_back(ns);
+    };
+    for (int p = (i == 20 ? 1 : 0); p < mult; ++p) {
+      if (noise_budget_low > 0) {
+        draw_noise(6.0, 9.5, p);
+        --noise_budget_low;
+      } else if (noise_budget_mid > 0) {
+        draw_noise(11.0, 14.5, p);
+        --noise_budget_mid;
+      } else if (noise_budget_high > 0) {
+        draw_noise(16.0, 19.5, p);
+        --noise_budget_high;
+      } else if (noise_budget_top > 0) {
+        draw_noise(22.0, 42.0, p);
+        --noise_budget_top;
+      }
+    }
+    s.neighbors.push_back(std::move(m));
+  }
+  // Ten members join 01/09/2016 with 4 ports each; two more in January.
+  for (int i = 0; i < 10; ++i) {
+    auto m = member(strformat("ZASEP%02d", i), 65340 + static_cast<Asn>(i), "ZA", 4);
+    m.join = date(1, 9, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto m = member(strformat("ZAJAN%02d", i), 65355 + static_cast<Asn>(i), "ZA", 5);
+    m.join = date(1, 1, 2017);
+    s.neighbors.push_back(std::move(m));
+  }
+  {
+    auto m = member("ZASILENT", 65360, "ZA", 2);
+    m.silent = true;
+    s.neighbors.push_back(std::move(m));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VP4 -- SIXP (Gambia), hosted inside QCELL (AS37309).
+
+VpSpec make_vp4_sixp() {
+  VpSpec s;
+  s.vp_name = "VP4";
+  s.ixp = sixp_info();
+  s.vp_asn = 37309;
+  s.vp_as_name = "QCELL";
+  s.vp_org = "ORG-QCELL";
+  s.country = "GM";
+  s.vp_is_ixp_network = false;
+  s.vp_filters_rr = true;  // Table 2: zero record routes at VP4
+  s.vp_has_regional_transit = true;
+  s.seed = 404;
+  s.campaign_start = date(22, 2, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(18, 3, 2016), date(22, 7, 2016), date(7, 9, 2016)};
+
+  // NETPAGE: 10 Mb/s SIXP port saturated by Google-cache demand (QCELL
+  // hosts the GGC and provides its transit); upgraded to 1 Gb/s on
+  // 28/04/2016, after which congestion disappears.  Weekday spikes ~35 ms,
+  // weekend ~15 ms; dt_UD 6 h 22 m.
+  {
+    NeighborSpec n;
+    n.name = "NETPAGE";
+    n.asn = 65400;
+    n.country = "GM";
+    n.port_capacity_bps = 10e6;
+    CongestionSpec c;
+    c.a_w_ms = 35.0;  // buffer ceiling = weekday spike height
+    c.dt_ud = kHour * 6 + kMinute * 22;
+    c.peak_hour = 13.0;
+    c.weekend_scale = 0.85;   // weekend demand only marginally saturates the port
+    c.overload = 1.18;
+    c.begin = date(29, 2, 2016);
+    c.end = date(28, 4, 2016);
+    n.congestion = {c};
+    n.capacity_upgrades = {{date(28, 4, 2016), 1e9}};
+    s.neighbors.push_back(std::move(n));
+  }
+  // Other SIXP members seen from QCELL.
+  {
+    auto m = member("GAMMEM00", 65401, "GM", 3);
+    m.ptp_links = 1;
+    m.leave = date(20, 6, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  {
+    auto m = member("GAMMEM01", 65402, "GM", 3);
+    m.ptp_links = 1;
+    m.leave = date(20, 6, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  {
+    auto m = member("GAMMEM02", 65403, "GM", 2);
+    m.lan_windows = {{TimePoint{}, date(20, 6, 2016)},
+                     {TimePoint{}, date(20, 6, 2016)},
+                     {date(15, 8, 2016), kForever}};
+    s.neighbors.push_back(std::move(m));
+  }
+  {
+    auto m = member("GAMMEM03", 65404, "GM", 1);
+    m.noise_list.push_back({7.5, 4, kDay * 2, 41, false, 0});
+    s.neighbors.push_back(std::move(m));
+  }
+  s.neighbors.push_back(member("GAMMEM04", 65405, "GM", 1));
+  {
+    auto m = member("GAMAUG00", 65406, "GM", 1);
+    m.join = date(15, 8, 2016);
+    s.neighbors.push_back(std::move(m));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VP5 -- KIXP (Kenya), hosted inside Liquid Telecom (AS30844).
+
+VpSpec make_vp5_kixp(int scale) {
+  VpSpec s;
+  s.vp_name = "VP5";
+  s.ixp = kixp_info();
+  if (scale < 4) {
+    // At (near) full scale the paper's ~600 peering members outgrow a /24
+    // LAN; KIXP's real LAN grew the same way.
+    s.ixp.peering_prefix = *net::Ipv4Prefix::parse("196.6.0.0/22");
+    s.ixp.management_prefix = *net::Ipv4Prefix::parse("196.6.4.0/24");
+  }
+  s.vp_asn = 30844;
+  s.vp_as_name = "LIQUID";
+  s.vp_org = "ORG-LIQUID";
+  s.country = "KE";
+  s.vp_is_ixp_network = false;
+  s.vp_has_regional_transit = true;
+  s.seed = 505;
+  s.campaign_start = date(25, 2, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(11, 3, 2016), date(23, 3, 2017), date(26, 3, 2017)};
+
+  // Initial world (scaled 1:scale): one LAN peer, 29 backbone neighbors.
+  const int initial_backbone = 232 / scale;  // ~29 at scale 8
+  s.neighbors.push_back(member("KEPEER00", 65500, "KE", 2));
+
+  Rng rng(s.seed);
+  for (int i = 0; i < initial_backbone; ++i) {
+    NeighborSpec n;
+    n.name = strformat("KECUST%03d", i);
+    n.asn = 66000 + static_cast<Asn>(i);
+    n.country = "KE";
+    n.rel = NeighborSpec::Rel::kCustomerOfVp;
+    n.lan_routers = 0;
+    n.ptp_links = i < 6 ? 2 : 1;
+    s.neighbors.push_back(std::move(n));
+  }
+
+  // Growth: monthly waves through the campaign; most new neighbors join
+  // the exchange (the KIXP peering boom), the rest are backbone customers.
+  for (int i = 0; i < 4; ++i) {
+    NeighborSpec m;
+    m.name = strformat("KESILENT%d", i);
+    m.asn = 65590 + static_cast<Asn>(i);
+    m.country = "KE";
+    m.silent = true;
+    m.lan_routers = 0;
+    m.ptp_links = 1;
+    m.rel = NeighborSpec::Rel::kCustomerOfVp;
+    s.neighbors.push_back(std::move(m));
+  }
+  const int waves = 12;
+  const int joiners_per_wave = 976 / scale / waves + 1;  // ~11 at scale 8
+  int noise_high = 17;  // links with >= 20 ms route-change shifts
+  int noise_mid = 1;    // the single [15,20) ms link
+  Asn next_asn = 67000;
+  for (int w = 0; w < waves; ++w) {
+    const TimePoint when = date(25, 3, 2016) + kDay * (30 * w);
+    for (int j = 0; j < joiners_per_wave; ++j) {
+      NeighborSpec n;
+      n.name = strformat("KEW%02dN%02d", w, j);
+      n.asn = next_asn++;
+      n.country = "KE";
+      n.join = when;
+      const bool at_lan = (j % 9) < 5;  // ~55% join the exchange
+      if (at_lan) {
+        n.lan_routers = 1;
+      } else {
+        n.lan_routers = 0;
+        n.ptp_links = 1;
+        n.rel = NeighborSpec::Rel::kCustomerOfVp;
+      }
+      if (noise_high > 0 && w < 6) {
+        NoiseShiftSpec ns;
+        ns.magnitude_ms = rng.uniform(22.0, 45.0);
+        ns.events = 3;
+        ns.event_duration = kDay * 2;
+        ns.seed = rng.next();
+        ns.on_ptp = !at_lan;
+        n.noise_list.push_back(ns);
+        --noise_high;
+      } else if (noise_mid > 0 && w == 6) {
+        NoiseShiftSpec ns;
+        ns.magnitude_ms = 17.0;
+        ns.events = 3;
+        ns.event_duration = kDay * 2;
+        ns.seed = rng.next();
+        ns.on_ptp = !at_lan;
+        n.noise_list.push_back(ns);
+        --noise_mid;
+      }
+      s.neighbors.push_back(std::move(n));
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VP6 -- RINEX (Rwanda), hosted inside RDB (AS37228).
+
+VpSpec make_vp6_rinex() {
+  VpSpec s;
+  s.vp_name = "VP6";
+  s.ixp = rinex_info();
+  s.vp_asn = 37228;
+  s.vp_as_name = "RDB";
+  s.vp_org = "ORG-RDB";
+  s.country = "RW";
+  s.vp_is_ixp_network = false;
+  s.vp_filters_rr = true;  // Table 2: zero record routes at VP6
+  s.vp_has_regional_transit = false;
+  s.seed = 606;
+  s.campaign_start = date(8, 7, 2016);
+  s.campaign_end = date(27, 3, 2017);
+  s.snapshot_dates = {date(27, 7, 2016), date(15, 11, 2016), date(19, 2, 2017)};
+
+  // The single RINEX peer (the exchange's shared services), four ports.
+  {
+    auto m = member("RINEXSVC", 65600 - 1, "RW", 4);
+    for (int p = 0; p < 4; ++p) {
+      NoiseShiftSpec ns;
+      ns.magnitude_ms = 23.0 + 2.0 * p;
+      ns.events = 4;
+      ns.event_duration = kDay * 2;
+      ns.seed = 61 + static_cast<std::uint64_t>(p);
+      ns.port_index = p;
+      m.noise_list.push_back(ns);
+    }
+    s.neighbors.push_back(std::move(m));
+  }
+
+  {
+    NeighborSpec m;
+    m.name = "RWSILENT";
+    m.asn = 65630;
+    m.country = "RW";
+    m.silent = true;
+    m.lan_routers = 0;
+    m.ptp_links = 1;
+    m.rel = NeighborSpec::Rel::kCustomerOfVp;
+    s.neighbors.push_back(std::move(m));
+  }
+  // Eight off-exchange neighbors with many parallel interconnects; ports
+  // churn over the campaign (Table 2: 79 -> 82 -> 72 links), and every
+  // link experiences occasional route-change level shifts (Table 1: ~100
+  // flagged links, none diurnal).
+  Rng rng(s.seed);
+  int budget_low = 12;   // [5,10)
+  int budget_high = 17;  // [15,20)
+  int budget_top = 53;   // >= 20 (plus the 4 LAN ports above)
+  const int base_ports[] = {10, 10, 10, 10, 9, 9, 9, 8};  // 75 at start
+  for (int i = 0; i < 8; ++i) {
+    NeighborSpec n;
+    n.name = strformat("RWNET%02d", i);
+    n.asn = 65610 + static_cast<Asn>(i);
+    n.country = "RW";
+    n.lan_routers = 0;
+    n.rel = i == 0 ? NeighborSpec::Rel::kProviderOfVp : NeighborSpec::Rel::kCustomerOfVp;
+    if (i == 0) n.type = topo::AsType::kTransit;
+    int total_ports = base_ports[i];
+    n.ptp_windows.assign(static_cast<std::size_t>(total_ports), LinkWindow{});
+    // +3 ports on 01/09/2016 (spread over the first three neighbors): the
+    // 79 -> 82 rise between the first two snapshots.
+    if (i < 3) {
+      n.ptp_windows.push_back({date(1, 9, 2016), kForever});
+      ++total_ports;
+    }
+    // 01/01/2017: the first five neighbors lose two ports each (82 -> 72).
+    if (i < 5) {
+      n.ptp_windows[0].down = date(1, 1, 2017);
+      n.ptp_windows[1].down = date(1, 1, 2017);
+    }
+    // A few part-time ports that appear only after the last snapshot keep
+    // the ever-seen link total near the paper's ~100 flagged links.
+    const int extra = i < 4 ? 1 : 0;
+    for (int e = 0; e < extra; ++e) {
+      n.ptp_windows.push_back({date(1, 3, 2017), date(20, 3, 2017)});
+      ++total_ports;
+    }
+    for (int p = 0; p < total_ports; ++p) {
+      NoiseShiftSpec ns;
+      if (budget_top > 0) {
+        ns.magnitude_ms = rng.uniform(22.0, 45.0);
+        --budget_top;
+      } else if (budget_high > 0) {
+        ns.magnitude_ms = rng.uniform(16.0, 19.5);
+        --budget_high;
+      } else if (budget_low > 0) {
+        ns.magnitude_ms = rng.uniform(6.0, 9.5);
+        --budget_low;
+      } else {
+        break;
+      }
+      ns.events = 4;
+      ns.event_duration = kDay + Duration(rng.uniform_int(0, kDay.count()));
+      ns.seed = rng.next();
+      ns.on_ptp = true;
+      ns.port_index = p;
+      n.noise_list.push_back(ns);
+    }
+    s.neighbors.push_back(std::move(n));
+  }
+  return s;
+}
+
+std::vector<VpSpec> make_all_vps() {
+  return {make_vp1_gixa(), make_vp2_tix(),  make_vp3_jinx(),
+          make_vp4_sixp(), make_vp5_kixp(), make_vp6_rinex()};
+}
+
+// ---------------------------------------------------------------------------
+// Figure scenarios: minimal worlds, paper-exact parameters.
+
+VpSpec make_fig_ghanatel() {
+  VpSpec s = make_vp1_gixa();
+  s.vp_name = "FIG-GHANATEL";
+  // Strip everything except GHANATEL and two clean members (the figures
+  // only need the link under study; clean members keep routing realistic).
+  std::vector<NeighborSpec> kept;
+  for (auto& n : s.neighbors) {
+    if (n.name == "GHANATEL" || n.name == "INTERCOSAT") kept.push_back(std::move(n));
+  }
+  kept.push_back(member("GHMEM00", 65100, "GH", 1));
+  kept.push_back(member("GHMEM01", 65101, "GH", 1));
+  s.neighbors = std::move(kept);
+  s.snapshot_dates.clear();
+  return s;
+}
+
+VpSpec make_fig_knet() {
+  VpSpec s;
+  s.vp_name = "FIG-KNET";
+  s.ixp = gixa_info();
+  s.vp_asn = 30997;
+  s.vp_as_name = "GIXA";
+  s.vp_org = "ORG-GIXA";
+  s.country = "GH";
+  s.vp_is_ixp_network = true;
+  s.vp_has_regional_transit = true;  // keep the world routable on its own
+  s.seed = 107;
+  s.campaign_start = date(29, 6, 2016);
+  s.campaign_end = date(29, 3, 2017);
+
+  NeighborSpec k;
+  k.name = "KNET";
+  k.asn = 33786;
+  k.country = "GH";
+  k.port_base_loss = 0.001;  // the measured 0.1 % average loss
+  SlowIcmpSpec icmp;
+  icmp.extra_ms = 19.5;  // yields the case study's A_w of ~17.5 ms
+  icmp.peak_hour = 15.0;
+  icmp.half_width_hours = 2.2;  // events of ~2 h 14 m above the threshold
+  icmp.midnight_dip = 0.9;
+  icmp.begin = date(6, 8, 2016);
+  k.slow_icmp = icmp;
+  s.neighbors.push_back(std::move(k));
+  s.neighbors.push_back(member("GHMEM00", 65100, "GH", 1));
+  s.neighbors.push_back(member("GHMEM01", 65101, "GH", 1));
+  return s;
+}
+
+VpSpec make_fig_netpage() {
+  VpSpec s = make_vp4_sixp();
+  s.vp_name = "FIG-NETPAGE";
+  std::vector<NeighborSpec> kept;
+  for (auto& n : s.neighbors) {
+    if (n.name == "NETPAGE" || n.name == "GAMMEM04") kept.push_back(std::move(n));
+  }
+  s.neighbors = std::move(kept);
+  s.snapshot_dates.clear();
+  return s;
+}
+
+}  // namespace ixp::analysis

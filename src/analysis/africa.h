@@ -1,0 +1,51 @@
+// The six African-IXP vantage-point scenarios, calibrated to the paper.
+//
+// Each VpSpec encodes:
+//   * the IXP's identity (name, country, sub-region, launch year, ASN) as
+//     reported in §3;
+//   * the membership timeline that produces Table 2's per-snapshot counts
+//     of discovered links, neighbors, and peers (member joins/leaves, the
+//     GIXA content-network commercialisation, KIXP's growth);
+//   * per-link behaviour that produces Table 1's threshold-sensitivity
+//     histogram: for every VP, the number of links whose level shifts fall
+//     into the magnitude bins [5,10), [10,15), [15,20), [20,..) ms matches
+//     the paper's flagged-link counts at thresholds 5/10/15/20 ms;
+//   * the three case studies with their documented parameters:
+//       GIXA-GHANATEL  A_w 27.9 ms, dt_UD ~20 h, weekday>weekend, phases,
+//                      transit shut-off 14/06/2016, port reuse, loss storm;
+//       GIXA-KNET      A_w 17.5 ms, dt_UD 2 h 14 m, slow-ICMP cause, from
+//                      06/08/2016, midnight dip, ~0.1 % loss;
+//       QCELL-NETPAGE  A_w 10.7 ms, dt_UD 6 h 22 m, weekday 35 ms vs
+//                      weekend 15 ms, upgrade 10 Mb/s -> 1 Gb/s 28/04/2016.
+//
+// Scale substitutions (documented in DESIGN.md): VP5's thousands of
+// parallel backbone links are collapsed to one link per neighbor, and its
+// neighbor count is scaled down by kVp5Scale so year-long campaigns stay
+// tractable; the relative shape (VP5 >> other VPs, zero congestion) is
+// preserved.
+#pragma once
+
+#include "analysis/scenario.h"
+
+namespace ixp::analysis {
+
+/// Downscaling factor for VP5 (KIXP / Liquid Telecom) neighbor counts.
+inline constexpr int kVp5Scale = 8;
+
+VpSpec make_vp1_gixa();
+VpSpec make_vp2_tix();
+VpSpec make_vp3_jinx();
+VpSpec make_vp4_sixp();
+VpSpec make_vp5_kixp(int scale = kVp5Scale);
+VpSpec make_vp6_rinex();
+
+/// All six, in VP order.
+std::vector<VpSpec> make_all_vps();
+
+/// Case-study scenarios for the figure benches: minimal worlds containing
+/// just the link under study, with the paper's exact parameters.
+VpSpec make_fig_ghanatel();  ///< Figures 1 and 2
+VpSpec make_fig_knet();      ///< Figure 3
+VpSpec make_fig_netpage();   ///< Figure 4
+
+}  // namespace ixp::analysis

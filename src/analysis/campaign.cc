@@ -1,0 +1,235 @@
+#include "analysis/campaign.h"
+
+#include <algorithm>
+#include <set>
+
+#include "geo/dns_lite.h"
+#include "registry/registry.h"
+#include "util/strings.h"
+#include "util/log.h"
+
+namespace ixp::analysis {
+namespace {
+
+// Derives monitored targets from a bdrmap result.
+std::vector<prober::MonitorTarget> to_targets(const bdrmap::BdrmapResult& borders, Asn vp_asn) {
+  std::vector<prober::MonitorTarget> out;
+  out.reserve(borders.links.size());
+  for (const auto& l : borders.links) {
+    prober::MonitorTarget t;
+    t.key = strformat("AS%u-AS%u-%s", vp_asn, l.far_asn, l.far_ip.to_string().c_str());
+    t.near_ip = l.near_ip;
+    t.far_ip = l.far_ip;
+    t.near_asn = vp_asn;
+    t.far_asn = l.far_asn;
+    t.at_ixp = l.at_ixp;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t VpCampaignResult::potentially_congested(double threshold_ms) const {
+  std::size_t n = 0;
+  for (const auto& r : reports) {
+    const bool hit = std::any_of(r.far_shifts.episodes.begin(), r.far_shifts.episodes.end(),
+                                 [&](const tslp::Episode& e) { return e.magnitude_ms >= threshold_ms; });
+    n += hit ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t VpCampaignResult::with_diurnal(double threshold_ms) const {
+  std::size_t n = 0;
+  for (const auto& r : reports) {
+    if (!r.has_diurnal_pattern()) continue;
+    const bool hit = std::any_of(r.far_shifts.episodes.begin(), r.far_shifts.episodes.end(),
+                                 [&](const tslp::Episode& e) { return e.magnitude_ms >= threshold_ms; });
+    n += hit ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t VpCampaignResult::congested() const {
+  std::size_t n = 0;
+  for (const auto& r : reports) n += r.congested() ? 1 : 0;
+  return n;
+}
+
+VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const CampaignOptions& opt) {
+  VpCampaignResult result;
+  result.vp_name = spec.vp_name;
+
+  const TimePoint start = spec.campaign_start;
+  const TimePoint end = opt.duration_override.count() > 0
+                            ? start + opt.duration_override
+                            : spec.campaign_end;
+
+  prober::Prober prober(rt.topology.net(), rt.vp_host, 100.0);
+  rt.topology.net().simulator().advance_to(start);
+  rt.apply_timeline_until(start);
+
+  // ---- Discovery: initial bdrmap run --------------------------------------
+  auto run_bdrmap = [&]() {
+    const auto data = registry::harvest(rt.topology, *rt.bgp, rt.vp_asn, rt.collectors);
+    bdrmap::Bdrmap mapper(prober, data, rt.vp_asn);
+    return mapper.run();
+  };
+  bdrmap::BdrmapResult borders = run_bdrmap();
+
+  std::vector<prober::MonitorTarget> targets = to_targets(borders, rt.vp_asn);
+  std::vector<tslp::LinkSeries> series;
+  std::set<net::Ipv4Address> known_far;
+  for (const auto& t : targets) {
+    known_far.insert(t.far_ip);
+    tslp::LinkSeries ls;
+    ls.key = t.key;
+    ls.near_ip = t.near_ip;
+    ls.far_ip = t.far_ip;
+    ls.near_asn = t.near_asn;
+    ls.far_asn = t.far_asn;
+    ls.at_ixp = t.at_ixp;
+    ls.near_rtt.start = start;
+    ls.near_rtt.interval = opt.round_interval;
+    ls.far_rtt.start = start;
+    ls.far_rtt.interval = opt.round_interval;
+    series.push_back(std::move(ls));
+  }
+
+  // ---- Segment boundaries: membership changes and snapshots ---------------
+  std::vector<TimePoint> boundaries;
+  for (const auto& ev : rt.timeline) {
+    if (ev.membership && ev.at > start && ev.at < end) boundaries.push_back(ev.at);
+  }
+  for (const auto& s : spec.snapshot_dates) {
+    if (s > start && s < end) boundaries.push_back(s);
+  }
+  boundaries.push_back(end);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+
+  const std::set<TimePoint> snapshot_set(spec.snapshot_dates.begin(), spec.snapshot_dates.end());
+
+  tslp::CongestionClassifier classifier(opt.classifier);
+
+  // §5.1 location cross-check inputs (built once; the address plan and the
+  // PTR zone are static over the campaign).
+  const geo::GeoDatabase geo_db = geo::build_geo_database(rt.topology);
+  const geo::DnsLite dns(rt.topology);
+
+  auto record_snapshot = [&](TimePoint at, const bdrmap::BdrmapResult& b) {
+    SnapshotResult snap;
+    snap.at = at;
+    snap.discovered_links = b.link_count();
+    snap.peering_links = b.peering_link_count();
+    snap.neighbors = b.neighbors.size();
+    snap.peers = b.peers.size();
+    snap.accuracy = bdrmap::score(b, rt.topology.interdomain_links_of(rt.vp_asn));
+    // Congestion status of currently-live links, judged on the trailing
+    // 60 days of their series (links congested long ago but mitigated are
+    // no longer counted; see EXPERIMENTS.md on Table 2 semantics).
+    std::set<net::Ipv4Address> live;
+    for (const auto& l : b.links) live.insert(l.far_ip);
+    const std::size_t min_samples =
+        static_cast<std::size_t>((kDay * 2).count() / opt.round_interval.count());
+    const std::size_t window_samples =
+        static_cast<std::size_t>((kDay * 60).count() / opt.round_interval.count());
+    for (const auto& ls : series) {
+      if (!live.count(ls.far_ip)) continue;
+      const std::size_t n = std::min<std::size_t>(ls.far_rtt.index_of(at), ls.far_rtt.ms.size());
+      if (n < min_samples) continue;  // not enough data to judge
+      const std::size_t begin = n > window_samples ? n - window_samples : 0;
+      tslp::LinkSeries window = ls;
+      window.near_rtt.start = ls.near_rtt.time_of(begin);
+      window.far_rtt.start = window.near_rtt.start;
+      window.near_rtt.ms.assign(ls.near_rtt.ms.begin() + static_cast<std::ptrdiff_t>(begin),
+                                ls.near_rtt.ms.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(n, ls.near_rtt.ms.size())));
+      window.far_rtt.ms.assign(ls.far_rtt.ms.begin() + static_cast<std::ptrdiff_t>(begin),
+                               ls.far_rtt.ms.begin() + static_cast<std::ptrdiff_t>(n));
+      const auto rep = classifier.classify(window);
+      if (rep.congested()) ++snap.congested_links;
+    }
+    // Location cross-check over the inferred peering links.
+    std::size_t checked = 0, consistent = 0;
+    for (const auto& l : b.links) {
+      if (!l.at_ixp) continue;
+      const auto* ixp = rt.topology.find_ixp(l.ixp_name);
+      if (!ixp) continue;
+      ++checked;
+      const auto verdict = geo::check_end_location(geo_db, dns, l.far_ip, *ixp);
+      if (verdict == geo::LocationVerdict::kConfirmed || verdict == geo::LocationVerdict::kWeak) {
+        ++consistent;
+      }
+    }
+    snap.location_consistent = checked ? static_cast<double>(consistent) / checked : 1.0;
+    result.snapshots.push_back(std::move(snap));
+  };
+
+  // ---- Main loop ------------------------------------------------------------
+  TimePoint t = start;
+  for (const TimePoint b : boundaries) {
+    if (b > t) {
+      prober::TslpConfig cfg;
+      cfg.round_interval = opt.round_interval;
+      cfg.pre_round = [&rt](TimePoint at) { rt.apply_timeline_until(at); };
+      // One record-route measurement per link per day (the paper's RR
+      // campaign for path-symmetry checks).
+      cfg.rr_every_rounds = static_cast<int>(kDay.count() / opt.round_interval.count());
+      prober::TslpDriver driver(prober, cfg);
+      auto segment = driver.run(targets, t, b);
+      result.record_routes += driver.record_routes();
+      result.record_routes_symmetric += driver.record_routes_symmetric();
+      for (std::size_t i = 0; i < segment.size(); ++i) {
+        auto& acc = series[i];
+        acc.near_rtt.ms.insert(acc.near_rtt.ms.end(), segment[i].near_rtt.ms.begin(),
+                               segment[i].near_rtt.ms.end());
+        acc.far_rtt.ms.insert(acc.far_rtt.ms.end(), segment[i].far_rtt.ms.begin(),
+                              segment[i].far_rtt.ms.end());
+      }
+      t = b;
+    }
+    rt.apply_timeline_until(b);
+    // Membership may have changed; rediscover and absorb new links.
+    borders = run_bdrmap();
+    for (const auto& nt : to_targets(borders, rt.vp_asn)) {
+      if (known_far.count(nt.far_ip)) continue;
+      known_far.insert(nt.far_ip);
+      targets.push_back(nt);
+      tslp::LinkSeries ls;
+      ls.key = nt.key;
+      ls.near_ip = nt.near_ip;
+      ls.far_ip = nt.far_ip;
+      ls.near_asn = nt.near_asn;
+      ls.far_asn = nt.far_asn;
+      ls.at_ixp = nt.at_ixp;
+      ls.near_rtt.start = start;
+      ls.near_rtt.interval = opt.round_interval;
+      ls.far_rtt.start = start;
+      ls.far_rtt.interval = opt.round_interval;
+      // Pad the past with missing samples.
+      const std::size_t elapsed = series.empty() ? 0 : series.front().far_rtt.ms.size();
+      ls.near_rtt.ms.assign(elapsed, tslp::kMissing);
+      ls.far_rtt.ms.assign(elapsed, tslp::kMissing);
+      series.push_back(std::move(ls));
+    }
+    if (snapshot_set.count(b)) record_snapshot(b, borders);
+    if (opt.verbose) {
+      IXP_INFO << spec.vp_name << " boundary " << format_time(b) << ": " << targets.size()
+               << " monitored links";
+    }
+  }
+
+  // ---- Final classification (5 ms floor for threshold sweeps) --------------
+  tslp::ClassifierOptions copt = opt.classifier;
+  copt.level_shift.threshold_ms = std::min(copt.level_shift.threshold_ms, 5.0);
+  tslp::CongestionClassifier final_classifier(copt);
+  result.reports.reserve(series.size());
+  for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
+  result.series = std::move(series);
+  result.probes_sent = prober.probes_sent();
+  return result;
+}
+
+}  // namespace ixp::analysis

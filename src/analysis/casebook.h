@@ -1,0 +1,54 @@
+// The casebook: structured records of the paper's §6.2 case studies.
+//
+// The paper validates its congestion inferences by interviewing IXP
+// operators; we cannot interview anyone, so the casebook plays that role:
+// each case carries the documented root cause, the expected waveform
+// parameters, and a check() that compares a measured LinkReport against
+// them.  The figure benches and the integration tests both use it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tslp/classifier.h"
+
+namespace ixp::analysis {
+
+struct CaseStudy {
+  std::string id;            ///< "GIXA-GHANATEL", "GIXA-KNET", "QCELL-NETPAGE"
+  std::string vp;
+  std::string cause;         ///< the operators' explanation, quoted from §6.2
+  double expected_a_w_ms;    ///< paper's reported A_w
+  Duration expected_dt_ud;   ///< paper's reported dt_UD
+  bool sustained;            ///< paper's persistence verdict
+  bool weekday_heavier;      ///< weekday amplitude exceeds weekend
+  double expected_avg_loss;  ///< average loss rate where reported (else < 0)
+
+  /// Tolerances for check(): relative error allowed on A_w and dt_UD.
+  double a_w_tolerance = 0.35;
+  double dt_ud_tolerance = 0.5;
+};
+
+/// The three documented cases.
+const std::vector<CaseStudy>& casebook();
+const CaseStudy& case_ghanatel();
+const CaseStudy& case_knet();
+const CaseStudy& case_netpage();
+
+struct CaseCheck {
+  bool verdict_congested = false;  ///< detector called the link congested
+  bool a_w_in_range = false;
+  bool dt_ud_in_range = false;
+  bool persistence_matches = false;
+  bool weekday_pattern_matches = false;
+
+  [[nodiscard]] bool all() const {
+    return verdict_congested && a_w_in_range && dt_ud_in_range && persistence_matches &&
+           weekday_pattern_matches;
+  }
+};
+
+/// Compares a measured report against the case study's documented values.
+CaseCheck check_case(const CaseStudy& cs, const tslp::LinkReport& report);
+
+}  // namespace ixp::analysis

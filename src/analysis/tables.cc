@@ -1,0 +1,176 @@
+#include "analysis/tables.h"
+
+#include <ostream>
+
+#include "topo/calendar.h"
+#include "util/strings.h"
+
+namespace ixp::analysis {
+
+const std::vector<Table1Row>& paper_table1() {
+  static const std::vector<Table1Row> kRows = {
+      {"VP1", {4, 4, 3, 2}, {2, 2, 1, 1}},
+      {"VP2", {6, 5, 4, 3}, {2, 2, 1, 1}},
+      {"VP3", {80, 56, 48, 40}, {1, 1, 1, 1}},
+      {"VP4", {2, 1, 0, 0}, {1, 1, 0, 0}},
+      {"VP5", {147, 147, 147, 146}, {0, 0, 0, 0}},
+      {"VP6", {100, 88, 88, 71}, {0, 0, 0, 0}},
+  };
+  return kRows;
+}
+
+Table1Row make_table1_row(const VpCampaignResult& result) {
+  Table1Row row;
+  row.vp = result.vp_name;
+  for (int i = 0; i < 4; ++i) {
+    row.flagged[i] = result.potentially_congested(kTable1Thresholds[i]);
+    row.diurnal[i] = result.with_diurnal(kTable1Thresholds[i]);
+  }
+  return row;
+}
+
+void print_table1(std::ostream& out, const std::vector<Table1Row>& measured) {
+  out << "Table 1: # potentially congested links (with a diurnal pattern) per threshold\n";
+  out << strformat("%-8s | %-38s | %-38s\n", "VP", "measured  5ms/10ms/15ms/20ms",
+                   "paper     5ms/10ms/15ms/20ms");
+  out << std::string(92, '-') << "\n";
+  Table1Row total{"All VPs", {0, 0, 0, 0}, {0, 0, 0, 0}};
+  Table1Row paper_total{"All VPs", {0, 0, 0, 0}, {0, 0, 0, 0}};
+  for (std::size_t r = 0; r < measured.size(); ++r) {
+    const auto& m = measured[r];
+    const Table1Row* p = nullptr;
+    for (const auto& pr : paper_table1()) {
+      if (pr.vp == m.vp) p = &pr;
+    }
+    std::string mcol, pcol;
+    for (int i = 0; i < 4; ++i) {
+      mcol += strformat("%zu (%zu)%s", m.flagged[i], m.diurnal[i], i < 3 ? "  " : "");
+      if (p) pcol += strformat("%zu (%zu)%s", p->flagged[i], p->diurnal[i], i < 3 ? "  " : "");
+      total.flagged[i] += m.flagged[i];
+      total.diurnal[i] += m.diurnal[i];
+      if (p) {
+        paper_total.flagged[i] += p->flagged[i];
+        paper_total.diurnal[i] += p->diurnal[i];
+      }
+    }
+    out << strformat("%-8s | %-38s | %-38s\n", m.vp.c_str(), mcol.c_str(), pcol.c_str());
+  }
+  std::string tcol, ptcol;
+  for (int i = 0; i < 4; ++i) {
+    tcol += strformat("%zu (%zu)%s", total.flagged[i], total.diurnal[i], i < 3 ? "  " : "");
+    ptcol += strformat("%zu (%zu)%s", paper_total.flagged[i], paper_total.diurnal[i], i < 3 ? "  " : "");
+  }
+  out << std::string(92, '-') << "\n";
+  out << strformat("%-8s | %-38s | %-38s\n", "All VPs", tcol.c_str(), ptcol.c_str());
+}
+
+const std::vector<Table2Row>& paper_table2() {
+  // Columns: vp, ixp, date, record routes (campaign total), traceroutes
+  // (campaign total), discovered links, peering links, congested links,
+  // neighbors, peers, (recall placeholder).
+  static const std::vector<Table2Row> kRows = {
+      {"VP1", "GIXA", "17/03/2016", 34343, 241848566, 46, 36, 2, 13, 13, 0},
+      {"VP1", "GIXA", "18/06/2016", 34343, 241848566, 13, 13, 1, 8, 8, 0},
+      {"VP1", "GIXA", "15/11/2016", 34343, 241848566, 10, 10, 1, 7, 7, 0},
+      {"VP2", "TIX", "19/03/2016", 166605, 597083978, 59, 59, 2, 31, 26, 0},
+      {"VP2", "TIX", "18/06/2016", 166605, 597083978, 98, 98, 2, 30, 30, 0},
+      {"VP2", "TIX", "16/11/2016", 166605, 597083978, 36, 36, 0, 36, 29, 0},
+      {"VP3", "JINX", "27/07/2016", 209250, 555641317, 193, 171, 1, 32, 27, 0},
+      {"VP3", "JINX", "15/11/2016", 209250, 555641317, 212, 130, 0, 42, 42, 0},
+      {"VP3", "JINX", "19/02/2017", 209250, 555641317, 212, 120, 0, 44, 39, 0},
+      {"VP4", "SIXP", "18/03/2016", 0, 89387074, 14, 11, 1, 7, 6, 0},
+      {"VP4", "SIXP", "22/07/2016", 0, 89387074, 4, 3, 1, 4, 3, 0},
+      {"VP4", "SIXP", "07/09/2016", 0, 89387074, 6, 5, 1, 6, 5, 0},
+      {"VP5", "KIXP", "11/03/2016", 103392, 415583808, 288, 4, 0, 244, 4, 0},
+      {"VP5", "KIXP", "23/03/2017", 103392, 415583808, 9754, 557, 0, 1208, 199, 0},
+      {"VP5", "KIXP", "07/04/2017", 103392, 415583808, 10466, 601, 0, 1215, 197, 0},
+      {"VP6", "RINEX", "27/07/2016", 0, 200749695, 79, 4, 0, 9, 1, 0},
+      {"VP6", "RINEX", "15/11/2016", 0, 200749695, 82, 4, 0, 9, 1, 0},
+      {"VP6", "RINEX", "19/02/2017", 0, 200749695, 72, 4, 0, 9, 1, 0},
+  };
+  return kRows;
+}
+
+std::string format_date(TimePoint t) {
+  // Convert a campaign time back to dd/mm/yyyy by walking from the epoch.
+  std::int64_t days = t.ns() / kDay.count() + topo::kEpochCivilDays;
+  // Inverse of days_from_civil (Hinnant's civil_from_days).
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return strformat("%02u/%02u/%lld", d, m, static_cast<long long>(y + (m <= 2)));
+}
+
+std::vector<Table2Row> make_table2_rows(const VpCampaignResult& result, const VpSpec& spec) {
+  std::vector<Table2Row> rows;
+  for (const auto& snap : result.snapshots) {
+    Table2Row row;
+    row.vp = spec.vp_name;
+    row.ixp = spec.ixp.name;
+    row.record_routes = result.record_routes;
+    row.traceroutes = result.probes_sent;
+    row.date = format_date(snap.at);
+    row.discovered = snap.discovered_links;
+    row.peering = snap.peering_links;
+    row.congested = snap.congested_links;
+    row.neighbors = snap.neighbors;
+    row.peers = snap.peers;
+    row.neighbor_recall = snap.accuracy.neighbor_recall();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table2(std::ostream& out, const std::vector<Table2Row>& measured) {
+  out << "Table 2: evolution of discovered IP (peering) links, congested links, neighbors (peers)\n";
+  out << strformat("%-5s %-6s %-11s | %-26s | %-26s | %s\n", "VP", "IXP", "date",
+                   "measured links cong nbrs", "paper    links cong nbrs", "bdrmap recall");
+  out << std::string(100, '-') << "\n";
+  std::string last_vp;
+  for (const auto& m : measured) {
+    const Table2Row* p = nullptr;
+    for (const auto& pr : paper_table2()) {
+      if (pr.vp == m.vp && pr.date == m.date) p = &pr;
+    }
+    std::string mcol = strformat("%zu (%zu)  %zu  %zu (%zu)", m.discovered, m.peering, m.congested,
+                                 m.neighbors, m.peers);
+    std::string pcol = p ? strformat("%zu (%zu)  %zu  %zu (%zu)", p->discovered, p->peering,
+                                     p->congested, p->neighbors, p->peers)
+                         : std::string("-");
+    out << strformat("%-5s %-6s %-11s | %-26s | %-26s | %.1f%%\n", m.vp.c_str(), m.ixp.c_str(),
+                     m.date.c_str(), mcol.c_str(), pcol.c_str(), 100.0 * m.neighbor_recall);
+    if (m.vp != last_vp) {
+      last_vp = m.vp;
+      const Table2Row* pv = nullptr;
+      for (const auto& pr : paper_table2()) {
+        if (pr.vp == m.vp && !pv) pv = &pr;
+      }
+      out << strformat(
+          "%-24s | totals: %llu record routes, %llu probes   (paper: %llu RR, %llu traceroutes)\n",
+          "", static_cast<unsigned long long>(m.record_routes),
+          static_cast<unsigned long long>(m.traceroutes),
+          static_cast<unsigned long long>(pv ? pv->record_routes : 0),
+          static_cast<unsigned long long>(pv ? pv->traceroutes : 0));
+    }
+  }
+}
+
+HeadlineStats make_headline(const std::vector<VpCampaignResult>& results) {
+  HeadlineStats h;
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < r.series.size(); ++i) {
+      if (!r.series[i].at_ixp) continue;
+      ++h.total_peering_links;
+      if (i < r.reports.size() && r.reports[i].congested()) ++h.congested_links;
+    }
+  }
+  return h;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,67 @@
+// Table generators: render the paper's Table 1 and Table 2 from campaign
+// results, next to the published values for comparison.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.h"
+
+namespace ixp::analysis {
+
+/// One VP's row of Table 1 (threshold sensitivity).
+struct Table1Row {
+  std::string vp;
+  // flagged[t] / diurnal[t] at thresholds {5, 10, 15, 20} ms.
+  std::size_t flagged[4] = {0, 0, 0, 0};
+  std::size_t diurnal[4] = {0, 0, 0, 0};
+};
+
+inline constexpr double kTable1Thresholds[4] = {5.0, 10.0, 15.0, 20.0};
+
+/// Published Table 1 values (for the side-by-side comparison printout).
+const std::vector<Table1Row>& paper_table1();
+
+Table1Row make_table1_row(const VpCampaignResult& result);
+
+/// Renders measured rows (plus an "All VPs" total) next to the paper's.
+void print_table1(std::ostream& out, const std::vector<Table1Row>& measured);
+
+/// One VP snapshot row of Table 2.
+struct Table2Row {
+  std::string vp;
+  std::string ixp;
+  std::string date;  ///< dd/mm/yyyy
+  std::uint64_t record_routes = 0;   ///< campaign total (same for all rows of a VP)
+  std::uint64_t traceroutes = 0;     ///< probes sent over the campaign
+  std::size_t discovered = 0;
+  std::size_t peering = 0;
+  std::size_t congested = 0;
+  std::size_t neighbors = 0;
+  std::size_t peers = 0;
+  double neighbor_recall = 0.0;  ///< bdrmap accuracy vs ground truth
+};
+
+/// Published Table 2 values.
+const std::vector<Table2Row>& paper_table2();
+
+std::vector<Table2Row> make_table2_rows(const VpCampaignResult& result, const VpSpec& spec);
+
+void print_table2(std::ostream& out, const std::vector<Table2Row>& measured);
+
+/// The §6.1 headline: fraction of discovered IP peering links that
+/// experienced congestion (paper: 2.2 %), plus per-VP fractions.
+struct HeadlineStats {
+  std::size_t total_peering_links = 0;  ///< union over the campaign
+  std::size_t congested_links = 0;
+  double fraction() const {
+    return total_peering_links ? 100.0 * congested_links / total_peering_links : 0.0;
+  }
+};
+
+HeadlineStats make_headline(const std::vector<VpCampaignResult>& results);
+
+std::string format_date(TimePoint t);
+
+}  // namespace ixp::analysis

@@ -1,0 +1,84 @@
+#include "geo/dns_lite.h"
+
+#include "util/rng.h"
+
+namespace ixp::geo {
+namespace {
+
+const std::unordered_map<std::string, std::string>& capitals() {
+  static const std::unordered_map<std::string, std::string> kCapitals = {
+      {"GH", "Accra"},        {"TZ", "Dar es Salaam"}, {"ZA", "Johannesburg"},
+      {"GM", "Serekunda"},    {"KE", "Nairobi"},       {"RW", "Kigali"},
+      {"NG", "Lagos"},        {"US", "Ashburn"},       {"GB", "London"},
+      {"FR", "Paris"},
+  };
+  return kCapitals;
+}
+
+std::string wrong_city(const std::string& right, Rng& rng) {
+  const auto& tokens = city_tokens();
+  for (int i = 0; i < 8; ++i) {
+    const auto& cand = tokens[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(tokens.size()) - 1))];
+    if (cand.first != right) return cand.first;
+  }
+  return tokens.front().first;
+}
+
+}  // namespace
+
+DnsLite::DnsLite(const topo::Topology& topology, DnsLiteOptions opts) {
+  Rng rng(opts.seed);
+  const auto& net = topology.net();
+  for (std::size_t n = 0; n < net.node_count(); ++n) {
+    const auto id = static_cast<sim::NodeId>(n);
+    const topo::Asn asn = topology.router_owner(id);
+    if (asn == 0) continue;  // switch fabrics and unowned nodes stay unnamed
+    for (const auto& ifc : net.node(id).interfaces()) {
+      if (ifc.addr.is_unspecified()) continue;
+      if (rng.chance(opts.unnamed_fraction)) continue;
+
+      std::string city = "Unknown";
+      if (const auto* ixp = topology.ixp_containing(ifc.addr)) {
+        city = ixp->city;
+      } else if (const auto* info = topology.find_as(asn)) {
+        const auto it = capitals().find(info->country);
+        if (it != capitals().end()) city = it->second;
+      }
+      if (rng.chance(opts.stale_fraction)) {
+        city = wrong_city(city, rng);
+        ++stale_;
+      }
+      zone_[ifc.addr] = make_rdns_name(ifc.addr, asn, city);
+    }
+  }
+}
+
+std::optional<std::string> DnsLite::ptr(net::Ipv4Address a) const {
+  const auto it = zone_.find(a);
+  if (it == zone_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> DnsLite::city_hint(net::Ipv4Address a) const {
+  const auto name = ptr(a);
+  if (!name) return std::nullopt;
+  return parse_rdns_city(*name);
+}
+
+LocationVerdict check_end_location(const GeoDatabase& db, const DnsLite& dns,
+                                   net::Ipv4Address addr, const topo::IxpInfo& ixp) {
+  const auto loc = db.lookup(addr);
+  const bool geo_match = loc && (loc->city == ixp.city || loc->country == ixp.country);
+  const auto hint = dns.city_hint(addr);
+  const bool dns_match = hint && *hint == ixp.city;
+  const bool dns_conflict = hint && *hint != ixp.city;
+
+  if (geo_match && dns_match) return LocationVerdict::kConfirmed;
+  if (geo_match && dns_conflict) return LocationVerdict::kConflict;
+  if (geo_match || dns_match) return LocationVerdict::kWeak;
+  if (dns_conflict && loc) return LocationVerdict::kConflict;
+  return LocationVerdict::kInconclusive;
+}
+
+}  // namespace ixp::geo

@@ -1,0 +1,60 @@
+// dns-lite: a reverse-DNS (PTR) substrate.
+//
+// The paper uses "hints in Reverse DNS outputs" [19, 34] as an added check
+// that an inferred link really sits at the IXP: operators embed city or
+// IATA tokens in router interface names.  dns-lite builds the PTR zone a
+// regional operator community would publish -- one record per router
+// interface, named with geo::make_rdns_name -- and answers lookups.
+//
+// A deliberate fraction of interfaces has no PTR record (unnamed
+// infrastructure is common), and a small fraction carries a *stale* name
+// whose city token no longer matches reality; the cross-check code must
+// treat rDNS as a hint, not truth, exactly as the paper does.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "geo/geo.h"
+#include "topo/topology.h"
+
+namespace ixp::geo {
+
+struct DnsLiteOptions {
+  double unnamed_fraction = 0.15;  ///< interfaces with no PTR record
+  double stale_fraction = 0.03;    ///< PTRs pointing at the wrong city
+  std::uint64_t seed = 0xd45;
+};
+
+class DnsLite {
+ public:
+  /// Builds the PTR zone from every named router interface in the
+  /// topology, using the owning AS's country capital (or the IXP's city
+  /// for addresses inside an IXP prefix) as the name's location token.
+  DnsLite(const topo::Topology& topology, DnsLiteOptions opts = {});
+
+  /// PTR lookup; nullopt when the interface is unnamed.
+  [[nodiscard]] std::optional<std::string> ptr(net::Ipv4Address a) const;
+
+  /// Convenience: the city token parsed out of the PTR record, if any.
+  [[nodiscard]] std::optional<std::string> city_hint(net::Ipv4Address a) const;
+
+  [[nodiscard]] std::size_t zone_size() const { return zone_.size(); }
+  [[nodiscard]] std::size_t stale_records() const { return stale_; }
+
+ private:
+  std::map<net::Ipv4Address, std::string> zone_;
+  std::size_t stale_ = 0;
+};
+
+/// Three-way location cross-check for one link end, combining the
+/// geolocation database and the rDNS hint (the §5.1 methodology):
+/// agreement when both sources name the IXP's city, conflict when they
+/// disagree, and inconclusive when neither says anything.
+enum class LocationVerdict { kConfirmed, kWeak, kConflict, kInconclusive };
+
+LocationVerdict check_end_location(const GeoDatabase& db, const DnsLite& dns,
+                                   net::Ipv4Address addr, const topo::IxpInfo& ixp);
+
+}  // namespace ixp::geo

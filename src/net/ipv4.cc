@@ -1,0 +1,37 @@
+#include "net/ipv4.h"
+
+#include "util/strings.h"
+
+namespace ixp::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  const auto parts = ixp::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    std::uint64_t octet = 0;
+    if (!ixp::parse_u64(p, octet) || octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Address(v);
+}
+
+std::string Ipv4Address::to_string() const {
+  return ixp::strformat("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                        (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) {
+  const auto pos = s.find('/');
+  if (pos == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(s.substr(0, pos));
+  std::uint64_t len = 0;
+  if (!addr || !ixp::parse_u64(s.substr(pos + 1), len) || len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<int>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network().to_string() + ixp::strformat("/%d", length_);
+}
+
+}  // namespace ixp::net

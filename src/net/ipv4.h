@@ -1,0 +1,94 @@
+// IPv4 address and prefix types.
+//
+// Addresses are a strong wrapper over a host-order u32.  Prefixes support
+// containment tests and enumeration; PrefixMap (prefix_map.h) provides
+// longest-prefix matching on top of them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ixp::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) | (std::uint32_t(c) << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view s);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address a, Ipv4Address b) = default;
+
+  constexpr Ipv4Address operator+(std::uint32_t offset) const { return Ipv4Address(value_ + offset); }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// Normalizes: host bits of the network address are cleared.
+  constexpr Ipv4Prefix(Ipv4Address network, int length)
+      : network_(network.value() & mask_for(length)), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Address network() const { return Ipv4Address(network_); }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const { return mask_for(length_); }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == network_;
+  }
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.network());
+  }
+  /// Number of addresses covered (2^(32-len)); 0 means 2^32 for len 0.
+  [[nodiscard]] constexpr std::uint64_t size() const { return std::uint64_t(1) << (32 - length_); }
+
+  /// The i-th address inside the prefix.
+  [[nodiscard]] constexpr Ipv4Address at(std::uint64_t i) const {
+    return Ipv4Address(network_ + static_cast<std::uint32_t>(i));
+  }
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view s);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix& a, const Ipv4Prefix& b) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) {
+    return len <= 0 ? 0u : (len >= 32 ? 0xffffffffu : ~((std::uint32_t(1) << (32 - len)) - 1));
+  }
+  std::uint32_t network_ = 0;
+  int length_ = 0;
+};
+
+}  // namespace ixp::net
+
+template <>
+struct std::hash<ixp::net::Ipv4Address> {
+  std::size_t operator()(ixp::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>()(a.value());
+  }
+};
+
+template <>
+struct std::hash<ixp::net::Ipv4Prefix> {
+  std::size_t operator()(const ixp::net::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>()((std::uint64_t(p.network().value()) << 8) | std::uint64_t(p.length()));
+  }
+};

@@ -1,0 +1,105 @@
+// Longest-prefix-match map from Ipv4Prefix to an arbitrary value.
+//
+// A binary trie keyed on address bits.  Used for router FIBs, prefix->AS
+// maps built from the synthetic BGP dumps, and the IXP prefix directory.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace ixp::net {
+
+template <typename V>
+class PrefixMap {
+ public:
+  PrefixMap() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value at `prefix`.
+  void insert(const Ipv4Prefix& prefix, V value) {
+    Node* n = root_.get();
+    const std::uint32_t addr = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (addr >> (31 - depth)) & 1;
+      auto& child = n->child[bit];
+      if (!child) child = std::make_unique<Node>();
+      n = child.get();
+    }
+    if (!n->value.has_value()) ++size_;
+    n->value = std::move(value);
+  }
+
+  /// Longest-prefix match; nullptr if no covering prefix exists.
+  [[nodiscard]] const V* lookup(Ipv4Address a) const {
+    const Node* n = root_.get();
+    const V* best = n->value ? &*n->value : nullptr;
+    const std::uint32_t addr = a.value();
+    for (int depth = 0; depth < 32 && n; ++depth) {
+      const int bit = (addr >> (31 - depth)) & 1;
+      n = n->child[bit].get();
+      if (n && n->value) best = &*n->value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup; nullptr if `prefix` itself was never inserted.
+  [[nodiscard]] const V* lookup_exact(const Ipv4Prefix& prefix) const {
+    const Node* n = root_.get();
+    const std::uint32_t addr = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (addr >> (31 - depth)) & 1;
+      n = n->child[bit].get();
+      if (!n) return nullptr;
+    }
+    return n->value ? &*n->value : nullptr;
+  }
+
+  /// The most specific inserted prefix covering `a`, with its value.
+  [[nodiscard]] std::optional<std::pair<Ipv4Prefix, V>> lookup_prefix(Ipv4Address a) const {
+    const Node* n = root_.get();
+    std::optional<std::pair<Ipv4Prefix, V>> best;
+    if (n->value) best = {Ipv4Prefix(Ipv4Address(0), 0), *n->value};
+    const std::uint32_t addr = a.value();
+    for (int depth = 0; depth < 32 && n; ++depth) {
+      const int bit = (addr >> (31 - depth)) & 1;
+      n = n->child[bit].get();
+      if (n && n->value) {
+        best = {Ipv4Prefix(a, depth + 1), *n->value};
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in address order.
+  template <typename F>
+  void for_each(F&& f) const {
+    walk(root_.get(), 0, 0, f);
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  template <typename F>
+  static void walk(const Node* n, std::uint32_t addr, int depth, F& f) {
+    if (!n) return;
+    if (n->value) f(Ipv4Prefix(Ipv4Address(addr), depth), *n->value);
+    if (depth < 32) {
+      walk(n->child[0].get(), addr, depth + 1, f);
+      walk(n->child[1].get(), addr | (std::uint32_t(1) << (31 - depth)), depth + 1, f);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ixp::net

@@ -1,0 +1,160 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ixp::net {
+namespace {
+
+constexpr std::uint8_t kProtoIcmp = 1;
+constexpr std::size_t kIpv4MinHeader = 20;
+constexpr std::size_t kIcmpHeader = 8;
+constexpr std::uint8_t kOptRecordRoute = 7;
+constexpr std::uint8_t kOptEnd = 0;
+
+void put_u16(std::vector<std::uint8_t>& out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::size_t at, std::uint32_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 24);
+  out[at + 1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  out[at + 2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  out[at + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t at) {
+  return static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t at) {
+  return (std::uint32_t(d[at]) << 24) | (std::uint32_t(d[at + 1]) << 16) |
+         (std::uint32_t(d[at + 2]) << 8) | std::uint32_t(d[at + 3]);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> encode_packet(const Packet& p) {
+  // Record-route option: type, length, pointer, then 9 four-byte slots,
+  // padded with an end-of-options byte to a 4-byte boundary (37 + 3 = 40).
+  std::size_t opt_len = 0;
+  if (p.record_route) opt_len = 40;
+  const std::size_t ihl_bytes = kIpv4MinHeader + opt_len;
+
+  std::size_t total = std::max<std::size_t>(p.size_bytes, ihl_bytes + kIcmpHeader);
+  std::vector<std::uint8_t> out(total, 0);
+
+  out[0] = static_cast<std::uint8_t>((4u << 4) | (ihl_bytes / 4));  // version + IHL
+  out[1] = 0;                                                       // DSCP/ECN
+  put_u16(out, 2, static_cast<std::uint16_t>(total));
+  put_u16(out, 4, p.ip_id);
+  put_u16(out, 6, 0);        // flags/fragment offset
+  out[8] = p.ttl;
+  out[9] = kProtoIcmp;
+  put_u32(out, 12, p.src.value());
+  put_u32(out, 16, p.dst.value());
+
+  if (p.record_route) {
+    const std::size_t o = kIpv4MinHeader;
+    out[o] = kOptRecordRoute;
+    out[o + 1] = 39;  // option length: 3 + 9*4
+    const std::size_t nstamps = std::min<std::size_t>(p.route_stamps.size(), kMaxRecordRouteSlots);
+    out[o + 2] = static_cast<std::uint8_t>(4 + nstamps * 4);  // pointer to next free slot
+    for (std::size_t i = 0; i < nstamps; ++i) {
+      put_u32(out, o + 3 + i * 4, p.route_stamps[i].value());
+    }
+    out[o + 39] = kOptEnd;
+  }
+
+  put_u16(out, 10, 0);  // header checksum placeholder
+  const std::uint16_t hsum = internet_checksum({out.data(), ihl_bytes});
+  put_u16(out, 10, hsum);
+
+  // ICMP header.
+  const std::size_t ic = ihl_bytes;
+  out[ic] = static_cast<std::uint8_t>(p.icmp_type);
+  out[ic + 1] = p.icmp_code;
+  if (p.icmp_type == IcmpType::kEchoRequest || p.icmp_type == IcmpType::kEchoReply) {
+    put_u16(out, ic + 4, p.ident);
+    put_u16(out, ic + 6, p.seq);
+  } else {
+    // Error messages quote the offending probe's ident/seq in the payload
+    // area (a real router quotes the full IP header + 8 bytes; we keep the
+    // two fields the prober actually matches on).
+    if (total >= ic + kIcmpHeader + 4) {
+      put_u16(out, ic + kIcmpHeader, p.quoted_ident);
+      put_u16(out, ic + kIcmpHeader + 2, p.quoted_seq);
+    }
+  }
+  put_u16(out, ic + 2, 0);
+  const std::uint16_t csum = internet_checksum({out.data() + ic, total - ic});
+  put_u16(out, ic + 2, csum);
+  return out;
+}
+
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> data) {
+  if (data.size() < kIpv4MinHeader + kIcmpHeader) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(data[0] & 0x0f) * 4;
+  if (ihl_bytes < kIpv4MinHeader || data.size() < ihl_bytes + kIcmpHeader) return std::nullopt;
+  const std::size_t total = get_u16(data, 2);
+  if (total > data.size() || total < ihl_bytes + kIcmpHeader) return std::nullopt;
+  if (data[9] != kProtoIcmp) return std::nullopt;
+  if (internet_checksum(data.subspan(0, ihl_bytes)) != 0) return std::nullopt;
+  if (internet_checksum(data.subspan(ihl_bytes, total - ihl_bytes)) != 0) return std::nullopt;
+
+  Packet p;
+  p.size_bytes = static_cast<std::uint32_t>(total);
+  p.ip_id = get_u16(data, 4);
+  p.ttl = data[8];
+  p.src = Ipv4Address(get_u32(data, 12));
+  p.dst = Ipv4Address(get_u32(data, 16));
+
+  // Options.
+  std::size_t o = kIpv4MinHeader;
+  while (o < ihl_bytes) {
+    const std::uint8_t type = data[o];
+    if (type == kOptEnd) break;
+    if (type == 1) {  // NOP
+      ++o;
+      continue;
+    }
+    if (o + 1 >= ihl_bytes) return std::nullopt;
+    const std::uint8_t len = data[o + 1];
+    if (len < 2 || o + len > ihl_bytes) return std::nullopt;
+    if (type == kOptRecordRoute && len >= 3) {
+      p.record_route = true;
+      const std::uint8_t ptr = data[o + 2];
+      for (std::size_t slot = o + 3; slot + 4 <= o + ptr - 1 && slot + 4 <= o + len; slot += 4) {
+        p.route_stamps.emplace_back(get_u32(data, slot));
+      }
+    }
+    o += len;
+  }
+
+  const std::size_t ic = ihl_bytes;
+  p.icmp_type = static_cast<IcmpType>(data[ic]);
+  p.icmp_code = data[ic + 1];
+  if (p.icmp_type == IcmpType::kEchoRequest || p.icmp_type == IcmpType::kEchoReply) {
+    p.ident = get_u16(data, ic + 4);
+    p.seq = get_u16(data, ic + 6);
+  } else if (total >= ic + kIcmpHeader + 4) {
+    p.quoted_ident = get_u16(data, ic + kIcmpHeader);
+    p.quoted_seq = get_u16(data, ic + kIcmpHeader + 2);
+  }
+  return p;
+}
+
+}  // namespace ixp::net

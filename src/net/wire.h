@@ -1,0 +1,30 @@
+// IPv4 + ICMP wire-format encoding and decoding.
+//
+// encode_packet() produces RFC-791/792-conformant bytes for a Packet
+// (including the record-route option and correct internet checksums);
+// decode_packet() parses them back.  The simulator itself moves Packet
+// structs for speed; the wire layer backs the warts-lite capture format and
+// the conformance tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ixp::net {
+
+/// RFC 1071 internet checksum over the given bytes.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Serializes to on-wire IPv4+ICMP bytes.  The ICMP payload is zero-padded
+/// to reach packet.size_bytes total length (minimum header sizes apply).
+std::vector<std::uint8_t> encode_packet(const Packet& packet);
+
+/// Parses on-wire bytes; returns nullopt if the buffer is truncated, the
+/// version is not 4, or either checksum fails.
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> data);
+
+}  // namespace ixp::net

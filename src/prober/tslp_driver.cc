@@ -1,0 +1,126 @@
+#include "prober/tslp_driver.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace ixp::prober {
+namespace {
+
+struct TargetState {
+  MonitorTarget target;
+  int far_ttl = 0;          ///< hop distance of the far address; 0 = unknown
+  int consecutive_losses = 0;
+};
+
+}  // namespace
+
+TslpDriver::TslpDriver(Prober& prober, TslpConfig cfg) : prober_(&prober), cfg_(cfg) {}
+
+std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& targets,
+                                              TimePoint start, TimePoint end,
+                                              const std::function<void(std::size_t)>& on_round) {
+  auto& sim = prober_->network().simulator();
+  sim.advance_to(start);
+
+  std::vector<TargetState> state;
+  state.reserve(targets.size());
+  std::vector<tslp::LinkSeries> out;
+  out.reserve(targets.size());
+  for (const auto& t : targets) {
+    TargetState s;
+    s.target = t;
+    if (const auto d = prober_->hop_distance(t.far_ip, cfg_.max_ttl)) s.far_ttl = *d;
+    state.push_back(s);
+
+    tslp::LinkSeries ls;
+    ls.key = t.key;
+    ls.near_ip = t.near_ip;
+    ls.far_ip = t.far_ip;
+    ls.near_asn = t.near_asn;
+    ls.far_asn = t.far_asn;
+    ls.at_ixp = t.at_ixp;
+    ls.near_rtt.start = start;
+    ls.near_rtt.interval = cfg_.round_interval;
+    ls.far_rtt.start = start;
+    ls.far_rtt.interval = cfg_.round_interval;
+    out.push_back(std::move(ls));
+  }
+
+  const std::int64_t rounds = (end - start).count() / cfg_.round_interval.count();
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    const TimePoint at = start + cfg_.round_interval * r;
+    sim.advance_to(at);
+    if (cfg_.pre_round) cfg_.pre_round(at);
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      TargetState& s = state[i];
+      tslp::LinkSeries& ls = out[i];
+      double near_ms = tslp::kMissing;
+      double far_ms = tslp::kMissing;
+      if (s.far_ttl >= 2) {
+        ProbeOptions fo;
+        fo.ttl = static_cast<std::uint8_t>(s.far_ttl);
+        fo.event_mode = cfg_.event_mode;
+        const ProbeOutcome far = prober_->probe(s.target.far_ip, fo);
+        if (far.answered) far_ms = to_ms(far.rtt);
+
+        ProbeOptions no;
+        no.ttl = static_cast<std::uint8_t>(s.far_ttl - 1);
+        no.event_mode = cfg_.event_mode;
+        const ProbeOutcome near = prober_->probe(s.target.far_ip, no);
+        if (near.answered) near_ms = to_ms(near.rtt);
+      }
+      if (std::isnan(far_ms)) {
+        if (++s.consecutive_losses >= cfg_.relearn_after_losses) {
+          // Route may have moved; re-learn the hop distance.
+          s.consecutive_losses = 0;
+          if (const auto d = prober_->hop_distance(s.target.far_ip, cfg_.max_ttl)) {
+            s.far_ttl = *d;
+          } else {
+            s.far_ttl = 0;  // target gone (link removed / member left)
+          }
+        }
+      } else {
+        s.consecutive_losses = 0;
+      }
+      ls.near_rtt.ms.push_back(near_ms);
+      ls.far_rtt.ms.push_back(far_ms);
+
+      // Periodic record-route measurement on this link.
+      if (cfg_.rr_every_rounds > 0 && r % cfg_.rr_every_rounds == 0 && s.far_ttl >= 2) {
+        const auto sym = prober_->record_route_symmetric(s.target.far_ip);
+        if (sym.has_value()) {
+          ++record_routes_;
+          if (*sym) ++rr_symmetric_;
+        }
+      }
+    }
+    if (on_round) on_round(static_cast<std::size_t>(r));
+  }
+  return out;
+}
+
+tslp::LossSeries measure_loss(Prober& prober, net::Ipv4Address target, TimePoint start,
+                              TimePoint end, const LossConfig& cfg) {
+  auto& sim = prober.network().simulator();
+  tslp::LossSeries out;
+  out.target = target;
+  TimePoint t = start;
+  while (t < end) {
+    tslp::LossBatch batch;
+    batch.at = t;
+    for (int i = 0; i < cfg.batch_size; ++i) {
+      const TimePoint pt = t + cfg.probe_interval * i;
+      if (pt >= end) break;
+      sim.advance_to(pt);
+      ++batch.sent;
+      const ProbeOutcome r = prober.probe(target);
+      if (!r.answered) ++batch.lost;
+    }
+    if (batch.sent > 0) out.batches.push_back(batch);
+    t += cfg.probe_interval * cfg.batch_size + cfg.batch_gap;
+  }
+  return out;
+}
+
+}  // namespace ixp::prober

@@ -1,0 +1,108 @@
+#include "routing/asrank.h"
+
+#include <algorithm>
+
+namespace ixp::routing {
+namespace {
+std::pair<Asn, Asn> norm(Asn a, Asn b) { return a < b ? std::make_pair(a, b) : std::make_pair(b, a); }
+}
+
+void AsRank::add_path(const std::vector<Asn>& path) {
+  if (path.size() >= 2) paths_.push_back(path);
+}
+
+void AsRank::infer() {
+  transit_degree_.clear();
+  plain_degree_.clear();
+  edges_.clear();
+
+  // Pass 1: degrees.  Transit degree counts distinct neighbors adjacent to
+  // an AS while that AS sits mid-path (it is carrying someone's traffic);
+  // plain degree counts distinct neighbors anywhere.
+  std::set<std::pair<Asn, Asn>> transit_adj;   // (mid AS, neighbor)
+  std::set<std::pair<Asn, Asn>> plain_adj;     // normalized edge
+  for (const auto& path : paths_) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Asn a = path[i], b = path[i + 1];
+      if (a == b) continue;
+      if (plain_adj.insert(norm(a, b)).second) {
+        ++plain_degree_[a];
+        ++plain_degree_[b];
+      }
+      // `a` transits if it is not the first hop; `b` if not the last.
+      if (i > 0 && transit_adj.insert({a, b}).second) ++transit_degree_[a];
+      if (i + 2 < path.size() && transit_adj.insert({b, a}).second) ++transit_degree_[b];
+    }
+  }
+  auto tdeg = [&](Asn a) {
+    const auto it = transit_degree_.find(a);
+    return it == transit_degree_.end() ? 0 : it->second;
+  };
+  auto pdeg = [&](Asn a) {
+    const auto it = plain_degree_.find(a);
+    return it == plain_degree_.end() ? 0 : it->second;
+  };
+
+  // Pass 2: votes against each path's summit.
+  struct Votes {
+    int a_below_b = 0;  // votes that lo is the customer of hi
+    int b_below_a = 0;
+  };
+  std::map<std::pair<Asn, Asn>, Votes> votes;
+  for (const auto& path : paths_) {
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const int di = tdeg(path[i]), dt = tdeg(path[top]);
+      if (di > dt || (di == dt && pdeg(path[i]) > pdeg(path[top]))) top = i;
+    }
+    // Climbing half: path[i] is a customer of path[i+1].
+    for (std::size_t i = 0; i + 1 <= top; ++i) {
+      const Asn a = path[i], b = path[i + 1];
+      if (a == b) continue;
+      auto& v = votes[norm(a, b)];
+      (a < b ? v.a_below_b : v.b_below_a) += 1;
+    }
+    // Descending half: path[i+1] is a customer of path[i].
+    for (std::size_t i = top; i + 1 < path.size(); ++i) {
+      const Asn a = path[i], b = path[i + 1];
+      if (a == b) continue;
+      auto& v = votes[norm(a, b)];
+      (b < a ? v.a_below_b : v.b_below_a) += 1;
+    }
+  }
+
+  // Pass 3: decisions.
+  for (const auto& [key, v] : votes) {
+    const auto [lo, hi] = key;
+    const int dlo = std::max(tdeg(lo), pdeg(lo));
+    const int dhi = std::max(tdeg(hi), pdeg(hi));
+    const double ratio = (std::min(dlo, dhi) + 1.0) / (std::max(dlo, dhi) + 1.0);
+    const bool contested = v.a_below_b > 0 && v.b_below_a > 0;
+    if ((contested && ratio > 0.5) || v.a_below_b == v.b_below_a) {
+      edges_[key] = InferredRel::kPeerToPeer;
+    } else if (v.a_below_b > v.b_below_a) {
+      edges_[key] = InferredRel::kCustomerToProvider;  // lo below hi
+    } else {
+      edges_[key] = InferredRel::kProviderToCustomer;  // lo above hi
+    }
+  }
+}
+
+InferredRel AsRank::relationship(Asn a, Asn b) const {
+  const auto it = edges_.find(norm(a, b));
+  if (it == edges_.end()) return InferredRel::kUnknown;
+  InferredRel r = it->second;
+  if (a < b) return r;
+  switch (r) {
+    case InferredRel::kCustomerToProvider: return InferredRel::kProviderToCustomer;
+    case InferredRel::kProviderToCustomer: return InferredRel::kCustomerToProvider;
+    default: return r;
+  }
+}
+
+int AsRank::degree(Asn a) const {
+  const auto it = plain_degree_.find(a);
+  return it == plain_degree_.end() ? 0 : it->second;
+}
+
+}  // namespace ixp::routing

@@ -1,0 +1,56 @@
+// AS-relationship inference from BGP paths (AS-rank-lite).
+//
+// bdrmap consumes CAIDA's AS-rank relationship file; we reproduce a compact
+// Gao-style inference.  infer() first computes each AS's *transit degree*
+// (distinct neighbors seen while the AS is in the middle of a path -- the
+// signal CAIDA's AS-rank uses), then takes the highest-transit-degree AS on
+// each path as its summit: links climbing toward the summit vote
+// customer->provider, links descending vote provider->customer, and links
+// voted both ways between similar-degree ASes are peers.  Inference is
+// order-independent (votes are recomputed from the stored paths once all
+// degrees are known).  Quality is checkable against the topology's declared
+// relationships (tests do exactly that).
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "routing/bgp.h"
+
+namespace ixp::routing {
+
+enum class InferredRel {
+  kCustomerToProvider,  ///< first is customer of second
+  kProviderToCustomer,
+  kPeerToPeer,
+  kUnknown,
+};
+
+class AsRank {
+ public:
+  /// Feeds one AS path (collector .. origin).
+  void add_path(const std::vector<Asn>& path);
+
+  /// Runs the inference over everything fed so far.
+  void infer();
+
+  /// Relationship of the ordered pair (a, b); kUnknown when never seen.
+  [[nodiscard]] InferredRel relationship(Asn a, Asn b) const;
+
+  /// All inferred edges, normalized with a < b.
+  [[nodiscard]] const std::map<std::pair<Asn, Asn>, InferredRel>& edges() const { return edges_; }
+
+  /// Transit degree (distinct neighbors seen around the AS mid-path);
+  /// valid after infer().
+  [[nodiscard]] int degree(Asn a) const;
+
+ private:
+  std::vector<std::vector<Asn>> paths_;
+  std::map<Asn, int> transit_degree_;
+  std::map<Asn, int> plain_degree_;
+  std::map<std::pair<Asn, Asn>, InferredRel> edges_;
+};
+
+}  // namespace ixp::routing

@@ -1,0 +1,97 @@
+// Gao-Rexford interdomain routing over the synthetic AS graph.
+//
+// Route preference follows the standard model: customer-learned routes are
+// preferred over peer-learned over provider-learned; exports are valley
+// free (customer routes go to everyone, peer/provider routes only to
+// customers).  Ties break on AS-path length, then lowest next-hop ASN, so
+// the computation is deterministic.
+//
+// After AS-level computation, install_fibs() writes router-level forwarding
+// tables with realistic compression: stub and member networks carry
+// explicit routes only for their own, customer, and peer prefixes plus a
+// default toward their preferred provider; provider-free (tier-1) networks
+// carry the full table.  This mirrors how African IXP members actually
+// provision their routers and keeps the simulated FIBs small.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace ixp::routing {
+
+using topo::Asn;
+
+enum class RouteClass : std::uint8_t {
+  kNone = 0,      ///< unreachable
+  kSelf = 1,      ///< the destination itself
+  kCustomer = 2,  ///< learned from a customer
+  kPeer = 3,      ///< learned from a peer
+  kProvider = 4,  ///< learned from a provider
+};
+
+/// One line of a synthetic BGP RIB dump (RouteViews/RIS-like input for
+/// bdrmap-lite and AS-rank-lite).
+struct RibEntry {
+  net::Ipv4Prefix prefix;
+  std::vector<Asn> as_path;  ///< collector first, origin last
+};
+
+class Bgp {
+ public:
+  explicit Bgp(const topo::Topology& topology);
+
+  /// Computes best routes from every AS toward every origin AS.
+  void compute();
+
+  /// The AS that `from` forwards to for traffic toward `origin`; 0 when
+  /// unreachable or from == origin.
+  [[nodiscard]] Asn next_hop(Asn from, Asn origin) const;
+
+  /// Best-route class at `from` toward `origin`.
+  [[nodiscard]] RouteClass route_class(Asn from, Asn origin) const;
+
+  /// Full AS path (from .. origin); empty when unreachable.
+  [[nodiscard]] std::vector<Asn> as_path(Asn from, Asn origin) const;
+
+  /// Providers/customers/peers of an AS per the declared relationships.
+  [[nodiscard]] const std::vector<Asn>& providers(Asn a) const;
+  [[nodiscard]] const std::vector<Asn>& customers(Asn a) const;
+  [[nodiscard]] const std::vector<Asn>& peers(Asn a) const;
+
+  /// Installs router-level FIBs into the topology's simulator nodes.
+  /// Re-runs from scratch; call again after timeline changes.
+  void install_fibs(topo::Topology& topology) const;
+
+  /// Synthetic RIB dump as seen from `collector` (one entry per announced
+  /// prefix reachable from there).
+  [[nodiscard]] std::vector<RibEntry> rib_dump(Asn collector) const;
+
+ private:
+  struct Best {
+    RouteClass cls = RouteClass::kNone;
+    std::uint16_t path_len = 0xffff;
+    Asn learned_from = 0;  ///< neighbor the route was learned from
+  };
+
+  [[nodiscard]] std::size_t index_of(Asn a) const;
+  void compute_origin(std::size_t origin_idx);
+
+  const topo::Topology* topo_;
+  std::vector<Asn> asns_;                       // index -> ASN
+  std::unordered_map<Asn, std::size_t> index_;  // ASN -> index
+  std::vector<std::vector<std::size_t>> providers_;
+  std::vector<std::vector<std::size_t>> customers_;
+  std::vector<std::vector<std::size_t>> peers_;
+  std::vector<std::vector<Asn>> providers_asn_;
+  std::vector<std::vector<Asn>> customers_asn_;
+  std::vector<std::vector<Asn>> peers_asn_;
+  // best_[origin][as] -- row-major per origin.
+  std::vector<std::vector<Best>> best_;
+};
+
+}  // namespace ixp::routing

@@ -1,0 +1,40 @@
+#include "sim/event.h"
+
+#include <utility>
+
+namespace ixp::sim {
+
+void Simulator::schedule_at(TimePoint at, Action action) {
+  if (at < now_) at = now_;
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::run_until(TimePoint until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the action handle instead (std::function copy is cheap enough
+    // relative to the simulated work per event).
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    e.action();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    e.action();
+  }
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace ixp::sim

@@ -1,0 +1,356 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+#include "util/log.h"
+
+namespace ixp::sim {
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->set_id(id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Router& Network::add_router(const std::string& name, RouterConfig cfg) {
+  auto router = std::make_unique<Router>(name, std::move(cfg), rng_.fork());
+  Router& ref = *router;
+  add_node(std::move(router));
+  return ref;
+}
+
+Host& Network::add_host(const std::string& name) {
+  auto host = std::make_unique<Host>(name);
+  Host& ref = *host;
+  add_node(std::move(host));
+  return ref;
+}
+
+L2Switch& Network::add_switch(const std::string& name) {
+  auto sw = std::make_unique<L2Switch>(name);
+  L2Switch& ref = *sw;
+  add_node(std::move(sw));
+  return ref;
+}
+
+int Network::connect(NodeId a, net::Ipv4Address addr_a, NodeId b, net::Ipv4Address addr_b,
+                     const LinkConfig& cfg, const net::Ipv4Prefix& subnet) {
+  const int link_id = static_cast<int>(links_.size());
+  links_.push_back(std::make_unique<DuplexLink>(a, b, cfg));
+  DuplexLink& l = *links_.back();
+  const int if_a = node(a).add_interface(Interface{addr_a, link_id, subnet});
+  const int if_b = node(b).add_interface(Interface{addr_b, link_id, subnet});
+  l.set_ifindex(a, if_a);
+  l.set_ifindex(b, if_b);
+  if (!addr_a.is_unspecified()) addr_owner_[addr_a] = a;
+  if (!addr_b.is_unspecified()) addr_owner_[addr_b] = b;
+  // If either endpoint is a switch fabric, teach it the far address.
+  if (auto* sw = dynamic_cast<L2Switch*>(&node(a)); sw && !addr_b.is_unspecified()) {
+    sw->learn(addr_b, if_a);
+  }
+  if (auto* sw = dynamic_cast<L2Switch*>(&node(b)); sw && !addr_a.is_unspecified()) {
+    sw->learn(addr_a, if_b);
+  }
+  return link_id;
+}
+
+NodeId Network::find_owner(net::Ipv4Address addr) const {
+  const auto it = addr_owner_.find(addr);
+  return it == addr_owner_.end() ? kInvalidNode : it->second;
+}
+
+void Network::transmit(NodeId from, int ifindex, net::Packet pkt, net::Ipv4Address next_hop) {
+  Node& sender = node(from);
+  if (ifindex < 0 || ifindex >= static_cast<int>(sender.interfaces().size())) {
+    ++packets_dropped;
+    return;
+  }
+  const Interface& ifc = sender.interfaces()[static_cast<std::size_t>(ifindex)];
+  DuplexLink& l = link(ifc.link_id);
+  if (!l.is_up()) {
+    ++packets_dropped;
+    return;
+  }
+  FluidQueue& q = l.queue_from(from);
+  const TimePoint t = sim_.now();
+  const double p_drop = q.drop_probability(t);
+  if (p_drop > 0 && rng_.chance(p_drop)) {
+    ++packets_dropped;
+    return;
+  }
+  const Duration delay = q.queuing_delay(t) + q.transmission_delay(pkt.size_bytes) +
+                         l.prop_delay() + l.extra_delay_from(from);
+  q.enqueue(t, pkt.size_bytes);  // probe bytes join the backlog (negligible)
+  pkt.l2_next_hop = next_hop;
+  const NodeId peer = l.other(from);
+  const int peer_if = l.ifindex_at(peer);
+  sim_.schedule(delay, [this, peer, peer_if, pkt = std::move(pkt)]() mutable {
+    node(peer).receive(*this, std::move(pkt), peer_if);
+  });
+}
+
+void Network::deliver(NodeId to, net::Packet pkt, int in_ifindex, Duration delay) {
+  sim_.schedule(delay, [this, to, in_ifindex, pkt = std::move(pkt)]() mutable {
+    node(to).receive(*this, std::move(pkt), in_ifindex);
+  });
+}
+
+std::optional<Network::HopDecision> Network::route_at(NodeId at, net::Ipv4Address dst) const {
+  const Node& n = node(at);
+  if (const auto* r = dynamic_cast<const Router*>(&n)) {
+    const auto* e = r->fib().lookup(dst);
+    if (!e) return std::nullopt;
+    return HopDecision{e->ifindex, e->next_hop.is_unspecified() ? dst : e->next_hop};
+  }
+  if (const auto* h = dynamic_cast<const Host*>(&n)) {
+    if (n.interfaces().empty()) return std::nullopt;
+    // Hosts send everything via interface 0; on-subnet destinations are
+    // reached directly, everything else via the configured gateway.
+    (void)h;
+    return HopDecision{0, dst};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// One analytic link traversal: updates `t`, returns false on drop/down.
+bool cross_link(Network& net, Rng& rng, DuplexLink& l, NodeId from, std::uint32_t size_bytes,
+                TimePoint& t, std::uint64_t& dropped_counter) {
+  if (!l.is_up()) {
+    ++dropped_counter;
+    return false;
+  }
+  FluidQueue& q = l.queue_from(from);
+  const double p_drop = q.drop_probability(t);
+  if (p_drop > 0 && rng.chance(p_drop)) {
+    ++dropped_counter;
+    return false;
+  }
+  t += q.queuing_delay(t) + q.transmission_delay(size_bytes) + l.prop_delay() +
+       l.extra_delay_from(from);
+  (void)net;
+  return true;
+}
+
+}  // namespace
+
+std::vector<PathHop> Network::trace_forward(NodeId from, const net::Packet& pkt_in, bool& dropped,
+                                            net::Packet* out) {
+  std::vector<PathHop> hops;
+  dropped = false;
+  net::Packet pkt = pkt_in;
+  TimePoint t = sim_.now();
+  NodeId cur = from;
+  for (int budget = 0; budget < 64; ++budget) {
+    Node& n = node(cur);
+    if (auto* sw = dynamic_cast<L2Switch*>(&n)) {
+      // L2 transit: resolve the port by the frame's next-hop and keep going.
+      (void)sw;
+      net::Packet probe_frame = pkt;
+      // L2Switch::receive path is event-driven; replicate its lookup here.
+      // The table is private, so route through interfaces: we stored the
+      // learning in connect(); do a linear scan over switch interfaces.
+      NodeId next = kInvalidNode;
+      int out_if = -1;
+      for (std::size_t i = 0; i < n.interfaces().size(); ++i) {
+        const auto& ifc = n.interfaces()[i];
+        const DuplexLink& l = *links_[static_cast<std::size_t>(ifc.link_id)];
+        const NodeId peer = l.other(cur);
+        if (node(peer).owns_address(pkt.l2_next_hop.is_unspecified() ? pkt.dst : pkt.l2_next_hop)) {
+          next = peer;
+          out_if = static_cast<int>(i);
+          break;
+        }
+      }
+      if (next == kInvalidNode) {
+        dropped = true;
+        return hops;
+      }
+      DuplexLink& l = *links_[static_cast<std::size_t>(n.interfaces()[static_cast<std::size_t>(out_if)].link_id)];
+      std::uint64_t drops = 0;
+      if (!cross_link(*this, rng_, l, cur, pkt.size_bytes, t, drops)) {
+        dropped = true;
+        packets_dropped += drops;
+        return hops;
+      }
+      (void)probe_frame;
+      cur = next;
+      hops.push_back({cur, node(cur).owns_address(pkt.dst) ? pkt.dst : net::Ipv4Address(), t});
+      continue;
+    }
+
+    // IP node (router or host) other than the origin: record arrival.
+    if (cur != from) {
+      // handled on link crossing below
+    }
+
+    // Decide whether this node answers or forwards.
+    auto* router = dynamic_cast<Router*>(&n);
+    if (cur != from && router && router->config().rr_filtered && pkt.record_route) {
+      dropped = true;  // RR-filtering router discards the optioned packet
+      return hops;
+    }
+    if (cur != from && n.owns_address(pkt.dst)) {
+      if (out) *out = pkt;
+      return hops;
+    }
+    if (cur != from && router && pkt.ttl <= 1) {
+      if (out) *out = pkt;
+      return hops;  // TTL expiry point; caller inspects hops.back()
+    }
+    if (cur != from && router) pkt.ttl -= 1;
+
+    const auto hop = route_at(cur, pkt.dst);
+    if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(n.interfaces().size())) {
+      dropped = true;
+      return hops;
+    }
+    if (router && pkt.record_route &&
+        pkt.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
+      pkt.route_stamps.push_back(n.interfaces()[static_cast<std::size_t>(hop->ifindex)].addr);
+    }
+    if (router) t += router->config().forward_delay;
+    pkt.l2_next_hop = hop->next_hop;
+    DuplexLink& l = *links_[static_cast<std::size_t>(n.interfaces()[static_cast<std::size_t>(hop->ifindex)].link_id)];
+    std::uint64_t drops = 0;
+    if (!cross_link(*this, rng_, l, cur, pkt.size_bytes, t, drops)) {
+      dropped = true;
+      packets_dropped += drops;
+      return hops;
+    }
+    const NodeId peer = l.other(cur);
+    const int peer_if = l.ifindex_at(peer);
+    const auto& peer_ifc = node(peer).interfaces()[static_cast<std::size_t>(peer_if)];
+    cur = peer;
+    hops.push_back({cur, peer_ifc.addr, t});
+    if (out) *out = pkt;
+  }
+  dropped = true;
+  return hops;
+}
+
+ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
+  ProbeResult res;
+  net::Packet pkt = pkt_in;
+  bool fwd_dropped = false;
+  net::Packet at_end;
+  std::vector<PathHop> hops = trace_forward(from, pkt, fwd_dropped, &at_end);
+  if (fwd_dropped || hops.empty()) {
+    res.forward_dropped = true;
+    return res;
+  }
+
+  // Identify the responder and the reply origin time.
+  const PathHop& last = hops.back();
+  Node& n = node(last.node);
+  TimePoint t = last.arrived;
+  net::Packet reply;
+  reply.ttl = 64;
+  reply.dst = pkt.src;
+  reply.size_bytes = 56;
+  reply.record_route = at_end.record_route;
+  reply.route_stamps = at_end.route_stamps;
+
+  if (n.owns_address(pkt.dst)) {
+    reply.src = pkt.dst;
+    reply.icmp_type = net::IcmpType::kEchoReply;
+    reply.ident = pkt.ident;
+    reply.seq = pkt.seq;
+    if (auto* r = dynamic_cast<Router*>(&n)) {
+      if (r->config().icmp_disabled || !r->icmp_rate_admit(t)) {
+        res.forward_dropped = true;  // silent router or rate-limited
+        return res;
+      }
+      reply.ip_id = r->next_ip_id();
+      t += r->icmp_generation_delay(t);
+    } else {
+      t += std::chrono::microseconds(50);
+    }
+  } else if (auto* r = dynamic_cast<Router*>(&n)) {
+    // TTL expiry at a router.
+    reply.src = last.in_addr;
+    reply.icmp_type = net::IcmpType::kTimeExceeded;
+    reply.quoted_ident = pkt.ident;
+    reply.quoted_seq = pkt.seq;
+    if (r->config().icmp_disabled || !r->icmp_rate_admit(t)) {
+      res.forward_dropped = true;
+      return res;
+    }
+    reply.ip_id = r->next_ip_id();
+    t += r->icmp_generation_delay(t);
+  } else {
+    res.forward_dropped = true;
+    return res;
+  }
+  ++icmp_generated;
+
+  // Reverse walk from the responder to the probing host.
+  NodeId cur = last.node;
+  for (int budget = 0; budget < 64; ++budget) {
+    Node& rn = node(cur);
+    if (rn.owns_address(reply.dst)) {
+      res.answered = true;
+      res.responder = reply.src;
+      res.reply_type = reply.icmp_type;
+      res.rtt = t - sim_.now();
+      res.record_route = reply.route_stamps;
+      res.ip_id = reply.ip_id;
+      return res;
+    }
+    std::optional<HopDecision> hop;
+    if (auto* sw = dynamic_cast<L2Switch*>(&rn)) {
+      (void)sw;
+      // Resolve the L2 port toward the frame's next hop.
+      NodeId next = kInvalidNode;
+      int out_if = -1;
+      const net::Ipv4Address key = reply.l2_next_hop.is_unspecified() ? reply.dst : reply.l2_next_hop;
+      for (std::size_t i = 0; i < rn.interfaces().size(); ++i) {
+        const DuplexLink& l = *links_[static_cast<std::size_t>(rn.interfaces()[i].link_id)];
+        const NodeId peer = l.other(cur);
+        if (node(peer).owns_address(key)) {
+          next = peer;
+          out_if = static_cast<int>(i);
+          break;
+        }
+      }
+      if (next == kInvalidNode) {
+        res.reverse_dropped = true;
+        return res;
+      }
+      hop = HopDecision{out_if, key};
+    } else {
+      hop = route_at(cur, reply.dst);
+      if (auto* rr = dynamic_cast<Router*>(&rn); rr && cur != last.node) {
+        if (reply.ttl <= 1) {
+          res.reverse_dropped = true;
+          return res;
+        }
+        reply.ttl -= 1;
+        t += rr->config().forward_delay;
+      }
+    }
+    if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(rn.interfaces().size())) {
+      res.reverse_dropped = true;
+      return res;
+    }
+    if (reply.record_route && dynamic_cast<Router*>(&rn) != nullptr &&
+        reply.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
+      reply.route_stamps.push_back(rn.interfaces()[static_cast<std::size_t>(hop->ifindex)].addr);
+    }
+    reply.l2_next_hop = hop->next_hop;
+    DuplexLink& l = *links_[static_cast<std::size_t>(rn.interfaces()[static_cast<std::size_t>(hop->ifindex)].link_id)];
+    std::uint64_t drops = 0;
+    if (!cross_link(*this, rng_, l, cur, reply.size_bytes, t, drops)) {
+      res.reverse_dropped = true;
+      packets_dropped += drops;
+      return res;
+    }
+    cur = l.other(cur);
+  }
+  res.reverse_dropped = true;
+  return res;
+}
+
+}  // namespace ixp::sim

@@ -1,0 +1,124 @@
+// The simulated network: nodes, links, and packet transport.
+//
+// Two execution modes share the same queues and topology:
+//
+//  * Event mode -- packets are scheduled hop by hop through the Simulator.
+//    Used by unit tests, examples, and conformance checks.
+//  * Fast path -- probe_path()/probe_rtt() walk the forward and reverse
+//    route analytically, querying each fluid queue at the packet's arrival
+//    instant.  Year-long TSLP campaigns use this; an integration test pins
+//    its equivalence to event mode.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/event.h"
+#include "sim/node.h"
+#include "util/rng.h"
+
+namespace ixp::sim {
+
+/// One hop of a fast-path walk (for traceroute-style introspection).
+struct PathHop {
+  NodeId node = kInvalidNode;
+  net::Ipv4Address in_addr;   ///< inbound interface address at this node
+  TimePoint arrived;
+};
+
+/// Result of a fast-path probe.
+struct ProbeResult {
+  bool answered = false;
+  net::Ipv4Address responder;      ///< source of the reply
+  net::IcmpType reply_type = net::IcmpType::kTimeExceeded;
+  Duration rtt{};
+  std::uint16_t ip_id = 0;         ///< IP-ID the responder stamped
+  std::vector<net::Ipv4Address> record_route;  ///< stamps accumulated
+  bool forward_dropped = false;
+  bool reverse_dropped = false;
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- Construction -------------------------------------------------------
+
+  NodeId add_node(std::unique_ptr<Node> node);
+  Router& add_router(const std::string& name, RouterConfig cfg);
+  Host& add_host(const std::string& name);
+  L2Switch& add_switch(const std::string& name);
+
+  /// Connects two nodes; both sides get an interface with the given
+  /// addresses (0 for L2 ports).  Returns the link id.
+  int connect(NodeId a, net::Ipv4Address addr_a, NodeId b, net::Ipv4Address addr_b,
+              const LinkConfig& cfg, const net::Ipv4Prefix& subnet);
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] DuplexLink& link(int id) { return *links_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Node owning `addr`, or kInvalidNode.
+  [[nodiscard]] NodeId find_owner(net::Ipv4Address addr) const;
+
+  Simulator& simulator() { return sim_; }
+  Rng& rng() { return rng_; }
+  void seed(std::uint64_t s) { rng_ = Rng(s); }
+
+  // ---- Event-mode transport ----------------------------------------------
+
+  /// Emits `pkt` from `from` out of `ifindex`; `next_hop` picks the L2 port
+  /// on a switch fabric (use the packet dst for directly-connected sends).
+  /// The packet is dropped silently if the egress queue overflows.
+  void transmit(NodeId from, int ifindex, net::Packet pkt, net::Ipv4Address next_hop);
+
+  /// Delivers `pkt` to a node after `delay` (loopback / self-ping).
+  void deliver(NodeId to, net::Packet pkt, int in_ifindex, Duration delay);
+
+  // ---- Fast path -----------------------------------------------------------
+
+  /// Walks the forward path of `pkt` from node `from` without scheduling
+  /// events, returning each hop until TTL expiry, delivery, or a drop.
+  std::vector<PathHop> trace_forward(NodeId from, const net::Packet& pkt, bool& dropped,
+                                     net::Packet* out = nullptr);
+
+  /// Full analytic probe: forward walk, ICMP generation at the responding
+  /// node, reverse walk back to `from`.  Drops are decided with this
+  /// network's RNG against each queue's drop probability.
+  ProbeResult probe(NodeId from, const net::Packet& pkt);
+
+  // ---- Statistics -----------------------------------------------------------
+
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t icmp_generated = 0;
+
+ private:
+  friend class Router;
+  friend class Host;
+  friend class L2Switch;
+
+  /// Fast-path hop decision shared with event mode: where does `pkt` go
+  /// from `at` given FIBs; returns false if unroutable.
+  struct HopDecision {
+    int ifindex = -1;
+    net::Ipv4Address next_hop;
+  };
+  std::optional<HopDecision> route_at(NodeId at, net::Ipv4Address dst) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<DuplexLink>> links_;
+  std::unordered_map<net::Ipv4Address, NodeId> addr_owner_;
+  Simulator sim_;
+  Rng rng_{0xabcdef12345ULL};
+};
+
+}  // namespace ixp::sim

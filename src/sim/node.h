@@ -1,0 +1,188 @@
+// Simulated nodes: routers, hosts, and L2 switch fabrics.
+//
+// Routers implement the IP behaviours TSLP depends on: TTL decrement, ICMP
+// TIME_EXCEEDED generation from the *inbound* interface address (this is
+// what makes the near/far ends of an interdomain link observable), ICMP
+// rate limiting, a configurable slow-ICMP control-plane model, and IPv4
+// record-route stamping.
+//
+// The L2Switch models an IXP switching fabric: frames cross it without a
+// TTL decrement and the fabric itself is invisible at the IP layer, so a
+// traceroute from a member sees its own border router and then directly
+// the peer's router -- exactly how IXP LANs appear in real traces.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/prefix_map.h"
+#include "sim/link.h"
+#include "util/rng.h"
+
+namespace ixp::sim {
+
+class Network;
+
+/// An attachment point of a node to a link.
+struct Interface {
+  net::Ipv4Address addr;   ///< unset (0) for pure L2 ports
+  int link_id = -1;
+  net::Ipv4Prefix subnet;  ///< the connected subnet
+};
+
+/// Next-hop entry installed in a router FIB.
+struct FibEntry {
+  int ifindex = -1;
+  net::Ipv4Address next_hop;  ///< 0 means "directly connected: use dst"
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  virtual void receive(Network& net, net::Packet pkt, int in_ifindex) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+  void set_id(NodeId id) { id_ = id; }
+
+  [[nodiscard]] const std::vector<Interface>& interfaces() const { return interfaces_; }
+  int add_interface(const Interface& ifc) {
+    interfaces_.push_back(ifc);
+    return static_cast<int>(interfaces_.size()) - 1;
+  }
+  [[nodiscard]] bool owns_address(net::Ipv4Address a) const {
+    for (const auto& i : interfaces_) {
+      if (i.addr == a && !a.is_unspecified()) return true;
+    }
+    return false;
+  }
+
+ protected:
+  std::vector<Interface> interfaces_;
+
+ private:
+  std::string name_;
+  NodeId id_ = kInvalidNode;
+};
+
+/// Router behaviour knobs.
+struct RouterConfig {
+  std::uint32_t owner_asn = 0;
+  /// Per-packet forwarding latency (lookup + switching).
+  Duration forward_delay = std::chrono::microseconds(20);
+  /// Base control-plane delay to generate any ICMP message.
+  Duration icmp_base_delay = milliseconds(0.3);
+  /// Half-normal jitter added to ICMP generation.
+  Duration icmp_jitter = milliseconds(0.25);
+  /// Optional control-plane load in [0,1] as a function of time; ICMP
+  /// generation slows by icmp_load_extra * load(t).  Models routers whose
+  /// ICMP slow path degrades at peak hours (the GIXA-KNET hypothesis).
+  TrafficProfilePtr icmp_load;         ///< interpreted as relative load 0..1
+  Duration icmp_load_extra = milliseconds(0);
+  /// ICMP generation rate limit (messages/second); 0 disables the limit.
+  double icmp_rate_limit_per_sec = 0.0;
+  /// Router never generates ICMP (echo replies or errors): the silent
+  /// routers that cap bdrmap's real-world neighbor recall at ~96 %.
+  bool icmp_disabled = false;
+  /// Router drops packets carrying the record-route option (common
+  /// filtering practice; the reason Table 2 shows zero record routes for
+  /// VP4 and VP6).
+  bool rr_filtered = false;
+};
+
+class Router final : public Node {
+ public:
+  Router(std::string name, RouterConfig cfg, Rng rng)
+      : Node(std::move(name)), cfg_(std::move(cfg)), rng_(rng) {}
+
+  void receive(Network& net, net::Packet pkt, int in_ifindex) override;
+
+  [[nodiscard]] std::uint32_t asn() const { return cfg_.owner_asn; }
+  [[nodiscard]] const RouterConfig& config() const { return cfg_; }
+  RouterConfig& mutable_config() { return cfg_; }
+
+  /// Installs/overwrites a FIB route.
+  void add_route(const net::Ipv4Prefix& prefix, FibEntry entry) { fib_.insert(prefix, entry); }
+  [[nodiscard]] const net::PrefixMap<FibEntry>& fib() const { return fib_; }
+  void clear_fib() { fib_ = net::PrefixMap<FibEntry>(); }
+
+  /// ICMP generation delay at time t (deterministic given the RNG stream).
+  Duration icmp_generation_delay(TimePoint t);
+
+  /// Token-bucket admission for ICMP generation.
+  bool icmp_rate_admit(TimePoint t);
+
+  /// Next value of the router-wide IP-ID counter (all interfaces share it,
+  /// which is exactly the signal Ally-style alias resolution exploits).
+  std::uint16_t next_ip_id() { return ip_id_counter_++; }
+
+ private:
+  void forward(Network& net, net::Packet pkt);
+  void emit_icmp(Network& net, const net::Packet& cause, net::IcmpType type, net::Ipv4Address from,
+                 int in_ifindex);
+
+  RouterConfig cfg_;
+  net::PrefixMap<FibEntry> fib_;
+  Rng rng_;
+  std::uint16_t ip_id_counter_ = 1;
+  // Token bucket for ICMP rate limiting.
+  double icmp_tokens_ = 0.0;
+  bool icmp_bucket_primed_ = false;
+  TimePoint icmp_tokens_at_{};
+};
+
+/// End host: answers echo requests; a designated callback receives every
+/// packet delivered to the host (the prober's receive path).
+class Host final : public Node {
+ public:
+  using RxCallback = std::function<void(const net::Packet&, TimePoint)>;
+
+  Host(std::string name, Duration reply_delay = std::chrono::microseconds(50))
+      : Node(std::move(name)), reply_delay_(reply_delay) {}
+
+  void receive(Network& net, net::Packet pkt, int in_ifindex) override;
+
+  void set_rx_callback(RxCallback cb) { rx_ = std::move(cb); }
+  void set_gateway(int ifindex, net::Ipv4Address gw) {
+    gw_ifindex_ = ifindex;
+    gateway_ = gw;
+  }
+  [[nodiscard]] net::Ipv4Address gateway() const { return gateway_; }
+
+  /// Emits a locally-originated packet (event mode).
+  void send(Network& net, net::Packet pkt);
+  [[nodiscard]] net::Ipv4Address address() const {
+    return interfaces_.empty() ? net::Ipv4Address() : interfaces_[0].addr;
+  }
+
+ private:
+  Duration reply_delay_;
+  RxCallback rx_;
+  int gw_ifindex_ = 0;
+  net::Ipv4Address gateway_;
+};
+
+/// IXP switching fabric: forwards by next-hop IP without touching TTL.
+class L2Switch final : public Node {
+ public:
+  explicit L2Switch(std::string name, Duration latency = std::chrono::microseconds(5))
+      : Node(std::move(name)), latency_(latency) {}
+
+  void receive(Network& net, net::Packet pkt, int in_ifindex) override;
+
+  /// Registers which port (ifindex on the switch) reaches `addr`.
+  void learn(net::Ipv4Address addr, int port_ifindex) { table_[addr] = port_ifindex; }
+  void forget(net::Ipv4Address addr) { table_.erase(addr); }
+
+ private:
+  Duration latency_;
+  std::unordered_map<net::Ipv4Address, int> table_;
+};
+
+}  // namespace ixp::sim

@@ -1,0 +1,81 @@
+#include "sim/queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ixp::sim {
+
+void FluidQueue::advance(TimePoint t) {
+  if (t <= last_) return;
+  if (!cfg_.cross_traffic) {
+    // No cross traffic: the backlog only drains.
+    const double drained = cfg_.capacity_bps * to_sec(t - last_) / 8.0;
+    backlog_ = std::max(0.0, backlog_ - drained);
+    last_ = t;
+    return;
+  }
+  const std::int64_t max_step_ns = std::max<std::int64_t>(cfg_.max_step.count(), 1);
+  std::int64_t remaining = (t - last_).count();
+  // Cap the work for very long idle gaps: beyond ~4 h of integration the
+  // diurnal curve is still tracked, just at a coarser step.
+  const std::int64_t steps_cap = 4096;
+  std::int64_t step_ns = max_step_ns;
+  if (remaining / step_ns > steps_cap) step_ns = remaining / steps_cap;
+  while (remaining > 0) {
+    const std::int64_t dt_ns = std::min(remaining, step_ns);
+    const TimePoint mid = last_ + Duration(dt_ns / 2);
+    const double lambda = cfg_.cross_traffic->bps(mid);
+    const double dq = (lambda - cfg_.capacity_bps) * (static_cast<double>(dt_ns) / 1e9) / 8.0;
+    backlog_ = std::clamp(backlog_ + dq, 0.0, cfg_.buffer_bytes);
+    last_ += Duration(dt_ns);
+    remaining -= dt_ns;
+  }
+}
+
+double FluidQueue::backlog_bytes(TimePoint t) {
+  advance(t);
+  return backlog_;
+}
+
+Duration FluidQueue::queuing_delay(TimePoint t) {
+  advance(t);
+  return seconds(backlog_ * 8.0 / cfg_.capacity_bps);
+}
+
+Duration FluidQueue::transmission_delay(std::uint32_t size_bytes) const {
+  return seconds(static_cast<double>(size_bytes) * 8.0 / cfg_.capacity_bps);
+}
+
+double FluidQueue::drop_probability(TimePoint t) {
+  advance(t);
+  // Tail drop bites only when the buffer is effectively full.
+  if (backlog_ < cfg_.buffer_bytes * 0.999) return cfg_.base_loss;
+  const double lambda = offered_bps(t);
+  if (lambda <= cfg_.capacity_bps || lambda <= 0) return cfg_.base_loss;
+  return std::max(cfg_.base_loss, (lambda - cfg_.capacity_bps) / lambda);
+}
+
+bool FluidQueue::enqueue(TimePoint t, std::uint32_t size_bytes) {
+  advance(t);
+  if (backlog_ + size_bytes > cfg_.buffer_bytes) return false;
+  backlog_ += size_bytes;
+  return true;
+}
+
+double FluidQueue::offered_bps(TimePoint t) const {
+  return cfg_.cross_traffic ? cfg_.cross_traffic->bps(t) : 0.0;
+}
+
+void FluidQueue::set_cross_traffic(TimePoint t, TrafficProfilePtr profile) {
+  advance(t);
+  cfg_.cross_traffic = std::move(profile);
+}
+
+void FluidQueue::set_capacity(TimePoint t, double capacity_bps, double buffer_bytes) {
+  advance(t);
+  cfg_.capacity_bps = capacity_bps;
+  cfg_.buffer_bytes = buffer_bytes;
+  backlog_ = std::min(backlog_, buffer_bytes);
+}
+
+}  // namespace ixp::sim

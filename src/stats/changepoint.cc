@@ -1,0 +1,168 @@
+#include "stats/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/ranks.h"
+
+namespace ixp::stats {
+namespace {
+
+// CUSUM range (max - min of the CUSUM path) -- Taylor's Sdiff statistic.
+// Deviations are taken from the mean of the finite entries; NaN entries
+// contribute zero so gaps neither create nor destroy apparent shifts.
+double cusum_range(std::span<const double> v, double m) {
+  double s = 0, lo = 0, hi = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) s += x - m;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  return hi - lo;
+}
+
+// Index of the CUSUM extremum: the last sample of the old level, so the
+// change point (first sample of the new level) is extremum + 1.
+std::size_t cusum_extremum(std::span<const double> v, double m) {
+  double s = 0, best = -1;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (std::isfinite(v[i])) s += v[i] - m;
+    if (std::fabs(s) > best) {
+      best = std::fabs(s);
+      at = i;
+    }
+  }
+  return at;
+}
+
+struct Detector {
+  const CusumOptions& opt;
+  Rng rng;
+  std::vector<std::size_t> found;
+
+  // Bootstrap with early exit: once the number of exceedances guarantees
+  // the confidence cannot reach the bar, stop shuffling.
+  double confidence_of(std::span<const double> v) {
+    const double m = mean(v);
+    if (std::isnan(m)) return 0.0;
+    const double observed = cusum_range(v, m);
+    if (observed <= 0) return 0.0;
+    std::vector<double> shuffled(v.begin(), v.end());
+    const int rounds = std::max(1, opt.bootstrap_rounds);
+    const int max_fail = static_cast<int>(std::floor((1.0 - opt.confidence) * rounds));
+    int below = 0;
+    for (int r = 0; r < rounds; ++r) {
+      // Fisher-Yates; reshuffling the previous permutation stays uniform.
+      for (std::size_t i = shuffled.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(shuffled[i - 1], shuffled[j]);
+      }
+      if (cusum_range(shuffled, m) < observed) {
+        ++below;
+      } else if (r - below >= max_fail + 1) {
+        // Even if every remaining round lands below, the bar is missed.
+        return static_cast<double>(below) / rounds;
+      }
+    }
+    return static_cast<double>(below) / rounds;
+  }
+
+  void recurse(std::span<const double> v, std::size_t offset) {
+    if (v.size() < 2 * opt.min_segment) return;
+    const double conf = confidence_of(v);
+    if (conf < opt.confidence) return;
+    const double m = mean(v);
+    const std::size_t ext = cusum_extremum(v, m);
+    const std::size_t split = ext + 1;  // first index of the new level
+    if (split < opt.min_segment || v.size() - split < opt.min_segment) return;
+    found.push_back(offset + split);
+    recurse(v.subspan(0, split), offset);
+    recurse(v.subspan(split), offset + split);
+  }
+};
+
+}  // namespace
+
+std::vector<double> cusum_path(std::span<const double> v) {
+  const double m = mean(v);
+  std::vector<double> path;
+  path.reserve(v.size() + 1);
+  double s = 0;
+  path.push_back(0);
+  for (double x : v) {
+    if (std::isfinite(x) && !std::isnan(m)) s += x - m;
+    path.push_back(s);
+  }
+  return path;
+}
+
+double change_confidence(std::span<const double> v, int rounds, Rng& rng) {
+  const double m = mean(v);
+  if (std::isnan(m)) return 0.0;
+  const double observed = cusum_range(v, m);
+  if (observed <= 0) return 0.0;
+  std::vector<double> shuffled(v.begin(), v.end());
+  int below = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    if (cusum_range(shuffled, m) < observed) ++below;
+  }
+  return static_cast<double>(below) / std::max(1, rounds);
+}
+
+std::vector<ChangePoint> detect_change_points(std::span<const double> v, const CusumOptions& opt) {
+  std::vector<double> work;
+  std::span<const double> input = v;
+  if (opt.use_ranks) {
+    work = ranks(v);
+    input = work;
+  }
+
+  Detector det{opt, Rng(opt.seed), {}};
+  det.recurse(input, 0);
+  std::sort(det.found.begin(), det.found.end());
+  det.found.erase(std::unique(det.found.begin(), det.found.end()), det.found.end());
+
+  // Levels are reported in the original units (not ranks): medians of the
+  // segments on each side of the split.
+  std::vector<ChangePoint> cps;
+  cps.reserve(det.found.size());
+  std::size_t prev = 0;
+  for (std::size_t k = 0; k < det.found.size(); ++k) {
+    const std::size_t idx = det.found[k];
+    const std::size_t next = (k + 1 < det.found.size()) ? det.found[k + 1] : v.size();
+    ChangePoint cp;
+    cp.index = idx;
+    // Re-estimate confidence on the local window for reporting purposes.
+    Rng rng(opt.seed ^ (idx * 0x9e3779b97f4a7c15ULL));
+    std::span<const double> window = input.subspan(prev, next - prev);
+    cp.confidence = change_confidence(window, opt.bootstrap_rounds, rng);
+    cp.level_before = median(v.subspan(prev, idx - prev));
+    cp.level_after = median(v.subspan(idx, next - idx));
+    cps.push_back(cp);
+    prev = idx;
+  }
+  return cps;
+}
+
+std::vector<Segment> to_segments(std::span<const double> v, const std::vector<ChangePoint>& cps) {
+  std::vector<Segment> segs;
+  std::size_t begin = 0;
+  for (const auto& cp : cps) {
+    if (cp.index <= begin || cp.index > v.size()) continue;
+    segs.push_back({begin, cp.index, median(v.subspan(begin, cp.index - begin))});
+    begin = cp.index;
+  }
+  if (begin < v.size()) {
+    segs.push_back({begin, v.size(), median(v.subspan(begin))});
+  }
+  return segs;
+}
+
+}  // namespace ixp::stats

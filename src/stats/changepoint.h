@@ -1,0 +1,64 @@
+// Change-point analysis after W. A. Taylor ("Change-Point Analysis: A
+// Powerful New Tool for Detecting Changes"), the method the paper cites
+// [40] for its level-shift algorithm.
+//
+// Detection works on the CUSUM of deviations from the series mean: a change
+// in the *direction* of the CUSUM marks a candidate change point, and a
+// bootstrap (random reorderings of the series) estimates the confidence
+// that the observed CUSUM range could not have arisen by chance.  Confident
+// change points split the series and the procedure recurses on each half.
+//
+// The paper's level-shift detector runs this on *ranks* of the RTT samples
+// (rank-based non-parametric CUSUM), which CusumOptions::use_ranks enables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ixp::stats {
+
+struct CusumOptions {
+  /// Apply the rank transform before the CUSUM (the paper's configuration).
+  bool use_ranks = true;
+  /// Bootstrap reorderings per candidate change point.
+  int bootstrap_rounds = 200;
+  /// Required bootstrap confidence to accept a change point.
+  double confidence = 0.95;
+  /// Minimum samples on each side of an accepted change point.
+  std::size_t min_segment = 6;
+  /// Seed for the bootstrap shuffles (deterministic analysis).
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+struct ChangePoint {
+  std::size_t index;      ///< first sample of the new level
+  double confidence;      ///< bootstrap confidence in [0, 1]
+  double level_before;    ///< median of the segment ending at index-1
+  double level_after;     ///< median of the segment starting at index
+};
+
+/// A maximal run of samples between consecutive change points.
+struct Segment {
+  std::size_t begin;  ///< inclusive
+  std::size_t end;    ///< exclusive
+  double level;       ///< median of the finite samples inside
+};
+
+/// CUSUM S_i of deviations from the mean; S_0 = 0, size = v.size() + 1.
+/// NaN samples contribute zero deviation (they neither raise nor lower).
+std::vector<double> cusum_path(std::span<const double> v);
+
+/// Bootstrap confidence that `v` contains a change point (Taylor's
+/// Sdiff-based estimator).  Returns a value in [0, 1].
+double change_confidence(std::span<const double> v, int rounds, Rng& rng);
+
+/// Full recursive change-point detection.
+std::vector<ChangePoint> detect_change_points(std::span<const double> v, const CusumOptions& opt = {});
+
+/// Converts change points into level segments covering [0, n).
+std::vector<Segment> to_segments(std::span<const double> v, const std::vector<ChangePoint>& cps);
+
+}  // namespace ixp::stats

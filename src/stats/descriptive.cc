@@ -1,0 +1,97 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ixp::stats {
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<double> drop_nan(std::span<const double> v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (double x : v) {
+    if (std::isfinite(x)) out.push_back(x);
+  }
+  return out;
+}
+
+std::size_t finite_count(std::span<const double> v) {
+  std::size_t n = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) ++n;
+  }
+  return n;
+}
+
+double mean(std::span<const double> v) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+double stddev(std::span<const double> v) {
+  const double m = mean(v);
+  if (std::isnan(m)) return kNaN;
+  double ss = 0;
+  std::size_t n = 0;
+  for (double x : v) {
+    if (std::isfinite(x)) {
+      ss += (x - m) * (x - m);
+      ++n;
+    }
+  }
+  if (n < 2) return kNaN;
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double quantile(std::span<const double> v, double q) {
+  auto clean = drop_nan(v);
+  if (clean.empty()) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(clean.begin(), clean.end());
+  const double pos = q * static_cast<double>(clean.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, clean.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return clean[lo] * (1.0 - frac) + clean[hi] * frac;
+}
+
+double median(std::span<const double> v) { return quantile(v, 0.5); }
+
+double mad(std::span<const double> v) {
+  const double med = median(v);
+  if (std::isnan(med)) return kNaN;
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) {
+    if (std::isfinite(x)) dev.push_back(std::fabs(x - med));
+  }
+  return 1.4826 * median(dev);
+}
+
+double min_value(std::span<const double> v) {
+  double best = kNaN;
+  for (double x : v) {
+    if (std::isfinite(x) && (std::isnan(best) || x < best)) best = x;
+  }
+  return best;
+}
+
+double max_value(std::span<const double> v) {
+  double best = kNaN;
+  for (double x : v) {
+    if (std::isfinite(x) && (std::isnan(best) || x > best)) best = x;
+  }
+  return best;
+}
+
+}  // namespace ixp::stats

@@ -1,0 +1,39 @@
+// Descriptive statistics over double sequences.
+//
+// NaN entries (missing RTT samples -- probe losses) are skipped by every
+// function here, matching how the analysis pipeline treats unanswered
+// probes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ixp::stats {
+
+/// Arithmetic mean of finite entries; NaN if none.
+double mean(std::span<const double> v);
+
+/// Sample standard deviation (n-1 denominator); NaN if fewer than 2 entries.
+double stddev(std::span<const double> v);
+
+/// Median of finite entries; NaN if none.
+double median(std::span<const double> v);
+
+/// Linear-interpolated quantile q in [0,1] of finite entries; NaN if none.
+double quantile(std::span<const double> v, double q);
+
+/// Median absolute deviation (scaled by 1.4826 to be sigma-consistent).
+double mad(std::span<const double> v);
+
+/// Minimum / maximum of finite entries; NaN if none.
+double min_value(std::span<const double> v);
+double max_value(std::span<const double> v);
+
+/// Count of finite (non-NaN) entries.
+std::size_t finite_count(std::span<const double> v);
+
+/// Copy with NaN entries removed.
+std::vector<double> drop_nan(std::span<const double> v);
+
+}  // namespace ixp::stats

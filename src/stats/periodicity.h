@@ -1,0 +1,42 @@
+// Periodicity analysis: autocorrelation and diurnal-pattern scoring.
+//
+// The paper labels a link "congested" only when the far-side RTT level
+// shifts recur with a *diurnal* pattern.  DiurnalScore quantifies that:
+// the autocorrelation of the (NaN-tolerant, mean-removed) series at the
+// one-day lag, plus the fraction of days containing an elevated period.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ixp::stats {
+
+/// Autocorrelation at a single lag; NaN pairs are skipped.  Returns NaN if
+/// fewer than 8 valid pairs exist or the series has no variance.
+double autocorrelation(std::span<const double> v, std::size_t lag);
+
+/// Autocorrelation for lags 0..max_lag inclusive.
+std::vector<double> acf(std::span<const double> v, std::size_t max_lag);
+
+struct DiurnalScore {
+  double acf_day = 0.0;        ///< autocorrelation at the 1-day lag
+  double elevated_day_frac = 0.0;  ///< fraction of days with an elevated period
+  int elevated_days = 0;       ///< absolute number of such days
+  bool recurring = false;      ///< final verdict given the options below
+};
+
+struct DiurnalOptions {
+  std::size_t samples_per_day = 288;  ///< 5-minute cadence
+  double acf_threshold = 0.2;         ///< minimum day-lag autocorrelation
+  double elevation_ms = 5.0;          ///< a day counts as elevated if its
+                                      ///< p90 exceeds its p10 by this much
+  double min_day_frac = 0.25;         ///< fraction of days that must recur
+  int min_days = 3;                   ///< and at least this many days
+};
+
+/// Scores how diurnal the series is.  `v` is sampled uniformly, one entry
+/// per probing round, possibly containing NaN gaps.
+DiurnalScore diurnal_score(std::span<const double> v, const DiurnalOptions& opt = {});
+
+}  // namespace ixp::stats

@@ -1,0 +1,25 @@
+// Rank transforms.
+//
+// The paper's level-shift detector is a *rank-based* non-parametric CUSUM
+// (Taylor's change-point analysis on ranks): ranking the samples first makes
+// the detector robust to the heavy-tailed RTT outliers that ICMP slow-path
+// responses produce.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ixp::stats {
+
+/// Fractional (mid) ranks, 1-based, ties averaged.  NaN entries receive
+/// rank NaN and do not consume rank mass.
+std::vector<double> ranks(std::span<const double> v);
+
+/// Mann-Whitney U statistic of `a` against `b` (NaNs skipped).
+double mann_whitney_u(std::span<const double> a, std::span<const double> b);
+
+/// Two-sided normal-approximation p-value for the Mann-Whitney U test.
+/// Suitable for the segment sizes the TSLP pipeline feeds it (>= ~10).
+double mann_whitney_pvalue(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ixp::stats

@@ -1,0 +1,39 @@
+// Civil-date helpers pinned to the paper's campaign.
+//
+// The measurement campaign ran 22/02/2016 (a Monday) to 27/03/2017.  The
+// simulator's epoch (t = 0) is 22/02/2016 00:00, which makes day-of-week
+// arithmetic in util/time.h line up with the real calendar: day 0 is a
+// Monday.  date() converts a dd/mm/yyyy from the paper into a campaign
+// TimePoint so scenario timelines can quote the paper's dates verbatim.
+#pragma once
+
+#include "util/time.h"
+
+namespace ixp::topo {
+
+/// Days from the civil epoch 1970-01-01 (Howard Hinnant's algorithm).
+constexpr std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+                       static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<std::int64_t>(era) * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Campaign epoch: 22 February 2016 (Monday).
+inline constexpr std::int64_t kEpochCivilDays = days_from_civil(2016, 2, 22);
+
+/// Campaign time for a calendar date (00:00 local).
+constexpr TimePoint date(int day, int month, int year) {
+  return TimePoint(kDay * (days_from_civil(year, month, day) - kEpochCivilDays));
+}
+
+/// Campaign end used throughout the paper: 27/03/2017.
+inline constexpr TimePoint kCampaignEnd = date(27, 3, 2017);
+
+static_assert(date(22, 2, 2016).ns() == 0, "epoch must be 22/02/2016");
+static_assert((date(23, 2, 2016) - date(22, 2, 2016)) == kDay, "day arithmetic");
+
+}  // namespace ixp::topo

@@ -1,0 +1,75 @@
+// Topology entities: autonomous systems, IXPs, and ground-truth links.
+//
+// These are the *metadata* layer on top of the packet simulator: who owns
+// which router, which prefixes an AS originates, where each IXP's peering
+// LAN lives.  The bdrmap-lite and TSLP pipelines must rediscover this
+// information from probing alone; tests score them against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/time.h"
+
+namespace ixp::topo {
+
+using Asn = std::uint32_t;
+
+enum class AsType {
+  kIxpContent,   ///< IXP's own content/management network
+  kIxpPeeringLan,///< the IXP peering LAN "AS" (route-server / LAN prefix)
+  kAccessIsp,    ///< eyeball ISP
+  kTransit,      ///< regional or intercontinental transit provider
+  kContent,      ///< content/CDN network
+  kEducation,    ///< research & education
+  kMobile,       ///< mobile operator
+};
+
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  std::string org;       ///< organisation (drives sibling inference)
+  std::string country;   ///< ISO-3166-ish code, e.g. "GH"
+  AsType type = AsType::kAccessIsp;
+  std::vector<net::Ipv4Prefix> prefixes;  ///< originated prefixes
+};
+
+struct IxpInfo {
+  std::string name;          ///< e.g. "GIXA"
+  std::string long_name;     ///< e.g. "Ghana Internet eXchange Association"
+  std::string country;
+  std::string city;
+  std::string sub_region;    ///< "West Africa", ...
+  Asn ixp_asn = 0;           ///< the AS the IXP itself operates
+  int launch_year = 0;
+  net::Ipv4Prefix peering_prefix;     ///< the shared peering LAN
+  net::Ipv4Prefix management_prefix;  ///< IXP management/content prefix
+};
+
+/// AS-level business relationship (Gao-Rexford model).
+enum class Relationship {
+  kCustomerToProvider,  ///< first AS buys transit from the second
+  kPeerToPeer,
+  kSibling,
+};
+
+struct AsLink {
+  Asn a = 0;
+  Asn b = 0;
+  Relationship rel = Relationship::kPeerToPeer;  ///< meaning: a REL b
+};
+
+/// Ground truth for one router-level interdomain link of a VP's AS.
+struct InterdomainLinkTruth {
+  net::Ipv4Address near_ip;  ///< VP-AS side
+  net::Ipv4Address far_ip;   ///< neighbor side
+  Asn near_asn = 0;
+  Asn far_asn = 0;
+  int link_id = -1;          ///< simulator link
+  bool at_ixp = false;       ///< either address inside an IXP prefix
+  std::string ixp_name;      ///< which IXP, when at_ixp
+};
+
+}  // namespace ixp::topo

@@ -1,0 +1,152 @@
+// Topology builder: constructs a simulated internetwork plus the metadata
+// layer (AS ownership, IXP membership, originated prefixes, ground truth).
+//
+// The builder places one or more routers per AS, wires IXP peering LANs as
+// L2 switch fabrics with per-member port capacities, allocates addresses
+// from AfriNIC-style pools, and records ground-truth interdomain links that
+// the bdrmap-lite inference is later scored against.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+#include "topo/entities.h"
+
+namespace ixp::topo {
+
+/// Hands out subnets and host addresses from fixed pools, deterministically.
+class AddressAllocator {
+ public:
+  /// Next /22 for an AS from the AfriNIC-style pool.
+  net::Ipv4Prefix next_as_block();
+  /// Next /30 point-to-point subnet.
+  net::Ipv4Prefix next_ptp_subnet();
+  /// Next host address inside an IXP peering LAN.
+  net::Ipv4Address next_lan_address(const net::Ipv4Prefix& lan);
+
+ private:
+  std::uint32_t as_block_index_ = 0;
+  std::uint32_t ptp_index_ = 0;
+  std::unordered_map<net::Ipv4Prefix, std::uint64_t> lan_next_;
+};
+
+/// Per-member IXP port provisioning.
+struct PortConfig {
+  double capacity_bps = 1e9;
+  double buffer_bytes = 1e6;
+  Duration prop_delay = milliseconds(0.15);
+  sim::TrafficProfilePtr egress_cross;   ///< member -> fabric (uploads)
+  sim::TrafficProfilePtr ingress_cross;  ///< fabric -> member (downloads)
+  double base_loss = 0.0;                ///< floor loss probability
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  // ---- Entities -----------------------------------------------------------
+
+  AsInfo& add_as(AsInfo info);
+  [[nodiscard]] const AsInfo* find_as(Asn asn) const;
+  AsInfo* find_as(Asn asn);
+
+  IxpInfo& add_ixp(IxpInfo info);
+  [[nodiscard]] const IxpInfo* find_ixp(const std::string& name) const;
+
+  /// Adds a router owned by `asn`.  `tag` distinguishes multiple routers.
+  sim::NodeId add_router(Asn asn, const std::string& tag, sim::RouterConfig cfg = {});
+
+  /// Adds a host inside `asn`, addressed at `addr`, gatewayed at `router`.
+  sim::NodeId add_host(Asn asn, const std::string& tag, net::Ipv4Address addr,
+                       sim::NodeId router, const net::Ipv4Prefix& subnet);
+
+  /// Declares that `asn` originates `prefix` from `router` (FIB target is
+  /// the router itself; probes toward the prefix expire there or reach an
+  /// attached host).
+  void announce(Asn asn, const net::Ipv4Prefix& prefix, sim::NodeId router);
+
+  /// Records an AS-level relationship (drives Gao-Rexford routing).
+  void add_as_relationship(Asn a, Asn b, Relationship rel);
+
+  // ---- Wiring -------------------------------------------------------------
+
+  /// Creates (or returns) the L2 fabric node for an IXP.
+  sim::NodeId ixp_fabric(const std::string& ixp_name);
+
+  /// Connects `router` to the IXP fabric, assigning it a peering-LAN
+  /// address.  Returns the port link id; the LAN address is stored in
+  /// `lan_addr_out` if non-null.
+  int attach_to_ixp(sim::NodeId router, const std::string& ixp_name, const PortConfig& port,
+                    net::Ipv4Address* lan_addr_out = nullptr);
+
+  /// Point-to-point interconnect between two routers on a fresh /30.  The
+  /// subnet is registered as numbered from `a`'s address space (the RIR
+  /// delegation record points at `a`'s AS), as providers usually number
+  /// interconnects.
+  int connect_routers(sim::NodeId a, sim::NodeId b, const sim::LinkConfig& cfg);
+
+  /// Infrastructure subnets (point-to-point /30s) and the AS they are
+  /// delegated to; feeds the synthetic RIR delegation files.
+  [[nodiscard]] const std::vector<std::pair<net::Ipv4Prefix, Asn>>& infra_delegations() const {
+    return infra_delegations_;
+  }
+
+  // ---- Ground truth & lookups ----------------------------------------------
+
+  /// Recomputes the interdomain ground-truth table for `vp_asn`: every
+  /// router-level link (up at time `t`) between a router of vp_asn and a
+  /// router of another AS, including LAN adjacencies across IXP fabrics.
+  std::vector<InterdomainLinkTruth> interdomain_links_of(Asn vp_asn) const;
+
+  /// AS owning `addr` per ground truth (router interfaces and announced
+  /// prefixes); 0 if unknown.
+  [[nodiscard]] Asn owner_asn(net::Ipv4Address addr) const;
+
+  /// True if `addr` is inside any IXP peering or management prefix.
+  [[nodiscard]] const IxpInfo* ixp_containing(net::Ipv4Address addr) const;
+
+  [[nodiscard]] const std::vector<AsLink>& as_links() const { return as_links_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, IxpInfo>>& ixps() const { return ixps_; }
+  [[nodiscard]] const std::unordered_map<Asn, AsInfo>& ases() const { return ases_; }
+  struct Announcement {
+    net::Ipv4Prefix prefix;
+    Asn asn = 0;
+    sim::NodeId router = sim::kInvalidNode;  ///< router that originates it
+  };
+  [[nodiscard]] const std::vector<Announcement>& announcements() const { return announcements_; }
+  [[nodiscard]] const std::vector<sim::NodeId>& routers_of(Asn asn) const;
+  [[nodiscard]] Asn router_owner(sim::NodeId node) const;
+  [[nodiscard]] std::optional<net::Ipv4Address> lan_address_of(sim::NodeId router,
+                                                               const std::string& ixp) const;
+
+  /// Participants of an IXP LAN: (LAN address, owner ASN) for every member
+  /// whose port is up.  This is what PCH's ip_asn_mapping publishes.
+  [[nodiscard]] std::vector<std::pair<net::Ipv4Address, Asn>> lan_participants(
+      const std::string& ixp) const;
+
+  sim::Network& net() { return net_; }
+  const sim::Network& net() const { return net_; }
+  AddressAllocator& allocator() { return alloc_; }
+
+ private:
+  sim::Network net_;
+  AddressAllocator alloc_;
+  std::unordered_map<Asn, AsInfo> ases_;
+  std::vector<AsLink> as_links_;
+  std::vector<std::pair<std::string, IxpInfo>> ixps_;  // ordered
+  std::unordered_map<std::string, sim::NodeId> fabric_;
+  std::unordered_map<Asn, std::vector<sim::NodeId>> as_routers_;
+  std::unordered_map<sim::NodeId, Asn> router_owner_;
+  std::vector<Announcement> announcements_;
+  std::vector<std::pair<net::Ipv4Prefix, Asn>> infra_delegations_;
+  // (router, ixp) -> LAN address, plus per-fabric membership list.
+  std::unordered_map<std::string, std::vector<std::pair<sim::NodeId, net::Ipv4Address>>> lan_members_;
+  std::unordered_map<sim::NodeId, std::unordered_map<std::string, net::Ipv4Address>> lan_addr_;
+  std::unordered_map<sim::NodeId, std::unordered_map<std::string, int>> port_link_;
+};
+
+}  // namespace ixp::topo

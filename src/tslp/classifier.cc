@@ -1,0 +1,97 @@
+#include "tslp/classifier.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace ixp::tslp {
+
+CongestionClassifier::CongestionClassifier(ClassifierOptions opts) : opts_(opts) {}
+
+namespace {
+
+// p95 elevation over baseline, split by weekday/weekend.
+void weekday_weekend_peaks(const RttSeries& s, double baseline, double& weekday, double& weekend) {
+  std::vector<double> wd, we;
+  wd.reserve(s.ms.size());
+  we.reserve(s.ms.size() / 3);
+  for (std::size_t i = 0; i < s.ms.size(); ++i) {
+    const double v = s.ms[i];
+    if (std::isnan(v)) continue;
+    const CalendarTime c = to_calendar(s.time_of(i));
+    (c.is_weekend ? we : wd).push_back(v);
+  }
+  const double wdp = stats::quantile(wd, 0.95);
+  const double wep = stats::quantile(we, 0.95);
+  weekday = std::isnan(wdp) ? 0.0 : std::max(0.0, wdp - baseline);
+  weekend = std::isnan(wep) ? 0.0 : std::max(0.0, wep - baseline);
+}
+
+}  // namespace
+
+LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
+  LinkReport report;
+  report.key = link.key;
+
+  LevelShiftDetector far_detector(opts_.level_shift);
+  report.far_shifts = far_detector.detect(link.far_rtt);
+
+  LevelShiftOptions near_opts = opts_.level_shift;
+  near_opts.threshold_ms = opts_.near_threshold_ms;
+  LevelShiftDetector near_detector(near_opts);
+  report.near_shifts = near_detector.detect(link.near_rtt);
+  report.near_clean = !report.near_shifts.any();
+
+  if (!report.far_shifts.any()) {
+    report.verdict = Verdict::kNotCongested;
+    return report;
+  }
+
+  stats::DiurnalOptions dopt = opts_.diurnal;
+  dopt.samples_per_day = static_cast<std::size_t>(kDay.count() / link.far_rtt.interval.count());
+  // Diurnality is judged over the episodes' active span (with margin), not
+  // the whole campaign: congestion that was mitigated after two months is
+  // still "recurring diurnal" within those months (QCELL-NETPAGE).
+  {
+    const auto& eps = report.far_shifts.episodes;
+    const std::size_t margin = 3 * dopt.samples_per_day;
+    const std::size_t lo = eps.front().begin > margin ? eps.front().begin - margin : 0;
+    const std::size_t hi = std::min(link.far_rtt.ms.size(), eps.back().end + margin);
+    const std::span<const double> active(link.far_rtt.ms.data() + lo, hi - lo);
+    report.diurnal = stats::diurnal_score(active, dopt);
+  }
+
+  if (!report.diurnal.recurring) {
+    report.verdict = Verdict::kPotentiallyCongested;
+  } else if (report.near_clean) {
+    report.verdict = Verdict::kCongested;
+  } else {
+    report.verdict = Verdict::kInconclusive;
+  }
+
+  // Waveform characteristics.
+  report.waveform.a_w_ms = report.far_shifts.average_magnitude();
+  report.waveform.dt_ud = report.far_shifts.average_duration(link.far_rtt.interval);
+  report.waveform.period = report.far_shifts.average_period(link.far_rtt.interval);
+  weekday_weekend_peaks(link.far_rtt, report.far_shifts.baseline_ms, report.waveform.weekday_peak_ms,
+                        report.waveform.weekend_peak_ms);
+
+  // Sustained vs transient: does the pattern persist to the campaign end?
+  if (report.verdict == Verdict::kCongested || report.verdict == Verdict::kInconclusive) {
+    const auto& eps = report.far_shifts.episodes;
+    const std::size_t margin_samples = static_cast<std::size_t>(
+        opts_.sustain_margin.count() / link.far_rtt.interval.count());
+    const std::size_t last_end = eps.empty() ? 0 : eps.back().end;
+    // Also treat a far series that stops answering (link shut down, as for
+    // GIXA-GHANATEL phase 2's end) as "sustained until the link vanished":
+    // find the last answered sample.
+    std::size_t last_answered = link.far_rtt.ms.size();
+    while (last_answered > 0 && std::isnan(link.far_rtt.ms[last_answered - 1])) --last_answered;
+    const std::size_t effective_end = std::min(link.far_rtt.ms.size(), last_answered);
+    report.persistence = (last_end + margin_samples >= effective_end) ? Persistence::kSustained
+                                                                      : Persistence::kTransient;
+  }
+  return report;
+}
+
+}  // namespace ixp::tslp

@@ -1,0 +1,87 @@
+// Congestion classification of a monitored interdomain link (§5.2/§6).
+//
+// The paper's decision procedure:
+//   * level shifts >= threshold on the far side           -> "potentially
+//     congested";
+//   * plus a recurring diurnal pattern                    -> candidate;
+//   * plus a clean near side (no level shifts there)      -> "congested";
+//     a diurnal far side with an ambiguous near side      -> inconclusive,
+//     tagged for further analysis;
+//   * congestion that is later mitigated (the pattern disappears well
+//     before the campaign ends) is *transient*, otherwise *sustained*.
+//
+// The classifier also computes the waveform characteristics reported in
+// the case studies: A_w (average shift magnitude), dt_UD (average up-down
+// duration), periodicity, and weekday/weekend amplitude split.
+#pragma once
+
+#include <string>
+
+#include "stats/periodicity.h"
+#include "tslp/level_shift.h"
+#include "tslp/series.h"
+
+namespace ixp::tslp {
+
+enum class Verdict {
+  kNotCongested,
+  kPotentiallyCongested,  ///< far-side shifts, no recurring diurnal pattern
+  kInconclusive,          ///< far diurnal but near side unclear
+  kCongested,             ///< far diurnal + clean near side
+};
+
+enum class Persistence {
+  kNone,
+  kTransient,  ///< pattern disappeared before the campaign end
+  kSustained,  ///< pattern continued to the end of the measurements
+};
+
+struct WaveformStats {
+  double a_w_ms = 0.0;            ///< average level-shift magnitude
+  Duration dt_ud{};               ///< average up-to-down duration
+  Duration period{};              ///< average spacing of episode starts
+  double weekday_peak_ms = 0.0;   ///< p95 far RTT above baseline, weekdays
+  double weekend_peak_ms = 0.0;   ///< p95 far RTT above baseline, weekends
+};
+
+struct ClassifierOptions {
+  LevelShiftOptions level_shift;
+  stats::DiurnalOptions diurnal;
+  /// Near side is "clean" when it has no episode at this (stricter)
+  /// threshold.
+  double near_threshold_ms = 5.0;
+  /// Pattern must be absent for this long before the campaign end to call
+  /// the congestion transient.
+  Duration sustain_margin = kDay * 14;
+};
+
+struct LinkReport {
+  std::string key;
+  Verdict verdict = Verdict::kNotCongested;
+  Persistence persistence = Persistence::kNone;
+  LevelShiftResult far_shifts;
+  LevelShiftResult near_shifts;
+  stats::DiurnalScore diurnal;
+  WaveformStats waveform;
+  bool near_clean = true;
+
+  [[nodiscard]] bool potentially_congested() const {
+    return verdict != Verdict::kNotCongested;
+  }
+  [[nodiscard]] bool congested() const { return verdict == Verdict::kCongested; }
+  [[nodiscard]] bool has_diurnal_pattern() const { return diurnal.recurring; }
+};
+
+class CongestionClassifier {
+ public:
+  explicit CongestionClassifier(ClassifierOptions opts = {});
+
+  [[nodiscard]] LinkReport classify(const LinkSeries& link) const;
+
+  [[nodiscard]] const ClassifierOptions& options() const { return opts_; }
+
+ private:
+  ClassifierOptions opts_;
+};
+
+}  // namespace ixp::tslp

@@ -1,0 +1,140 @@
+#include "tslp/level_shift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/ranks.h"
+
+namespace ixp::tslp {
+
+double LevelShiftResult::average_magnitude() const {
+  if (episodes.empty()) return kMissing;
+  double sum = 0;
+  for (const auto& e : episodes) sum += e.magnitude_ms;
+  return sum / static_cast<double>(episodes.size());
+}
+
+Duration LevelShiftResult::average_duration(Duration interval) const {
+  if (episodes.empty()) return Duration(0);
+  std::int64_t total = 0;
+  for (const auto& e : episodes) total += static_cast<std::int64_t>(e.samples());
+  return interval * (total / static_cast<std::int64_t>(episodes.size()));
+}
+
+Duration LevelShiftResult::average_period(Duration interval) const {
+  if (episodes.size() < 2) return Duration(0);
+  const std::int64_t span = static_cast<std::int64_t>(episodes.back().begin - episodes.front().begin);
+  return interval * (span / static_cast<std::int64_t>(episodes.size() - 1));
+}
+
+LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
+  LevelShiftResult out;
+  const auto& v = series.ms;
+  if (v.empty()) return out;
+
+  // Baseline: the 10th percentile of the whole series is a robust estimate
+  // of the uncongested RTT floor.
+  out.baseline_ms = stats::quantile(v, 0.10);
+  if (std::isnan(out.baseline_ms)) return out;
+
+  // Change-point analysis over 50%-overlapping windows; change points are
+  // global indices.  The overlap matters: a shift that happens to land
+  // exactly on a window boundary is flat inside both adjacent windows (and
+  // the quiet-window fast path would skip them), but it sits mid-window in
+  // the offset pass.
+  const std::size_t win = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts_.window.count() / series.interval.count()));
+  std::vector<std::size_t> cps;
+  for (std::size_t begin = 0; begin < v.size(); begin += win / 2) {
+    const std::size_t end = std::min(begin + win, v.size());
+    const std::span<const double> chunk(v.data() + begin, end - begin);
+    if (opts_.skip_quiet_windows) {
+      const double hi = stats::quantile(chunk, 0.95);
+      const double lo = stats::quantile(chunk, 0.05);
+      if (!(hi - lo >= opts_.threshold_ms / 2.0)) continue;
+    }
+    stats::CusumOptions copt = opts_.cusum;
+    copt.seed ^= begin * 0x9e3779b97f4a7c15ULL;  // distinct bootstrap streams
+    for (const auto& cp : stats::detect_change_points(chunk, copt)) {
+      cps.push_back(begin + cp.index);
+    }
+    // Window boundaries are implicit change points so segment levels never
+    // average across windows.
+    if (end < v.size()) cps.push_back(end);
+  }
+  std::sort(cps.begin(), cps.end());
+  cps.erase(std::unique(cps.begin(), cps.end()), cps.end());
+
+  // Build segments over the whole series.
+  std::vector<stats::ChangePoint> cp_structs;
+  cp_structs.reserve(cps.size());
+  for (const std::size_t idx : cps) {
+    stats::ChangePoint cp;
+    cp.index = idx;
+    cp.confidence = 1.0;
+    cp_structs.push_back(cp);
+  }
+  out.segments = stats::to_segments(v, cp_structs);
+
+  // Elevated segments -> raw episodes.
+  std::vector<Episode> raw;
+  for (const auto& seg : out.segments) {
+    if (std::isnan(seg.level)) continue;
+    if (seg.level - out.baseline_ms >= opts_.threshold_ms) {
+      raw.push_back({seg.begin, seg.end, seg.level - out.baseline_ms});
+    }
+  }
+
+  // Sanitize: merge episodes separated by gaps <= merge_gap.
+  const std::size_t gap_samples = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts_.merge_gap.count() / series.interval.count()));
+  std::vector<Episode> merged;
+  for (const auto& e : raw) {
+    if (!merged.empty() && e.begin <= merged.back().end + gap_samples) {
+      Episode& prev = merged.back();
+      // Weighted-average the magnitude over the merged span.
+      const double w1 = static_cast<double>(prev.samples());
+      const double w2 = static_cast<double>(e.samples());
+      prev.magnitude_ms = (prev.magnitude_ms * w1 + e.magnitude_ms * w2) / (w1 + w2);
+      prev.end = e.end;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  // Duration filter.
+  const std::size_t min_samples = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts_.min_duration.count() / series.interval.count()));
+  for (const auto& e : merged) {
+    if (e.samples() >= min_samples) out.episodes.push_back(e);
+  }
+
+  // Statistical significance: each surviving episode against a baseline
+  // sample drawn from the non-elevated segments (capped for cost).
+  if (!out.episodes.empty()) {
+    std::vector<double> baseline_samples;
+    baseline_samples.reserve(2048);
+    for (const auto& seg : out.segments) {
+      if (std::isnan(seg.level) || seg.level - out.baseline_ms >= opts_.threshold_ms) continue;
+      const std::size_t step = std::max<std::size_t>(1, (seg.end - seg.begin) / 64);
+      for (std::size_t i = seg.begin; i < seg.end && baseline_samples.size() < 2048; i += step) {
+        if (std::isfinite(v[i])) baseline_samples.push_back(v[i]);
+      }
+    }
+    for (auto& e : out.episodes) {
+      if (baseline_samples.size() < 8) break;
+      const std::size_t n = std::min<std::size_t>(e.samples(), 512);
+      std::vector<double> ep;
+      ep.reserve(n);
+      const std::size_t step = std::max<std::size_t>(1, e.samples() / n);
+      for (std::size_t i = e.begin; i < e.end; i += step) {
+        if (std::isfinite(v[i])) ep.push_back(v[i]);
+      }
+      if (ep.size() >= 8) e.p_value = stats::mann_whitney_pvalue(ep, baseline_samples);
+    }
+  }
+  return out;
+}
+
+}  // namespace ixp::tslp

@@ -1,0 +1,75 @@
+// Level-shift detection on RTT series -- the paper's §5.2 algorithm.
+//
+// The detector runs the rank-based non-parametric CUSUM change-point test
+// (stats/changepoint.h, after Taylor [40]) over windows of the series,
+// converts accepted change points into level segments, and extracts
+// *elevated episodes*: maximal runs where the level sits at least
+// `threshold_ms` above the series baseline for at least `min_duration`
+// (paper values: 10 ms and 30 minutes at a 5-minute cadence).
+//
+// Episode magnitude corresponds to the filled router buffer, which is the
+// A_w the paper reports; episode duration is the up-to-down width dt_UD.
+// sanitize() merges episodes split by brief dips, matching the paper's
+// "level shifts sanitization" step before computing dt_UD.
+#pragma once
+
+#include <vector>
+
+#include "stats/changepoint.h"
+#include "tslp/series.h"
+
+namespace ixp::tslp {
+
+struct LevelShiftOptions {
+  double threshold_ms = 10.0;        ///< minimum magnitude to label a shift
+  Duration min_duration = kMinute * 30;
+  Duration window = kDay;            ///< change-point analysis window
+  stats::CusumOptions cusum;         ///< rank-based by default
+  /// Windows whose p95-p05 spread is below threshold/2 cannot contain a
+  /// qualifying shift and are skipped (big speedup on quiet links).
+  bool skip_quiet_windows = true;
+  /// Merge episodes separated by gaps up to this long (sanitization).
+  Duration merge_gap = kMinute * 30;
+};
+
+/// One elevated episode: [begin, end) sample indices.
+struct Episode {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double magnitude_ms = 0.0;  ///< elevated level minus baseline
+  /// Two-sided Mann-Whitney p-value of the episode's samples against the
+  /// series' baseline samples; ~0 for genuine level shifts.
+  double p_value = 1.0;
+
+  [[nodiscard]] std::size_t samples() const { return end - begin; }
+  [[nodiscard]] bool significant(double alpha = 0.01) const { return p_value < alpha; }
+};
+
+struct LevelShiftResult {
+  double baseline_ms = 0.0;           ///< robust base RTT level
+  std::vector<stats::Segment> segments;
+  std::vector<Episode> episodes;      ///< sanitized, duration-filtered
+
+  [[nodiscard]] bool any() const { return !episodes.empty(); }
+  /// Average episode magnitude (the paper's A_w); NaN if no episodes.
+  [[nodiscard]] double average_magnitude() const;
+  /// Average episode duration (the paper's dt_UD).
+  [[nodiscard]] Duration average_duration(Duration interval) const;
+  /// Average spacing between consecutive episode starts (periodicity).
+  [[nodiscard]] Duration average_period(Duration interval) const;
+};
+
+class LevelShiftDetector {
+ public:
+  explicit LevelShiftDetector(LevelShiftOptions opts = {}) : opts_(opts) {}
+
+  /// Runs the full pipeline on one series.
+  [[nodiscard]] LevelShiftResult detect(const RttSeries& series) const;
+
+  [[nodiscard]] const LevelShiftOptions& options() const { return opts_; }
+
+ private:
+  LevelShiftOptions opts_;
+};
+
+}  // namespace ixp::tslp

@@ -1,0 +1,57 @@
+#include "tslp/loss_analysis.h"
+
+#include <cmath>
+
+namespace ixp::tslp {
+
+LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
+                               const LevelShiftResult& shifts) {
+  LossCorrelation out;
+  double sum_in = 0, sum_out = 0;
+  std::vector<std::pair<bool, double>> points;
+  points.reserve(loss.batches.size());
+
+  for (const auto& batch : loss.batches) {
+    const std::size_t idx = rtt.index_of(batch.at);
+    bool inside = false;
+    for (const auto& e : shifts.episodes) {
+      if (idx >= e.begin && idx < e.end) {
+        inside = true;
+        break;
+      }
+    }
+    const double rate = batch.loss_rate();
+    points.emplace_back(inside, rate);
+    if (inside) {
+      sum_in += rate;
+      ++out.batches_in;
+    } else {
+      sum_out += rate;
+      ++out.batches_out;
+    }
+  }
+  if (out.batches_in) out.loss_in_episodes = sum_in / static_cast<double>(out.batches_in);
+  if (out.batches_out) out.loss_outside = sum_out / static_cast<double>(out.batches_out);
+
+  // Point-biserial correlation.
+  const double n = static_cast<double>(points.size());
+  if (n >= 4 && out.batches_in > 0 && out.batches_out > 0) {
+    const double mean = (sum_in + sum_out) / n;
+    double var = 0;
+    for (const auto& [inside, rate] : points) {
+      (void)inside;
+      var += (rate - mean) * (rate - mean);
+    }
+    const double sd = std::sqrt(var / n);
+    if (sd > 0) {
+      const double p = static_cast<double>(out.batches_in) / n;
+      out.correlation =
+          (out.loss_in_episodes - out.loss_outside) / sd * std::sqrt(p * (1.0 - p));
+    }
+  } else {
+    out.correlation = std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+}  // namespace ixp::tslp

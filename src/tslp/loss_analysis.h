@@ -1,0 +1,49 @@
+// Loss/congestion correlation analysis (§6.2's argument structure).
+//
+// The paper ties its congestion inferences to user impact through loss:
+// GIXA-GHANATEL's loss "confirms" the diurnal pattern (Fig. 2b) while
+// GIXA-KNET's 0.1 % average loss argues users were unaffected (Fig. 3b).
+// This module quantifies that relationship: for each loss batch, was the
+// link inside a detected congestion episode, and how do loss rates differ
+// inside vs outside?
+#pragma once
+
+#include <vector>
+
+#include "tslp/level_shift.h"
+#include "tslp/series.h"
+
+namespace ixp::tslp {
+
+struct LossCorrelation {
+  double loss_in_episodes = 0.0;    ///< mean batch loss while congested
+  double loss_outside = 0.0;        ///< mean batch loss otherwise
+  std::size_t batches_in = 0;
+  std::size_t batches_out = 0;
+  /// Point-biserial correlation between "inside an episode" and the batch
+  /// loss rate; NaN when undefined (no variance or too few batches).
+  double correlation = 0.0;
+
+  /// The paper's qualitative verdicts.
+  [[nodiscard]] bool loss_confirms_congestion() const {
+    return batches_in >= 3 && loss_in_episodes > 2.0 * loss_outside &&
+           loss_in_episodes > 0.01;
+  }
+  [[nodiscard]] bool users_likely_unaffected(double threshold = 0.005) const {
+    return average_loss() < threshold;
+  }
+  [[nodiscard]] double average_loss() const {
+    const auto n = batches_in + batches_out;
+    if (n == 0) return 0.0;
+    return (loss_in_episodes * static_cast<double>(batches_in) +
+            loss_outside * static_cast<double>(batches_out)) /
+           static_cast<double>(n);
+  }
+};
+
+/// Correlates a loss series against the episodes detected on the same
+/// link's far-RTT series.  `rtt` provides the time base for the episodes.
+LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
+                               const LevelShiftResult& shifts);
+
+}  // namespace ixp::tslp

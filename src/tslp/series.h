@@ -1,0 +1,101 @@
+// RTT time-series containers shared by the prober (producer) and the
+// congestion-inference pipeline (consumer).
+//
+// A series holds one sample per probing round; lost probes are NaN.  The
+// paper's cadence is one round per 5 minutes, so a year-long campaign is
+// ~113k samples per link side.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/time.h"
+
+namespace ixp::tslp {
+
+inline constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+/// Uniformly sampled series of RTT values in milliseconds.
+struct RttSeries {
+  TimePoint start;                 ///< time of sample 0
+  Duration interval = kMinute * 5; ///< spacing between samples
+  std::vector<double> ms;          ///< NaN = probe unanswered
+
+  [[nodiscard]] TimePoint time_of(std::size_t i) const {
+    return start + interval * static_cast<std::int64_t>(i);
+  }
+  [[nodiscard]] std::size_t index_of(TimePoint t) const {
+    const auto d = t - start;
+    if (d.count() < 0) return 0;
+    return static_cast<std::size_t>(d.count() / interval.count());
+  }
+  [[nodiscard]] std::size_t size() const { return ms.size(); }
+  [[nodiscard]] double loss_fraction() const {
+    if (ms.empty()) return 0.0;
+    std::size_t lost = 0;
+    for (double v : ms) {
+      if (std::isnan(v)) ++lost;
+    }
+    return static_cast<double>(lost) / static_cast<double>(ms.size());
+  }
+};
+
+/// Near+far measurement record for one monitored interdomain link.
+struct LinkSeries {
+  std::string key;            ///< "VPAS-NEIGHBOR" style label
+  net::Ipv4Address near_ip;
+  net::Ipv4Address far_ip;
+  std::uint32_t near_asn = 0;
+  std::uint32_t far_asn = 0;
+  bool at_ixp = false;
+  RttSeries near_rtt;
+  RttSeries far_rtt;
+};
+
+/// Restricts a series to [from, to): used by the case-study analyses that
+/// look at one phase of a longer campaign.
+inline RttSeries slice(const RttSeries& s, TimePoint from, TimePoint to) {
+  RttSeries out;
+  out.interval = s.interval;
+  const std::size_t b = std::min(s.index_of(from), s.ms.size());
+  const std::size_t e = std::min(s.index_of(to), s.ms.size());
+  out.start = s.time_of(b);
+  if (e > b) out.ms.assign(s.ms.begin() + static_cast<std::ptrdiff_t>(b),
+                           s.ms.begin() + static_cast<std::ptrdiff_t>(e));
+  return out;
+}
+
+inline LinkSeries slice(const LinkSeries& ls, TimePoint from, TimePoint to) {
+  LinkSeries out = ls;
+  out.near_rtt = slice(ls.near_rtt, from, to);
+  out.far_rtt = slice(ls.far_rtt, from, to);
+  return out;
+}
+
+/// One loss-rate batch: `sent` probes, `lost` unanswered.
+struct LossBatch {
+  TimePoint at;
+  int sent = 0;
+  int lost = 0;
+  [[nodiscard]] double loss_rate() const { return sent > 0 ? static_cast<double>(lost) / sent : 0.0; }
+};
+
+/// Loss-rate measurement toward one side of a link.
+struct LossSeries {
+  net::Ipv4Address target;
+  std::vector<LossBatch> batches;
+
+  [[nodiscard]] double average_loss() const {
+    std::int64_t sent = 0, lost = 0;
+    for (const auto& b : batches) {
+      sent += b.sent;
+      lost += b.lost;
+    }
+    return sent > 0 ? static_cast<double>(lost) / static_cast<double>(sent) : 0.0;
+  }
+};
+
+}  // namespace ixp::tslp

@@ -1,0 +1,104 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace ixp {
+namespace {
+
+struct Band {
+  double lo = std::numeric_limits<double>::quiet_NaN();
+  double hi = std::numeric_limits<double>::quiet_NaN();
+  bool valid() const { return !std::isnan(lo); }
+};
+
+// Collapses a series to `width` columns, keeping per-column min and max so
+// that spikes narrower than one column still render.
+std::vector<Band> downsample(const std::vector<double>& v, int width) {
+  std::vector<Band> bands(static_cast<std::size_t>(width));
+  if (v.empty()) return bands;
+  const double per = static_cast<double>(v.size()) / width;
+  for (int c = 0; c < width; ++c) {
+    const std::size_t b = static_cast<std::size_t>(c * per);
+    std::size_t e = static_cast<std::size_t>((c + 1) * per);
+    e = std::min(std::max(e, b + 1), v.size());
+    Band band;
+    for (std::size_t i = b; i < e; ++i) {
+      if (std::isnan(v[i])) continue;
+      if (!band.valid()) {
+        band.lo = band.hi = v[i];
+      } else {
+        band.lo = std::min(band.lo, v[i]);
+        band.hi = std::max(band.hi, v[i]);
+      }
+    }
+    bands[static_cast<std::size_t>(c)] = band;
+  }
+  return bands;
+}
+
+}  // namespace
+
+std::string render_ascii_chart(const std::vector<AsciiSeries>& series, const AsciiChartOptions& opt) {
+  const int w = std::max(opt.width, 10);
+  const int h = std::max(opt.height, 4);
+
+  double lo = opt.y_min, hi = opt.y_max;
+  if (opt.auto_y) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series) {
+      for (double v : s.values) {
+        if (std::isnan(v)) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!std::isfinite(lo)) {
+      lo = 0;
+      hi = 1;
+    }
+  }
+  if (hi <= lo) hi = lo + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  auto to_row = [&](double v) {
+    const double frac = (v - lo) / (hi - lo);
+    int r = static_cast<int>(std::lround(frac * (h - 1)));
+    r = std::clamp(r, 0, h - 1);
+    return (h - 1) - r;  // row 0 is the top of the chart
+  };
+
+  for (const auto& s : series) {
+    const auto bands = downsample(s.values, w);
+    for (int c = 0; c < w; ++c) {
+      const Band& b = bands[static_cast<std::size_t>(c)];
+      if (!b.valid()) continue;
+      const int r_hi = to_row(b.hi);
+      const int r_lo = to_row(b.lo);
+      for (int r = r_hi; r <= r_lo; ++r) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = s.glyph;
+      }
+    }
+  }
+
+  std::string out;
+  if (!opt.y_label.empty()) out += opt.y_label + "\n";
+  for (int r = 0; r < h; ++r) {
+    const double yv = hi - (hi - lo) * r / (h - 1);
+    out += strformat("%8.1f |", yv);
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "         +" + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  if (!opt.x_label.empty()) out += "          " + opt.x_label + "\n";
+  std::string legend = "          ";
+  for (const auto& s : series) legend += strformat("[%c] %s   ", s.glyph, s.name.c_str());
+  out += legend + "\n";
+  return out;
+}
+
+}  // namespace ixp

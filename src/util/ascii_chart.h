@@ -1,0 +1,31 @@
+// Terminal rendering of time series, so each figure bench can show the
+// waveform shape (diurnal spikes, level shifts, upgrades) inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ixp {
+
+struct AsciiChartOptions {
+  int width = 110;        ///< columns of plot area
+  int height = 16;        ///< rows of plot area
+  double y_min = 0.0;     ///< lower bound; ignored if auto_y
+  double y_max = 0.0;     ///< upper bound; ignored if auto_y
+  bool auto_y = true;     ///< derive bounds from data
+  std::string y_label;    ///< printed above the chart
+  std::string x_label;    ///< printed below the chart
+};
+
+/// One plotted series: values at uniformly spaced x positions.
+struct AsciiSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> values;  ///< NaN entries are skipped (gaps)
+};
+
+/// Renders series into a multi-line string.  Series are downsampled to the
+/// plot width with per-column min/max banding so narrow spikes stay visible.
+std::string render_ascii_chart(const std::vector<AsciiSeries>& series, const AsciiChartOptions& opt = {});
+
+}  // namespace ixp

@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace ixp {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quote = v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(v);
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+  row();
+  for (auto c : cols) cell(c);
+  end_row();
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  row();
+  for (const auto& c : cols) cell(c);
+  end_row();
+}
+
+CsvWriter& CsvWriter::row() {
+  end_row();
+  row_open_ = true;
+  first_cell_ = true;
+  return *this;
+}
+
+void CsvWriter::put(std::string_view v) {
+  if (!first_cell_) *out_ << ',';
+  first_cell_ = false;
+  *out_ << v;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view v) {
+  put(csv_escape(v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  if (std::isnan(v)) {
+    put("nan");
+  } else {
+    put(strformat("%.6g", v));
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t v) {
+  put(strformat("%lld", static_cast<long long>(v)));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t v) {
+  put(strformat("%llu", static_cast<unsigned long long>(v)));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (row_open_) {
+    *out_ << '\n';
+    row_open_ = false;
+  }
+}
+
+}  // namespace ixp

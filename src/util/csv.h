@@ -1,0 +1,49 @@
+// CSV emission for bench/figure series.
+//
+// Every figure bench writes its series as CSV (to stdout or a file) so that
+// the paper's plots can be regenerated with any external plotting tool, and
+// also renders an ASCII preview (ascii_chart.h) for eyeballing in a terminal.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ixp {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string_view> cols);
+  void header(const std::vector<std::string>& cols);
+
+  /// Starts a new row; values are appended with cell().
+  CsvWriter& row();
+  CsvWriter& cell(std::string_view v);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(std::int64_t v);
+  CsvWriter& cell(std::uint64_t v);
+  CsvWriter& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+
+  /// Finishes the current row (also called implicitly by row()/destructor).
+  void end_row();
+
+  ~CsvWriter() { end_row(); }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void put(std::string_view v);
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool first_cell_ = true;
+};
+
+/// Quotes a CSV field if it contains separators/quotes/newlines.
+std::string csv_escape(std::string_view v);
+
+}  // namespace ixp

@@ -1,0 +1,61 @@
+// Minimal GNU-style command-line flag parsing for the tools and benches.
+//
+// Supports --name=value, --name value, boolean --name / --no-name, a
+// free-form positional list, and generated --help text.  Unknown flags are
+// errors (tools should not silently ignore typos).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ixp {
+
+class Flags {
+ public:
+  /// `program` and `summary` feed the --help output.
+  Flags(std::string program, std::string summary);
+
+  /// Registers flags before parse(). `help` is shown in --help.
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_bool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// malformed values. --help sets help_requested() and returns true.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Arguments that are not flags, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical string form
+  };
+
+  bool set_value(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace ixp

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The library is deterministic and mostly silent; logging exists for the
+// campaign drivers and examples to narrate progress.  Output goes to stderr
+// so that bench/table output on stdout stays machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ixp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define IXP_LOG(level)                              \
+  if (::ixp::log_level() > ::ixp::LogLevel::level) { \
+  } else                                            \
+    ::ixp::detail::LogLine(::ixp::LogLevel::level)
+
+#define IXP_DEBUG IXP_LOG(kDebug)
+#define IXP_INFO IXP_LOG(kInfo)
+#define IXP_WARN IXP_LOG(kWarn)
+#define IXP_ERROR IXP_LOG(kError)
+
+}  // namespace ixp

@@ -1,0 +1,52 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ixp {
+
+CalendarTime to_calendar(TimePoint t) {
+  // Clamp negative times (possible for pre-campaign bookkeeping) to day 0.
+  std::int64_t ns = t.ns() < 0 ? 0 : t.ns();
+  const std::int64_t day_ns = kDay.count();
+  CalendarTime c{};
+  c.day = ns / day_ns;
+  c.day_of_week = static_cast<int>(c.day % 7);
+  c.hour_of_day = static_cast<double>(ns % day_ns) / static_cast<double>(kHour.count());
+  c.is_weekend = c.day_of_week >= 5;
+  return c;
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const std::int64_t ns = d.count();
+  const double ms = static_cast<double>(ns) / 1e6;
+  if (ns < 0) return "-" + format_duration(-d);
+  if (ns < kMillisecond.count()) {
+    std::snprintf(buf, sizeof buf, "%ldus", static_cast<long>(ns / 1000));
+  } else if (ns < kSecond.count()) {
+    std::snprintf(buf, sizeof buf, "%.1fms", ms);
+  } else if (ns < kMinute.count()) {
+    std::snprintf(buf, sizeof buf, "%.1fs", ms / 1e3);
+  } else if (ns < kHour.count()) {
+    const long m = static_cast<long>(ns / kMinute.count());
+    const long s = static_cast<long>((ns % kMinute.count()) / kSecond.count());
+    std::snprintf(buf, sizeof buf, "%ldm%02lds", m, s);
+  } else {
+    const long h = static_cast<long>(ns / kHour.count());
+    const long m = static_cast<long>((ns % kHour.count()) / kMinute.count());
+    std::snprintf(buf, sizeof buf, "%ldh%02ldm", h, m);
+  }
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  const CalendarTime c = to_calendar(t);
+  const int hh = static_cast<int>(c.hour_of_day);
+  const int mm = static_cast<int>((c.hour_of_day - hh) * 60.0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "day %ld %02d:%02d", static_cast<long>(c.day), hh, mm);
+  return buf;
+}
+
+}  // namespace ixp

@@ -1,0 +1,88 @@
+// Simulated-time primitives used throughout the library.
+//
+// All simulation components, the prober, and the analysis pipeline share a
+// single notion of time: nanoseconds since the start of the measurement
+// campaign, held in a strong type so that raw integers cannot be mixed up
+// with sequence numbers or byte counts.  Calendar helpers convert between
+// campaign offsets and (day-of-week, hour-of-day) values, which the diurnal
+// traffic models and the congestion classifier both need.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ixp {
+
+/// Duration in simulated time. 64-bit nanoseconds covers ~292 years.
+using Duration = std::chrono::nanoseconds;
+
+/// A point in simulated time, measured from the campaign epoch (t = 0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Duration since_epoch) : since_epoch_(since_epoch) {}
+
+  [[nodiscard]] constexpr Duration since_epoch() const { return since_epoch_; }
+  [[nodiscard]] constexpr std::int64_t ns() const { return since_epoch_.count(); }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    since_epoch_ += d;
+    return *this;
+  }
+  constexpr TimePoint& operator-=(Duration d) {
+    since_epoch_ -= d;
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.since_epoch_ + d); }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.since_epoch_ - d); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return a.since_epoch_ - b.since_epoch_; }
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+ private:
+  Duration since_epoch_{0};
+};
+
+inline constexpr Duration kNanosecond = Duration(1);
+inline constexpr Duration kMicrosecond = std::chrono::microseconds(1);
+inline constexpr Duration kMillisecond = std::chrono::milliseconds(1);
+inline constexpr Duration kSecond = std::chrono::seconds(1);
+inline constexpr Duration kMinute = std::chrono::minutes(1);
+inline constexpr Duration kHour = std::chrono::hours(1);
+inline constexpr Duration kDay = kHour * 24;
+inline constexpr Duration kWeek = kDay * 7;
+
+constexpr Duration milliseconds(double ms) {
+  return Duration(static_cast<std::int64_t>(ms * 1e6));
+}
+constexpr Duration seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+/// Duration expressed as fractional milliseconds (the natural RTT unit).
+constexpr double to_ms(Duration d) { return static_cast<double>(d.count()) / 1e6; }
+/// Duration expressed as fractional seconds.
+constexpr double to_sec(Duration d) { return static_cast<double>(d.count()) / 1e9; }
+/// Duration expressed as fractional hours.
+constexpr double to_hours(Duration d) { return static_cast<double>(d.count()) / 3.6e12; }
+
+/// Calendar view of a campaign time point.  The campaign epoch is pinned to
+/// a Monday 00:00 so that weekday/weekend logic is deterministic.
+struct CalendarTime {
+  std::int64_t day;     ///< whole days since epoch
+  int day_of_week;      ///< 0 = Monday .. 6 = Sunday
+  double hour_of_day;   ///< [0, 24)
+  bool is_weekend;      ///< Saturday or Sunday
+};
+
+CalendarTime to_calendar(TimePoint t);
+
+/// Renders a duration as a compact human string, e.g. "2h14m" or "27.9ms".
+std::string format_duration(Duration d);
+
+/// Renders a time point as "day D HH:MM".
+std::string format_time(TimePoint t);
+
+}  // namespace ixp

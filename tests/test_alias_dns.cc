@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.h"
+#include "bdrmap/alias.h"
+#include "bdrmap/bdrmap.h"
+#include "geo/dns_lite.h"
+#include "registry/registry.h"
+
+namespace ixp {
+namespace {
+
+using analysis::NeighborSpec;
+using analysis::VpSpec;
+
+VpSpec alias_spec() {
+  VpSpec s;
+  s.vp_name = "ALIAS";
+  s.ixp.name = "ALIAX";
+  s.ixp.country = "GH";
+  s.ixp.city = "Accra";
+  s.ixp.peering_prefix = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  s.ixp.management_prefix = *net::Ipv4Prefix::parse("196.49.1.0/24");
+  s.vp_asn = 30997;
+  s.vp_as_name = "GIXA";
+  s.vp_org = "ORG-GIXA";
+  s.country = "GH";
+  s.seed = 33;
+  // MULTI has one router carrying two LAN ports (aliases!) plus a ptp.
+  NeighborSpec multi;
+  multi.name = "MULTI";
+  multi.asn = 65001;
+  multi.country = "GH";
+  multi.lan_routers = 1;
+  multi.ptp_links = 1;
+  s.neighbors.push_back(multi);
+  NeighborSpec other;
+  other.name = "OTHER";
+  other.asn = 65002;
+  other.country = "GH";
+  s.neighbors.push_back(other);
+  return s;
+}
+
+struct AliasWorld {
+  std::unique_ptr<analysis::ScenarioRuntime> rt;
+  std::unique_ptr<prober::Prober> prober;
+
+  AliasWorld() {
+    rt = analysis::build_scenario(alias_spec());
+    prober = std::make_unique<prober::Prober>(rt->topology.net(), rt->vp_host, 0.0);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AliasSets (union-find)
+
+TEST(AliasSets, MergeAndFind) {
+  bdrmap::AliasSets sets;
+  const net::Ipv4Address a(10, 0, 0, 1), b(10, 0, 0, 5), c(10, 0, 0, 9);
+  sets.merge(a, b);
+  sets.add(c);
+  EXPECT_TRUE(sets.same_router(a, b));
+  EXPECT_FALSE(sets.same_router(a, c));
+  EXPECT_EQ(sets.find(a), sets.find(b));
+  EXPECT_EQ(sets.sets().size(), 2u);
+}
+
+TEST(AliasSets, TransitiveMerge) {
+  bdrmap::AliasSets sets;
+  const net::Ipv4Address a(1, 0, 0, 1), b(2, 0, 0, 1), c(3, 0, 0, 1);
+  sets.merge(a, b);
+  sets.merge(b, c);
+  EXPECT_TRUE(sets.same_router(a, c));
+  EXPECT_EQ(sets.sets().size(), 1u);
+}
+
+TEST(AliasSets, UnknownAddressesAreNotSameRouter) {
+  bdrmap::AliasSets sets;
+  EXPECT_FALSE(sets.same_router(net::Ipv4Address(1, 1, 1, 1), net::Ipv4Address(2, 2, 2, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// ptp mate
+
+TEST(PtpMate, SlashThirtyPairs) {
+  const auto mate1 = bdrmap::ptp_mate(net::Ipv4Address(154, 64, 0, 1));
+  ASSERT_TRUE(mate1);
+  EXPECT_EQ(mate1->to_string(), "154.64.0.2");
+  const auto mate2 = bdrmap::ptp_mate(net::Ipv4Address(154, 64, 0, 2));
+  ASSERT_TRUE(mate2);
+  EXPECT_EQ(mate2->to_string(), "154.64.0.1");
+  EXPECT_FALSE(bdrmap::ptp_mate(net::Ipv4Address(154, 64, 0, 0)).has_value());
+  EXPECT_FALSE(bdrmap::ptp_mate(net::Ipv4Address(154, 64, 0, 3)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Ally over the simulator's shared IP-ID counters
+
+TEST(Ally, SameRouterInterfacesAccepted) {
+  AliasWorld w;
+  // MULTI's router 0 carries both its IXP LAN address and its ptp-side
+  // address: a true alias pair.
+  const auto truth = w.rt->topology.interdomain_links_of(30997);
+  net::Ipv4Address lan, ptp;
+  for (const auto& t : truth) {
+    if (t.far_asn != 65001) continue;
+    (t.at_ixp ? lan : ptp) = t.far_ip;
+  }
+  ASSERT_FALSE(lan.is_unspecified());
+  ASSERT_FALSE(ptp.is_unspecified());
+
+  bdrmap::AliasResolver resolver(*w.prober);
+  EXPECT_TRUE(resolver.ally(lan, ptp));
+}
+
+TEST(Ally, DifferentRoutersRejected) {
+  AliasWorld w;
+  const auto truth = w.rt->topology.interdomain_links_of(30997);
+  net::Ipv4Address multi_lan, other_lan;
+  for (const auto& t : truth) {
+    if (t.far_asn == 65001 && t.at_ixp) multi_lan = t.far_ip;
+    if (t.far_asn == 65002 && t.at_ixp) other_lan = t.far_ip;
+  }
+  bdrmap::AliasResolver resolver(*w.prober);
+  EXPECT_FALSE(resolver.ally(multi_lan, other_lan));
+}
+
+TEST(Ally, UnansweredAddressRejected) {
+  AliasWorld w;
+  const auto truth = w.rt->topology.interdomain_links_of(30997);
+  bdrmap::AliasResolver resolver(*w.prober);
+  EXPECT_FALSE(resolver.ally(truth[0].far_ip, net::Ipv4Address(203, 0, 113, 1)));
+}
+
+TEST(Ally, ResolveGroupsCorrectly) {
+  AliasWorld w;
+  const auto truth = w.rt->topology.interdomain_links_of(30997);
+  std::vector<net::Ipv4Address> addrs;
+  for (const auto& t : truth) addrs.push_back(t.far_ip);
+  bdrmap::AliasResolver resolver(*w.prober);
+  const auto sets = resolver.resolve(addrs);
+  // Ground truth routers for the far addresses.
+  std::map<sim::NodeId, std::vector<net::Ipv4Address>> expected;
+  for (const auto& t : truth) {
+    expected[w.rt->topology.net().find_owner(t.far_ip)].push_back(t.far_ip);
+  }
+  for (const auto& [node, members] : expected) {
+    (void)node;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      EXPECT_TRUE(sets.same_router(members[0], members[i]))
+          << members[0].to_string() << " vs " << members[i].to_string();
+    }
+  }
+  // And no cross-router merges.
+  for (const auto& [na, ma] : expected) {
+    for (const auto& [nb, mb] : expected) {
+      if (na == nb) continue;
+      EXPECT_FALSE(sets.same_router(ma[0], mb[0]));
+    }
+  }
+}
+
+TEST(Bdrmap, AliasResolutionIntegrated) {
+  AliasWorld w;
+  const auto data =
+      registry::harvest(w.rt->topology, *w.rt->bgp, w.rt->vp_asn, w.rt->collectors);
+  bdrmap::BdrmapOptions opts;
+  opts.resolve_aliases = true;
+  bdrmap::Bdrmap mapper(*w.prober, data, 30997, opts);
+  const auto result = mapper.run();
+  ASSERT_GE(result.links.size(), 3u);
+  // MULTI contributes 2 far addresses on 1 router; OTHER 1; transit 1.
+  EXPECT_LT(result.inferred_routers, result.links.size());
+  EXPECT_GE(result.inferred_routers, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// dns-lite
+
+TEST(DnsLite, BuildsZoneFromTopology) {
+  AliasWorld w;
+  geo::DnsLiteOptions opts;
+  opts.unnamed_fraction = 0.0;
+  opts.stale_fraction = 0.0;
+  geo::DnsLite dns(w.rt->topology, opts);
+  EXPECT_GT(dns.zone_size(), 4u);
+  const auto truth = w.rt->topology.interdomain_links_of(30997);
+  const auto name = dns.ptr(truth[0].far_ip);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_NE(name->find("afr.net"), std::string::npos);
+}
+
+TEST(DnsLite, CityHintMatchesIxp) {
+  AliasWorld w;
+  geo::DnsLiteOptions opts;
+  opts.unnamed_fraction = 0.0;
+  opts.stale_fraction = 0.0;
+  geo::DnsLite dns(w.rt->topology, opts);
+  net::Ipv4Address lan;
+  for (const auto& t : w.rt->topology.interdomain_links_of(30997)) {
+    if (t.at_ixp) lan = t.far_ip;
+  }
+  const auto hint = dns.city_hint(lan);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, "Accra");
+}
+
+TEST(DnsLite, UnnamedFractionRespected) {
+  AliasWorld w;
+  geo::DnsLiteOptions all;
+  all.unnamed_fraction = 0.0;
+  geo::DnsLiteOptions none;
+  none.unnamed_fraction = 1.0;
+  geo::DnsLite dns_all(w.rt->topology, all);
+  geo::DnsLite dns_none(w.rt->topology, none);
+  EXPECT_GT(dns_all.zone_size(), 0u);
+  EXPECT_EQ(dns_none.zone_size(), 0u);
+}
+
+TEST(DnsLite, StaleRecordsCounted) {
+  AliasWorld w;
+  geo::DnsLiteOptions opts;
+  opts.unnamed_fraction = 0.0;
+  opts.stale_fraction = 1.0;
+  geo::DnsLite dns(w.rt->topology, opts);
+  EXPECT_EQ(dns.stale_records(), dns.zone_size());
+}
+
+TEST(DnsLite, EndLocationVerdicts) {
+  AliasWorld w;
+  const auto db = geo::build_geo_database(w.rt->topology);
+  geo::DnsLiteOptions opts;
+  opts.unnamed_fraction = 0.0;
+  opts.stale_fraction = 0.0;
+  geo::DnsLite dns(w.rt->topology, opts);
+  const auto* ixp = w.rt->topology.find_ixp("ALIAX");
+  ASSERT_NE(ixp, nullptr);
+
+  net::Ipv4Address lan;
+  for (const auto& t : w.rt->topology.interdomain_links_of(30997)) {
+    if (t.at_ixp) lan = t.far_ip;
+  }
+  EXPECT_EQ(geo::check_end_location(db, dns, lan, *ixp), geo::LocationVerdict::kConfirmed);
+  // An address with neither geo nor dns data is inconclusive.
+  EXPECT_EQ(geo::check_end_location(db, dns, net::Ipv4Address(8, 8, 8, 8), *ixp),
+            geo::LocationVerdict::kInconclusive);
+}
+
+TEST(DnsLite, StaleHintConflicts) {
+  AliasWorld w;
+  const auto db = geo::build_geo_database(w.rt->topology);
+  geo::DnsLiteOptions opts;
+  opts.unnamed_fraction = 0.0;
+  opts.stale_fraction = 1.0;  // every record lies about its city
+  geo::DnsLite dns(w.rt->topology, opts);
+  const auto* ixp = w.rt->topology.find_ixp("ALIAX");
+  net::Ipv4Address lan;
+  for (const auto& t : w.rt->topology.interdomain_links_of(30997)) {
+    if (t.at_ixp) lan = t.far_ip;
+  }
+  EXPECT_EQ(geo::check_end_location(db, dns, lan, *ixp), geo::LocationVerdict::kConflict);
+}
+
+}  // namespace
+}  // namespace ixp

@@ -1,0 +1,157 @@
+// End-to-end integration over the paper's actual scenarios (shortened
+// campaigns): the full pipeline must rediscover the right links, flag the
+// right congestion, and match the calibrated Table 2 cells.  These are the
+// heaviest tests in the suite (a few seconds each).
+#include <gtest/gtest.h>
+
+#include "analysis/africa.h"
+#include "analysis/campaign.h"
+#include "analysis/casebook.h"
+#include "analysis/tables.h"
+#include <set>
+
+#include "topo/calendar.h"
+
+namespace ixp::analysis {
+namespace {
+
+using topo::date;
+
+VpCampaignResult run_days(const VpSpec& spec, int days, Duration round = kMinute * 30) {
+  auto rt = build_scenario(spec);
+  CampaignOptions opt;
+  opt.round_interval = round;
+  opt.duration_override = kDay * days;
+  return run_campaign(*rt, spec, opt);
+}
+
+TEST(PaperCampaigns, Vp1FirstMonthsFindGhanatelOnly) {
+  // Through May 2016 only the GHANATEL transit link is congested.
+  const auto spec = make_vp1_gixa();
+  const auto result = run_days(spec, 80);
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    if (result.reports[i].congested()) {
+      EXPECT_EQ(result.series[i].far_asn, 29614u) << result.series[i].key;
+    }
+  }
+  EXPECT_GE(result.congested(), 1u);
+  // The first snapshot must match the paper's cell: 46 (36) / 13 neighbors.
+  ASSERT_GE(result.snapshots.size(), 1u);
+  EXPECT_EQ(result.snapshots[0].discovered_links, 46u);
+  EXPECT_EQ(result.snapshots[0].peering_links, 36u);
+  EXPECT_EQ(result.snapshots[0].neighbors, 13u);
+  EXPECT_EQ(result.snapshots[0].congested_links, 2u);  // ptp + contaminated LAN reply path
+}
+
+TEST(PaperCampaigns, Vp1RecordRoutesCollected) {
+  const auto spec = make_vp1_gixa();
+  const auto result = run_days(spec, 30);
+  EXPECT_GT(result.record_routes, 0u);
+  // The paper verified path symmetry on GIXA links.
+  EXPECT_GT(result.record_routes_symmetric, result.record_routes / 2);
+}
+
+TEST(PaperCampaigns, Vp4NetpageCongestedThenClean) {
+  const auto spec = make_vp4_sixp();
+  // Through June: phase 1 (congested through 28/04) plus two clean months.
+  const auto result = run_days(spec, 120);
+  bool netpage_congested = false;
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    if (result.series[i].far_asn == 65400 && result.reports[i].congested()) {
+      netpage_congested = true;
+      EXPECT_EQ(result.reports[i].persistence, tslp::Persistence::kTransient);
+    }
+  }
+  EXPECT_TRUE(netpage_congested);
+  // Zero record routes: QCELL filters the option (Table 2).
+  EXPECT_EQ(result.record_routes, 0u);
+  // Snapshot 1 matches the paper: 14 (11), 7 (6).
+  ASSERT_GE(result.snapshots.size(), 1u);
+  EXPECT_EQ(result.snapshots[0].discovered_links, 14u);
+  EXPECT_EQ(result.snapshots[0].peering_links, 11u);
+  EXPECT_EQ(result.snapshots[0].neighbors, 7u);
+}
+
+TEST(PaperCampaigns, Vp6NothingCongestedManyFlagged) {
+  const auto spec = make_vp6_rinex();
+  const auto result = run_days(spec, 100);
+  EXPECT_EQ(result.congested(), 0u);
+  // Route-change noise flags many links without diurnal patterns.
+  EXPECT_GT(result.potentially_congested(5.0), 10u);
+  EXPECT_EQ(result.with_diurnal(10.0), 0u);
+  EXPECT_EQ(result.record_routes, 0u);  // RDB filters RR
+}
+
+TEST(PaperCampaigns, CasebookGhanatelChecksOutInFigScenario) {
+  const auto spec = make_fig_ghanatel();
+  auto rt = build_scenario(spec);
+  CampaignOptions opt;
+  opt.round_interval = kMinute * 15;
+  opt.duration_override = date(20, 6, 2016) - spec.campaign_start;
+  const auto result = run_campaign(*rt, spec, opt);
+  const tslp::LinkSeries* link = nullptr;
+  for (const auto& s : result.series) {
+    if (s.far_asn == 29614 && !s.at_ixp) link = &s;
+  }
+  ASSERT_NE(link, nullptr);
+  tslp::CongestionClassifier classifier;
+  const auto report = classifier.classify(
+      tslp::slice(*link, date(7, 3, 2016), date(13, 6, 2016)));
+  const auto check = check_case(case_ghanatel(), report);
+  EXPECT_TRUE(check.verdict_congested);
+  EXPECT_TRUE(check.a_w_in_range) << report.waveform.a_w_ms;
+  EXPECT_TRUE(check.persistence_matches);
+  EXPECT_TRUE(check.weekday_pattern_matches);
+}
+
+TEST(PaperCampaigns, Table1RowGenerator) {
+  const auto spec = make_vp4_sixp();
+  const auto result = run_days(spec, 90);
+  const auto row = make_table1_row(result);
+  EXPECT_EQ(row.vp, "VP4");
+  // NETPAGE flagged and diurnal at 5 and 10 ms.
+  EXPECT_GE(row.flagged[0], 1u);
+  EXPECT_GE(row.diurnal[0], 1u);
+  EXPECT_GE(row.diurnal[1], 1u);
+  // Counts are monotone non-increasing in the threshold.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_LE(row.flagged[i], row.flagged[i - 1]);
+    EXPECT_LE(row.diurnal[i], row.diurnal[i - 1]);
+  }
+}
+
+TEST(PaperCampaigns, Vp5FullScaleTopologyBuilds) {
+  // The 1:1 KIXP world (the paper's ~1,215 neighbors) must build, route,
+  // and be border-mappable; campaigns use the 1:8 scale but nothing in the
+  // code depends on it.
+  const auto spec = make_vp5_kixp(/*scale=*/1);
+  auto rt = build_scenario(spec);
+  // Pre-growth world: apply the full timeline to connect every wave.
+  rt->apply_timeline_until(spec.campaign_end);
+  const auto truth = rt->topology.interdomain_links_of(spec.vp_asn);
+  EXPECT_GT(truth.size(), 1000u);
+  std::set<topo::Asn> neighbors;
+  for (const auto& t : truth) neighbors.insert(t.far_asn);
+  EXPECT_GT(neighbors.size(), 1000u);  // paper: 1,215
+}
+
+TEST(PaperCampaigns, GhanatelEpisodesSignificant) {
+  const auto spec = make_fig_ghanatel();
+  auto rt = build_scenario(spec);
+  CampaignOptions opt;
+  opt.round_interval = kMinute * 30;
+  opt.duration_override = kDay * 40;
+  const auto result = run_campaign(*rt, spec, opt);
+  bool checked = false;
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    if (result.series[i].far_asn != 29614 || result.series[i].at_ixp) continue;
+    const auto& eps = result.reports[i].far_shifts.episodes;
+    ASSERT_FALSE(eps.empty());
+    for (const auto& e : eps) EXPECT_TRUE(e.significant()) << e.p_value;
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

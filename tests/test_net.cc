@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "net/prefix_map.h"
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace ixp::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ipv4Address
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4Address::parse("196.49.0.17");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "196.49.0.17");
+  EXPECT_EQ(a->value(), (196u << 24) | (49u << 16) | 17u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("196.49.0").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("196.49.0.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), *Ipv4Address::parse("1.2.3.4"));
+}
+
+// ---------------------------------------------------------------------------
+// Ipv4Prefix
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Address(192, 168, 1, 200), 24);
+  EXPECT_EQ(p.network().to_string(), "192.168.1.0");
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const auto p = Ipv4Prefix::parse("196.49.0.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->contains(Ipv4Address(196, 49, 0, 1)));
+  EXPECT_TRUE(p->contains(Ipv4Address(196, 49, 0, 255)));
+  EXPECT_FALSE(p->contains(Ipv4Address(196, 49, 1, 0)));
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const auto outer = Ipv4Prefix::parse("10.0.0.0/8");
+  const auto inner = Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(outer->contains(*inner));
+  EXPECT_FALSE(inner->contains(*outer));
+}
+
+TEST(Ipv4Prefix, SizeAndAt) {
+  const auto p = Ipv4Prefix::parse("154.64.0.4/30");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->size(), 4u);
+  EXPECT_EQ(p->at(1).to_string(), "154.64.0.5");
+  EXPECT_EQ(p->at(2).to_string(), "154.64.0.6");
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/24").has_value());
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0)));
+}
+
+// ---------------------------------------------------------------------------
+// PrefixMap
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap<int> m;
+  m.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  m.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  m.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(*m.lookup(Ipv4Address(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*m.lookup(Ipv4Address(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*m.lookup(Ipv4Address(10, 9, 9, 9)), 8);
+  EXPECT_EQ(m.lookup(Ipv4Address(11, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixMap, DefaultRoute) {
+  PrefixMap<int> m;
+  m.insert(Ipv4Prefix(Ipv4Address(0), 0), -1);
+  m.insert(*Ipv4Prefix::parse("41.0.0.0/8"), 41);
+  EXPECT_EQ(*m.lookup(Ipv4Address(8, 8, 8, 8)), -1);
+  EXPECT_EQ(*m.lookup(Ipv4Address(41, 1, 1, 1)), 41);
+}
+
+TEST(PrefixMap, InsertReplaces) {
+  PrefixMap<int> m;
+  m.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  m.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.lookup(Ipv4Address(10, 0, 0, 1)), 2);
+}
+
+TEST(PrefixMap, LookupExact) {
+  PrefixMap<int> m;
+  m.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_NE(m.lookup_exact(*Ipv4Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(m.lookup_exact(*Ipv4Prefix::parse("10.0.0.0/16")), nullptr);
+}
+
+TEST(PrefixMap, ForEachVisitsAll) {
+  PrefixMap<int> m;
+  m.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  m.insert(*Ipv4Prefix::parse("41.0.0.0/8"), 2);
+  m.insert(*Ipv4Prefix::parse("196.49.0.0/24"), 3);
+  int count = 0, sum = 0;
+  m.for_each([&](const Ipv4Prefix&, const int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(PrefixMap, RandomizedAgainstLinearReference) {
+  // Property test: longest-prefix matching must agree with a brute-force
+  // linear scan for random prefix sets and random lookups.
+  ixp::Rng rng(4242);
+  PrefixMap<int> m;
+  std::vector<std::pair<Ipv4Prefix, int>> ref;
+  for (int i = 0; i < 300; ++i) {
+    const auto addr = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    const int len = static_cast<int>(rng.uniform_int(4, 30));
+    const Ipv4Prefix p(addr, len);
+    m.insert(p, i);
+    // Linear reference keeps the latest value for duplicate prefixes.
+    bool replaced = false;
+    for (auto& [rp, rv] : ref) {
+      if (rp == p) {
+        rv = i;
+        replaced = true;
+      }
+    }
+    if (!replaced) ref.emplace_back(p, i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = Ipv4Address(static_cast<std::uint32_t>(rng.next()));
+    const int* got = m.lookup(a);
+    const std::pair<Ipv4Prefix, int>* best = nullptr;
+    for (const auto& entry : ref) {
+      if (!entry.first.contains(a)) continue;
+      if (!best || entry.first.length() > best->first.length()) best = &entry;
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+Packet make_probe() {
+  Packet p;
+  p.src = Ipv4Address(41, 0, 0, 2);
+  p.dst = Ipv4Address(196, 49, 0, 7);
+  p.ttl = 3;
+  p.icmp_type = IcmpType::kEchoRequest;
+  p.ident = 0x8123;
+  p.seq = 77;
+  p.size_bytes = 64;
+  return p;
+}
+
+TEST(Wire, ChecksumKnownVector) {
+  // RFC 1071 example bytes.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  const std::uint16_t sum = internet_checksum(data);
+  // Verifying: a packet including its own checksum sums to zero.
+  std::uint8_t with_sum[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7,
+                             static_cast<std::uint8_t>(sum >> 8),
+                             static_cast<std::uint8_t>(sum & 0xff)};
+  EXPECT_EQ(internet_checksum(with_sum), 0);
+}
+
+TEST(Wire, EncodeDecodeRoundTrip) {
+  const Packet p = make_probe();
+  const auto bytes = encode_packet(p);
+  ASSERT_GE(bytes.size(), 28u);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src, p.src);
+  EXPECT_EQ(decoded->dst, p.dst);
+  EXPECT_EQ(decoded->ttl, p.ttl);
+  EXPECT_EQ(decoded->icmp_type, p.icmp_type);
+  EXPECT_EQ(decoded->ident, p.ident);
+  EXPECT_EQ(decoded->seq, p.seq);
+  EXPECT_FALSE(decoded->record_route);
+}
+
+TEST(Wire, RecordRouteRoundTrip) {
+  Packet p = make_probe();
+  p.record_route = true;
+  p.route_stamps = {Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2)};
+  const auto bytes = encode_packet(p);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->record_route);
+  ASSERT_EQ(decoded->route_stamps.size(), 2u);
+  EXPECT_EQ(decoded->route_stamps[0], p.route_stamps[0]);
+  EXPECT_EQ(decoded->route_stamps[1], p.route_stamps[1]);
+}
+
+TEST(Wire, TimeExceededQuotesProbe) {
+  Packet p = make_probe();
+  p.icmp_type = IcmpType::kTimeExceeded;
+  p.quoted_ident = 0x8123;
+  p.quoted_seq = 99;
+  p.ident = 0;
+  p.seq = 0;
+  const auto decoded = decode_packet(encode_packet(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->quoted_ident, 0x8123);
+  EXPECT_EQ(decoded->quoted_seq, 99);
+}
+
+TEST(Wire, RejectsCorruptedChecksum) {
+  auto bytes = encode_packet(make_probe());
+  bytes[20] ^= 0xff;  // flip a byte in the ICMP header
+  EXPECT_FALSE(decode_packet(bytes).has_value());
+}
+
+TEST(Wire, RejectsTruncated) {
+  const auto bytes = encode_packet(make_probe());
+  for (std::size_t len : {0u, 10u, 19u, 27u}) {
+    EXPECT_FALSE(decode_packet(std::span(bytes.data(), len)).has_value());
+  }
+}
+
+TEST(Wire, RejectsWrongVersion) {
+  auto bytes = encode_packet(make_probe());
+  bytes[0] = (6u << 4) | (bytes[0] & 0x0f);
+  EXPECT_FALSE(decode_packet(bytes).has_value());
+}
+
+TEST(Wire, MaxRecordRouteSlots) {
+  Packet p = make_probe();
+  p.record_route = true;
+  for (int i = 0; i < kMaxRecordRouteSlots; ++i) {
+    p.route_stamps.emplace_back(static_cast<std::uint32_t>(0x0a000001 + i));
+  }
+  const auto decoded = decode_packet(encode_packet(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->route_stamps.size(), static_cast<std::size_t>(kMaxRecordRouteSlots));
+}
+
+// Property sweep: round trip across TTLs and sizes.
+class WireRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WireRoundTrip, Holds) {
+  Packet p = make_probe();
+  p.ttl = static_cast<std::uint8_t>(std::get<0>(GetParam()));
+  p.size_bytes = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  const auto decoded = decode_packet(encode_packet(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ttl, p.ttl);
+  EXPECT_GE(decoded->size_bytes, 28u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WireRoundTrip,
+                         ::testing::Combine(::testing::Values(1, 2, 32, 64, 255),
+                                            ::testing::Values(28, 64, 128, 1500)));
+
+}  // namespace
+}  // namespace ixp::net

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "registry/registry.h"
+
+namespace ixp::registry {
+namespace {
+
+topo::IxpInfo test_ixp() {
+  topo::IxpInfo i;
+  i.name = "TESTX";
+  i.country = "GH";
+  i.city = "Accra";
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.49.1.0/24");
+  return i;
+}
+
+struct World {
+  topo::Topology tp;
+  sim::NodeId rv, rm, rt;
+
+  World() {
+    tp.add_ixp(test_ixp());
+    tp.add_as({100, "VP", "ORG-VP", "GH", topo::AsType::kIxpContent, {}});
+    tp.add_as({101, "VPSIB", "ORG-VP", "GH", topo::AsType::kIxpContent, {}});
+    tp.add_as({200, "MEM", "ORG-MEM", "GH", topo::AsType::kAccessIsp, {}});
+    tp.add_as({300, "TR", "ORG-TR", "GB", topo::AsType::kTransit, {}});
+    rv = tp.add_router(100, "r");
+    rm = tp.add_router(200, "r");
+    rt = tp.add_router(300, "r");
+    topo::PortConfig port;
+    tp.attach_to_ixp(rv, "TESTX", port);
+    tp.attach_to_ixp(rm, "TESTX", port);
+    sim::LinkConfig cfg;
+    tp.connect_routers(rt, rv, cfg);
+    tp.add_as_relationship(100, 300, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(200, 300, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(200, 100, topo::Relationship::kPeerToPeer);
+    tp.announce(100, *net::Ipv4Prefix::parse("41.0.0.0/22"), rv);
+    tp.announce(200, *net::Ipv4Prefix::parse("41.0.4.0/22"), rm);
+    tp.announce(300, *net::Ipv4Prefix::parse("41.0.8.0/22"), rt);
+  }
+};
+
+TEST(Registry, HarvestCollectsEverything) {
+  World w;
+  routing::Bgp bgp(w.tp);
+  bgp.compute();
+  const auto data = harvest(w.tp, bgp, 100, {300});
+
+  EXPECT_EQ(data.ixp_directory.size(), 1u);
+  EXPECT_EQ(data.ixp_directory[0].name, "TESTX");
+  EXPECT_EQ(data.ixp_participants.size(), 2u);
+  EXPECT_EQ(data.prefix_origins.size(), 3u);
+  EXPECT_FALSE(data.bgp_paths.empty());
+  // The sibling list picks up the shared organisation.
+  ASSERT_EQ(data.vp_siblings.size(), 1u);
+  EXPECT_EQ(data.vp_siblings[0], 101u);
+  // Delegations: three AS blocks plus the ptp /30.
+  EXPECT_EQ(data.delegations.size(), 4u);
+}
+
+TEST(Registry, OriginMapResolves) {
+  World w;
+  routing::Bgp bgp(w.tp);
+  bgp.compute();
+  const auto data = harvest(w.tp, bgp, 100, {300});
+  const auto origins = data.origin_map();
+  const auto* asn = origins.lookup(net::Ipv4Address(41, 0, 5, 1));
+  ASSERT_NE(asn, nullptr);
+  EXPECT_EQ(*asn, 200u);
+}
+
+TEST(Registry, IxpForLooksUpLan) {
+  World w;
+  routing::Bgp bgp(w.tp);
+  bgp.compute();
+  const auto data = harvest(w.tp, bgp, 100, {300});
+  EXPECT_NE(data.ixp_for(net::Ipv4Address(196, 49, 0, 1)), nullptr);
+  EXPECT_EQ(data.ixp_for(net::Ipv4Address(41, 0, 0, 1)), nullptr);
+}
+
+TEST(Registry, DelegationRoundTrip) {
+  std::vector<DelegationRecord> recs = {
+      {"afrinic", "GH", *net::Ipv4Prefix::parse("41.0.0.0/22"), "allocated", "ORG-VP"},
+      {"afrinic", "GH", *net::Ipv4Prefix::parse("154.64.0.0/30"), "assigned", "ORG-TR"},
+  };
+  const auto parsed = parse_delegations(write_delegations(recs));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].prefix, recs[0].prefix);
+  EXPECT_EQ(parsed[1].prefix, recs[1].prefix);
+  EXPECT_EQ(parsed[1].org_id, "ORG-TR");
+  EXPECT_EQ(parsed[1].status, "assigned");
+}
+
+TEST(Registry, IxpDirectoryRoundTrip) {
+  std::vector<IxpDirectoryEntry> entries = {
+      {"GIXA", "GH", *net::Ipv4Prefix::parse("196.49.0.0/24"),
+       *net::Ipv4Prefix::parse("196.49.1.0/24")},
+  };
+  const auto parsed = parse_ixp_directory(write_ixp_directory(entries));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "GIXA");
+  EXPECT_EQ(parsed[0].peering_prefix, entries[0].peering_prefix);
+}
+
+TEST(Registry, AsOrgRoundTrip) {
+  std::vector<AsOrgRecord> recs = {{30997, "ORG-GIXA", "GIXA", "GH"}};
+  const auto parsed = parse_as_orgs(write_as_orgs(recs));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].asn, 30997u);
+  EXPECT_EQ(parsed[0].org_id, "ORG-GIXA");
+}
+
+TEST(Registry, PrefixOriginsRoundTrip) {
+  std::vector<std::pair<net::Ipv4Prefix, topo::Asn>> origins = {
+      {*net::Ipv4Prefix::parse("41.0.0.0/22"), 100},
+  };
+  const auto parsed = parse_prefix_origins(write_prefix_origins(origins));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].second, 100u);
+}
+
+TEST(Registry, ParticipantsRoundTrip) {
+  std::vector<IxpParticipant> parts = {{"GIXA", net::Ipv4Address(196, 49, 0, 7), 29614}};
+  const auto parsed = parse_ixp_participants(write_ixp_participants(parts));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].ixp, "GIXA");
+  EXPECT_EQ(parsed[0].lan_ip, parts[0].lan_ip);
+  EXPECT_EQ(parsed[0].asn, 29614u);
+}
+
+TEST(Registry, ParsersIgnoreGarbage) {
+  EXPECT_TRUE(parse_delegations("not|a|valid|line\n\n##\n").empty());
+  EXPECT_TRUE(parse_ixp_directory("x\n").empty());
+  EXPECT_TRUE(parse_as_orgs("abc|x|y|z\n").empty());
+  EXPECT_TRUE(parse_prefix_origins("nonsense\n").empty());
+}
+
+}  // namespace
+}  // namespace ixp::registry

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "routing/asrank.h"
+#include "util/strings.h"
+#include "routing/bgp.h"
+
+namespace ixp::routing {
+namespace {
+
+// A small Gao-Rexford test world: T1 on top; regionals R1 and R2 below as
+// its customers; stubs A and B under R1 and C under R2; A peers with B.
+struct World {
+  topo::Topology tp;
+  static constexpr Asn kT1 = 10, kR1 = 20, kR2 = 30, kA = 100, kB = 200, kC = 300;
+
+  World() {
+    for (Asn asn : {kT1, kR1, kR2, kA, kB, kC}) {
+      tp.add_as({asn, "AS" + std::to_string(asn), "", "ZZ", topo::AsType::kTransit, {}});
+    }
+    tp.add_as_relationship(kR1, kT1, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(kR2, kT1, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(kA, kR1, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(kB, kR1, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(kC, kR2, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(kA, kB, topo::Relationship::kPeerToPeer);
+  }
+};
+
+TEST(Bgp, CustomerRoutePreferredOverPeer) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  // From R1 to A: customer route, one hop.
+  EXPECT_EQ(bgp.route_class(World::kR1, World::kA), RouteClass::kCustomer);
+  EXPECT_EQ(bgp.next_hop(World::kR1, World::kA), World::kA);
+}
+
+TEST(Bgp, PeerRouteUsedBetweenPeers) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  EXPECT_EQ(bgp.route_class(World::kA, World::kB), RouteClass::kPeer);
+  EXPECT_EQ(bgp.next_hop(World::kA, World::kB), World::kB);
+}
+
+TEST(Bgp, ProviderRouteWhenNoPeerOrCustomer) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  // A reaches C only via its provider chain.
+  EXPECT_EQ(bgp.route_class(World::kA, World::kC), RouteClass::kProvider);
+  const auto path = bgp.as_path(World::kA, World::kC);
+  EXPECT_EQ(path, (std::vector<Asn>{World::kA, World::kR1, World::kT1, World::kR2, World::kC}));
+}
+
+TEST(Bgp, ValleyFreedom) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  // B must NOT be reachable from C via the A-B peer link (that would be a
+  // valley: provider -> peer); the valid path goes through R1.
+  const auto path = bgp.as_path(World::kC, World::kB);
+  ASSERT_FALSE(path.empty());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_FALSE(path[i] == World::kA && path[i + 1] == World::kB);
+  }
+}
+
+TEST(Bgp, PeerRoutesNotExportedToProviders) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  // R1's route to B must be the customer route (direct), never via A's
+  // peer link.
+  EXPECT_EQ(bgp.next_hop(World::kR1, World::kB), World::kB);
+}
+
+TEST(Bgp, SelfRoute) {
+  World w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  EXPECT_EQ(bgp.route_class(World::kA, World::kA), RouteClass::kSelf);
+  EXPECT_EQ(bgp.next_hop(World::kA, World::kA), 0u);
+}
+
+TEST(Bgp, UnreachableIsolatedAs) {
+  World w;
+  w.tp.add_as({999, "ISOLATED", "", "ZZ", topo::AsType::kAccessIsp, {}});
+  Bgp bgp(w.tp);
+  bgp.compute();
+  EXPECT_EQ(bgp.route_class(World::kA, 999), RouteClass::kNone);
+  EXPECT_TRUE(bgp.as_path(World::kA, 999).empty());
+}
+
+TEST(Bgp, ProvidersCustomersPeersAccessors) {
+  World w;
+  Bgp bgp(w.tp);
+  EXPECT_EQ(bgp.providers(World::kA), (std::vector<Asn>{World::kR1}));
+  EXPECT_EQ(bgp.customers(World::kT1), (std::vector<Asn>{World::kR1, World::kR2}));
+  EXPECT_EQ(bgp.peers(World::kA), (std::vector<Asn>{World::kB}));
+}
+
+// ---------------------------------------------------------------------------
+// FIB installation over a real router topology
+
+struct FibWorld {
+  topo::Topology tp;
+  sim::NodeId rt1, rr1, ra, rb;
+  net::Ipv4Prefix pa, pb, pt;
+
+  FibWorld() {
+    tp.add_as({10, "T1", "", "GB", topo::AsType::kTransit, {}});
+    tp.add_as({20, "R1", "", "GH", topo::AsType::kTransit, {}});
+    tp.add_as({100, "A", "", "GH", topo::AsType::kAccessIsp, {}});
+    tp.add_as({200, "B", "", "GH", topo::AsType::kAccessIsp, {}});
+    rt1 = tp.add_router(10, "core");
+    rr1 = tp.add_router(20, "core");
+    ra = tp.add_router(100, "edge");
+    rb = tp.add_router(200, "edge");
+    sim::LinkConfig cfg;
+    tp.connect_routers(rt1, rr1, cfg);
+    tp.connect_routers(rr1, ra, cfg);
+    tp.connect_routers(rr1, rb, cfg);
+    tp.add_as_relationship(20, 10, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(100, 20, topo::Relationship::kCustomerToProvider);
+    tp.add_as_relationship(200, 20, topo::Relationship::kCustomerToProvider);
+    pa = *net::Ipv4Prefix::parse("41.0.0.0/22");
+    pb = *net::Ipv4Prefix::parse("41.0.4.0/22");
+    pt = *net::Ipv4Prefix::parse("41.0.8.0/22");
+    tp.announce(100, pa, ra);
+    tp.announce(200, pb, rb);
+    tp.announce(10, pt, rt1);
+  }
+};
+
+TEST(Fib, StubGetsDefaultRoute) {
+  FibWorld w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  bgp.install_fibs(w.tp);
+  auto& ra = dynamic_cast<sim::Router&>(w.tp.net().node(w.ra));
+  // A has no explicit route to the tier-1 prefix; the default covers it.
+  const auto* e = ra.fib().lookup(w.pt.at(1));
+  ASSERT_NE(e, nullptr);
+  // The default exits toward R1.
+  const auto* exact = ra.fib().lookup_exact(net::Ipv4Prefix(net::Ipv4Address(0), 0));
+  EXPECT_NE(exact, nullptr);
+}
+
+TEST(Fib, TransitHasExplicitCustomerRoutes) {
+  FibWorld w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  bgp.install_fibs(w.tp);
+  auto& rr = dynamic_cast<sim::Router&>(w.tp.net().node(w.rr1));
+  EXPECT_NE(rr.fib().lookup_exact(w.pa), nullptr);
+  EXPECT_NE(rr.fib().lookup_exact(w.pb), nullptr);
+}
+
+TEST(Fib, EndToEndForwardingWorks) {
+  FibWorld w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  bgp.install_fibs(w.tp);
+  // Probe from a host inside A to B's router interface: A -> R1 -> B and
+  // back via the installed FIBs.
+  const auto host = w.tp.add_host(100, "h", w.pa.at(66), w.ra, net::Ipv4Prefix(w.pa.at(64), 26));
+  bgp.install_fibs(w.tp);  // connected route for the new host subnet
+  const auto& rb_node = w.tp.net().node(w.rb);
+  ASSERT_FALSE(rb_node.interfaces().empty());
+  net::Packet p;
+  p.src = w.pa.at(66);
+  p.dst = rb_node.interfaces()[0].addr;
+  p.ttl = 64;
+  p.icmp_type = net::IcmpType::kEchoRequest;
+  const auto res = w.tp.net().probe(host, p);
+  ASSERT_TRUE(res.answered);
+  EXPECT_EQ(res.reply_type, net::IcmpType::kEchoReply);
+}
+
+TEST(Fib, RibDumpListsReachablePrefixes) {
+  FibWorld w;
+  Bgp bgp(w.tp);
+  bgp.compute();
+  const auto rib = bgp.rib_dump(10);
+  // Tier 1 sees every announced prefix.
+  EXPECT_EQ(rib.size(), 3u);
+  for (const auto& e : rib) {
+    EXPECT_EQ(e.as_path.front(), 10u);
+    ASSERT_FALSE(e.as_path.empty());
+  }
+}
+
+TEST(Fib, ParallelLinksAllCarryPrefixes) {
+  // An AS with three parallel links to its provider announcing three
+  // prefixes: the round-robin egress spreading must put one prefix on each
+  // link, or bdrmap could never discover the parallel links.
+  topo::Topology tp;
+  tp.add_as({10, "P", "", "ZZ", topo::AsType::kTransit, {}});
+  tp.add_as({100, "C", "", "ZZ", topo::AsType::kAccessIsp, {}});
+  const auto rp = tp.add_router(10, "core");
+  const auto rc = tp.add_router(100, "edge");
+  sim::LinkConfig cfg;
+  std::vector<int> links;
+  for (int i = 0; i < 3; ++i) links.push_back(tp.connect_routers(rp, rc, cfg));
+  tp.add_as_relationship(100, 10, topo::Relationship::kCustomerToProvider);
+  std::vector<net::Ipv4Prefix> prefixes;
+  for (int i = 0; i < 3; ++i) {
+    prefixes.push_back(*net::Ipv4Prefix::parse(strformat("41.0.%d.0/24", i * 4)));
+    tp.announce(100, prefixes.back(), rc);
+  }
+  Bgp bgp(tp);
+  bgp.compute();
+  bgp.install_fibs(tp);
+
+  // At the provider, the three prefixes must exit over three distinct
+  // interfaces (the three parallel links).
+  auto& pr = dynamic_cast<sim::Router&>(tp.net().node(rp));
+  std::set<int> ifaces;
+  for (const auto& p : prefixes) {
+    const auto* e = pr.fib().lookup(p.at(1));
+    ASSERT_NE(e, nullptr);
+    ifaces.insert(e->ifindex);
+  }
+  EXPECT_EQ(ifaces.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// AS-rank inference
+
+TEST(AsRank, InfersHierarchyFromPaths) {
+  // A world where the tier 1 (AS10) interconnects four regionals (20..50),
+  // each serving two stubs: the realistic degree structure the inference
+  // keys on.
+  AsRank rank;
+  for (Asn r1 : {20u, 30u, 40u, 50u}) {
+    for (Asn r2 : {20u, 30u, 40u, 50u}) {
+      if (r1 == r2) continue;
+      for (Asn s1 : {r1 * 10, r1 * 10 + 1}) {
+        for (Asn s2 : {r2 * 10, r2 * 10 + 1}) {
+          rank.add_path({s1, r1, 10, r2, s2});
+        }
+      }
+    }
+  }
+  rank.infer();
+  EXPECT_EQ(rank.relationship(20, 10), InferredRel::kCustomerToProvider);
+  EXPECT_EQ(rank.relationship(10, 20), InferredRel::kProviderToCustomer);
+  EXPECT_EQ(rank.relationship(200, 20), InferredRel::kCustomerToProvider);
+  EXPECT_EQ(rank.relationship(1, 2), InferredRel::kUnknown);
+}
+
+TEST(AsRank, DegreeCountsDistinctNeighbors) {
+  AsRank rank;
+  rank.add_path({1, 2, 3});
+  rank.add_path({1, 2, 4});
+  rank.add_path({1, 2, 3});  // repeat must not inflate the degree
+  rank.infer();              // degrees are computed during inference
+  EXPECT_EQ(rank.degree(2), 3);
+  EXPECT_EQ(rank.degree(1), 1);
+}
+
+TEST(AsRank, AgainstGroundTruthOnSyntheticWorld) {
+  // A larger world (one tier 1, three regionals, three stubs each, plus a
+  // stub peering pair): compute BGP, feed all stub-to-stub paths, check
+  // the inferred relationships against the declared ones.
+  topo::Topology tp;
+  const Asn kT1 = 10;
+  std::vector<Asn> stubs;
+  tp.add_as({kT1, "T1", "", "ZZ", topo::AsType::kTransit, {}});
+  for (Asn r = 20; r <= 40; r += 10) {
+    tp.add_as({r, "R", "", "ZZ", topo::AsType::kTransit, {}});
+    tp.add_as_relationship(r, kT1, topo::Relationship::kCustomerToProvider);
+    for (Asn s = r * 10; s < r * 10 + 3; ++s) {
+      tp.add_as({s, "S", "", "ZZ", topo::AsType::kAccessIsp, {}});
+      tp.add_as_relationship(s, r, topo::Relationship::kCustomerToProvider);
+      stubs.push_back(s);
+    }
+  }
+  tp.add_as_relationship(200, 300, topo::Relationship::kPeerToPeer);
+  Bgp bgp(tp);
+  bgp.compute();
+  AsRank rank;
+  for (Asn src : stubs) {
+    for (Asn dst : stubs) {
+      const auto path = bgp.as_path(src, dst);
+      if (path.size() >= 2) rank.add_path(path);
+    }
+  }
+  rank.infer();
+  int correct = 0, total = 0;
+  for (const auto& l : tp.as_links()) {
+    const auto rel = rank.relationship(l.a, l.b);
+    if (rel == InferredRel::kUnknown) continue;
+    ++total;
+    if (l.rel == topo::Relationship::kCustomerToProvider &&
+        rel == InferredRel::kCustomerToProvider) {
+      ++correct;
+    }
+    if (l.rel == topo::Relationship::kPeerToPeer && rel == InferredRel::kPeerToPeer) ++correct;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(correct) / total, 0.6);
+}
+
+}  // namespace
+}  // namespace ixp::routing

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "topo/calendar.h"
+#include "topo/topology.h"
+
+namespace ixp::topo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Calendar
+
+TEST(Calendar, PaperEpochIsCorrect) {
+  EXPECT_EQ(date(22, 2, 2016).ns(), 0);
+  EXPECT_EQ(date(23, 2, 2016) - date(22, 2, 2016), kDay);
+  // 22/02/2016 was a Monday.
+  EXPECT_EQ(to_calendar(date(22, 2, 2016)).day_of_week, 0);
+}
+
+TEST(Calendar, KnownWeekdays) {
+  // 06/08/2016 was a Saturday; 28/04/2016 a Thursday.
+  EXPECT_EQ(to_calendar(date(6, 8, 2016)).day_of_week, 5);
+  EXPECT_EQ(to_calendar(date(28, 4, 2016)).day_of_week, 3);
+}
+
+TEST(Calendar, LeapYearHandled) {
+  // 2016 was a leap year: Feb 29 exists.
+  EXPECT_EQ(date(1, 3, 2016) - date(29, 2, 2016), kDay);
+  EXPECT_EQ(date(29, 2, 2016) - date(28, 2, 2016), kDay);
+}
+
+TEST(Calendar, CampaignSpan) {
+  const auto span = kCampaignEnd - date(22, 2, 2016);
+  EXPECT_EQ(span.count() / kDay.count(), 399);  // 22/02/2016 .. 27/03/2017
+}
+
+// ---------------------------------------------------------------------------
+// AddressAllocator
+
+TEST(Allocator, AsBlocksAreDisjoint) {
+  AddressAllocator a;
+  const auto b1 = a.next_as_block();
+  const auto b2 = a.next_as_block();
+  EXPECT_EQ(b1.length(), 22);
+  EXPECT_FALSE(b1.contains(b2.network()));
+  EXPECT_FALSE(b2.contains(b1.network()));
+  EXPECT_TRUE(net::Ipv4Prefix(net::Ipv4Address(41, 0, 0, 0), 8).contains(b1));
+}
+
+TEST(Allocator, PtpSubnetsAreSlash30) {
+  AddressAllocator a;
+  const auto p1 = a.next_ptp_subnet();
+  const auto p2 = a.next_ptp_subnet();
+  EXPECT_EQ(p1.length(), 30);
+  EXPECT_NE(p1.network(), p2.network());
+  EXPECT_TRUE(net::Ipv4Prefix(net::Ipv4Address(154, 64, 0, 0), 10).contains(p1));
+}
+
+TEST(Allocator, LanAddressesSequential) {
+  AddressAllocator a;
+  const auto lan = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  EXPECT_EQ(a.next_lan_address(lan).to_string(), "196.49.0.1");
+  EXPECT_EQ(a.next_lan_address(lan).to_string(), "196.49.0.2");
+}
+
+// ---------------------------------------------------------------------------
+// Topology builder
+
+IxpInfo test_ixp() {
+  IxpInfo i;
+  i.name = "TESTX";
+  i.country = "GH";
+  i.city = "Accra";
+  i.peering_prefix = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  i.management_prefix = *net::Ipv4Prefix::parse("196.49.1.0/24");
+  return i;
+}
+
+TEST(Topology, DuplicateAsThrows) {
+  Topology tp;
+  tp.add_as({100, "A", "ORG-A", "GH", AsType::kAccessIsp, {}});
+  EXPECT_THROW(tp.add_as({100, "B", "ORG-B", "GH", AsType::kAccessIsp, {}}), std::runtime_error);
+}
+
+TEST(Topology, AttachToIxpAssignsLanAddress) {
+  Topology tp;
+  tp.add_ixp(test_ixp());
+  tp.add_as({100, "A", "ORG-A", "GH", AsType::kAccessIsp, {}});
+  const auto r = tp.add_router(100, "border");
+  net::Ipv4Address lan;
+  PortConfig port;
+  tp.attach_to_ixp(r, "TESTX", port, &lan);
+  EXPECT_TRUE(test_ixp().peering_prefix.contains(lan));
+  EXPECT_EQ(tp.lan_address_of(r, "TESTX"), lan);
+  EXPECT_EQ(tp.owner_asn(lan), 100u);
+}
+
+TEST(Topology, LanParticipantsListsUpMembers) {
+  Topology tp;
+  tp.add_ixp(test_ixp());
+  tp.add_as({100, "A", "ORG-A", "GH", AsType::kAccessIsp, {}});
+  tp.add_as({200, "B", "ORG-B", "GH", AsType::kAccessIsp, {}});
+  const auto ra = tp.add_router(100, "r");
+  const auto rb = tp.add_router(200, "r");
+  PortConfig port;
+  tp.attach_to_ixp(ra, "TESTX", port);
+  const int link_b = tp.attach_to_ixp(rb, "TESTX", port);
+  EXPECT_EQ(tp.lan_participants("TESTX").size(), 2u);
+  tp.net().link(link_b).set_up(false);
+  EXPECT_EQ(tp.lan_participants("TESTX").size(), 1u);
+}
+
+TEST(Topology, InterdomainTruthAcrossLan) {
+  Topology tp;
+  tp.add_ixp(test_ixp());
+  tp.add_as({100, "VP", "ORG-VP", "GH", AsType::kIxpContent, {}});
+  tp.add_as({200, "M1", "ORG-M1", "GH", AsType::kAccessIsp, {}});
+  tp.add_as({300, "M2", "ORG-M2", "GH", AsType::kAccessIsp, {}});
+  const auto rv = tp.add_router(100, "r");
+  const auto r1 = tp.add_router(200, "r");
+  const auto r2 = tp.add_router(300, "r");
+  PortConfig port;
+  tp.attach_to_ixp(rv, "TESTX", port);
+  tp.attach_to_ixp(r1, "TESTX", port);
+  const int l2 = tp.attach_to_ixp(r2, "TESTX", port);
+
+  auto truth = tp.interdomain_links_of(100);
+  EXPECT_EQ(truth.size(), 2u);
+  for (const auto& t : truth) {
+    EXPECT_TRUE(t.at_ixp);
+    EXPECT_EQ(t.ixp_name, "TESTX");
+    EXPECT_EQ(t.near_asn, 100u);
+  }
+  // A member leaving disappears from the truth table.
+  tp.net().link(l2).set_up(false);
+  truth = tp.interdomain_links_of(100);
+  EXPECT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].far_asn, 200u);
+}
+
+TEST(Topology, InterdomainTruthPtp) {
+  Topology tp;
+  tp.add_as({100, "VP", "ORG-VP", "GH", AsType::kIxpContent, {}});
+  tp.add_as({200, "T", "ORG-T", "GH", AsType::kTransit, {}});
+  const auto rv = tp.add_router(100, "r");
+  const auto rt = tp.add_router(200, "r");
+  sim::LinkConfig cfg;
+  tp.connect_routers(rt, rv, cfg);  // transit numbers the link
+  const auto truth = tp.interdomain_links_of(100);
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].far_asn, 200u);
+  EXPECT_FALSE(truth[0].at_ixp);
+  // The /30 is delegated to the transit's AS.
+  ASSERT_EQ(tp.infra_delegations().size(), 1u);
+  EXPECT_EQ(tp.infra_delegations()[0].second, 200u);
+}
+
+TEST(Topology, OwnerAsnFallsBackToAnnouncements) {
+  Topology tp;
+  tp.add_as({100, "A", "ORG-A", "GH", AsType::kAccessIsp, {}});
+  const auto r = tp.add_router(100, "r");
+  tp.announce(100, *net::Ipv4Prefix::parse("41.0.0.0/22"), r);
+  EXPECT_EQ(tp.owner_asn(net::Ipv4Address(41, 0, 2, 9)), 100u);
+  EXPECT_EQ(tp.owner_asn(net::Ipv4Address(42, 0, 0, 1)), 0u);
+}
+
+TEST(Topology, IxpsAccessorPreservesOrder) {
+  Topology tp;
+  auto a = test_ixp();
+  tp.add_ixp(a);
+  auto b = test_ixp();
+  b.name = "SECOND";
+  b.peering_prefix = *net::Ipv4Prefix::parse("196.50.0.0/24");
+  b.management_prefix = *net::Ipv4Prefix::parse("196.50.1.0/24");
+  tp.add_ixp(b);
+  ASSERT_EQ(tp.ixps().size(), 2u);
+  EXPECT_EQ(tp.ixps()[0].first, "TESTX");
+  EXPECT_EQ(tp.ixps()[1].first, "SECOND");
+}
+
+TEST(Allocator, LanExhaustionThrows) {
+  AddressAllocator a;
+  const auto tiny = *net::Ipv4Prefix::parse("196.49.0.0/30");  // 2 usable
+  EXPECT_NO_THROW(a.next_lan_address(tiny));
+  EXPECT_NO_THROW(a.next_lan_address(tiny));
+  EXPECT_THROW(a.next_lan_address(tiny), std::runtime_error);
+}
+
+TEST(Topology, IxpContaining) {
+  Topology tp;
+  tp.add_ixp(test_ixp());
+  EXPECT_NE(tp.ixp_containing(net::Ipv4Address(196, 49, 0, 5)), nullptr);
+  EXPECT_NE(tp.ixp_containing(net::Ipv4Address(196, 49, 1, 5)), nullptr);
+  EXPECT_EQ(tp.ixp_containing(net::Ipv4Address(196, 50, 0, 5)), nullptr);
+}
+
+}  // namespace
+}  // namespace ixp::topo

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tslp/classifier.h"
+#include "tslp/level_shift.h"
+#include "tslp/loss_analysis.h"
+#include "util/rng.h"
+
+namespace ixp::tslp {
+namespace {
+
+constexpr std::size_t kSamplesPerDay = 288;  // 5-minute cadence
+
+// Synthetic far-side RTT series generator: base RTT, diurnal congestion
+// plateaus of the given magnitude and daily width, optional noise.
+RttSeries diurnal_far(int days, double base_ms, double magnitude_ms, double start_hour,
+                      double width_hours, double noise_ms, std::uint64_t seed,
+                      int congested_from_day = 0, int congested_until_day = 1 << 30) {
+  Rng rng(seed);
+  RttSeries s;
+  s.start = TimePoint{};
+  s.interval = kMinute * 5;
+  for (int d = 0; d < days; ++d) {
+    for (std::size_t i = 0; i < kSamplesPerDay; ++i) {
+      const double hour = 24.0 * static_cast<double>(i) / kSamplesPerDay;
+      const bool in_window = hour >= start_hour && hour < start_hour + width_hours;
+      const bool active = d >= congested_from_day && d < congested_until_day;
+      const double level = base_ms + ((in_window && active) ? magnitude_ms : 0.0);
+      s.ms.push_back(level + noise_ms * std::fabs(rng.normal()));
+    }
+  }
+  return s;
+}
+
+RttSeries flat_near(int days, double base_ms, double noise_ms, std::uint64_t seed) {
+  Rng rng(seed);
+  RttSeries s;
+  s.start = TimePoint{};
+  s.interval = kMinute * 5;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(days) * kSamplesPerDay; ++i) {
+    s.ms.push_back(base_ms + noise_ms * std::fabs(rng.normal()));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Level-shift detection
+
+TEST(LevelShift, DetectsDailyEpisodes) {
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 1);
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  ASSERT_TRUE(res.any());
+  // Ten days of congestion: expect roughly one episode per day.
+  EXPECT_GE(res.episodes.size(), 8u);
+  EXPECT_LE(res.episodes.size(), 12u);
+  EXPECT_NEAR(res.baseline_ms, 2.2, 0.6);
+  EXPECT_NEAR(res.average_magnitude(), 20.0, 3.0);
+}
+
+TEST(LevelShift, AverageDurationMatchesWindow) {
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 2);
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  ASSERT_TRUE(res.any());
+  EXPECT_NEAR(to_hours(res.average_duration(far.interval)), 6.0, 1.5);
+  EXPECT_NEAR(to_hours(res.average_period(far.interval)), 24.0, 3.0);
+}
+
+TEST(LevelShift, BelowThresholdIgnored) {
+  const auto far = diurnal_far(10, 2.0, 6.0, 12.0, 6.0, 0.3, 3);
+  LevelShiftOptions opt;
+  opt.threshold_ms = 10.0;
+  LevelShiftDetector det(opt);
+  EXPECT_FALSE(det.detect(far).any());
+  // But a 5 ms threshold catches it.
+  opt.threshold_ms = 5.0;
+  LevelShiftDetector det5(opt);
+  EXPECT_TRUE(det5.detect(far).any());
+}
+
+TEST(LevelShift, MinDurationFiltersBlips) {
+  // A 15-minute blip (3 samples) must not qualify as a 30-minute shift.
+  auto far = flat_near(4, 2.0, 0.2, 4);
+  for (std::size_t i = 500; i < 503; ++i) far.ms[i] = 30.0;
+  LevelShiftDetector det;
+  EXPECT_FALSE(det.detect(far).any());
+}
+
+TEST(LevelShift, QuietSeriesFastPathNoEpisodes) {
+  const auto far = flat_near(30, 2.0, 0.2, 5);
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  EXPECT_FALSE(res.any());
+  EXPECT_TRUE(std::isnan(res.average_magnitude()));
+}
+
+TEST(LevelShift, SanitizationMergesSplitEpisodes) {
+  // One 6-hour plateau with a 15-minute dip in the middle: sanitization
+  // must merge it back into a single episode.
+  auto far = diurnal_far(6, 2.0, 20.0, 12.0, 6.0, 0.2, 6);
+  for (int d = 0; d < 6; ++d) {
+    const std::size_t mid = static_cast<std::size_t>(d) * kSamplesPerDay + (15 * kSamplesPerDay) / 24;
+    for (std::size_t i = mid; i < mid + 3; ++i) far.ms[i] = 2.0;
+  }
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  EXPECT_GE(res.episodes.size(), 5u);
+  EXPECT_LE(res.episodes.size(), 7u);  // not ~12 (split) episodes
+}
+
+TEST(LevelShift, MultiDayShiftIsOneEpisode) {
+  auto far = flat_near(12, 2.0, 0.2, 7);
+  for (std::size_t i = 3 * kSamplesPerDay; i < 6 * kSamplesPerDay; ++i) far.ms[i] += 25.0;
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  ASSERT_EQ(res.episodes.size(), 1u);
+  EXPECT_NEAR(to_hours(res.average_duration(far.interval)), 72.0, 6.0);
+  EXPECT_NEAR(res.episodes[0].magnitude_ms, 25.0, 2.0);
+}
+
+TEST(LevelShift, EpisodesAreStatisticallySignificant) {
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 60);
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  ASSERT_TRUE(res.any());
+  for (const auto& e : res.episodes) {
+    EXPECT_TRUE(e.significant()) << "p=" << e.p_value;
+    EXPECT_LT(e.p_value, 1e-4);
+  }
+}
+
+TEST(LevelShift, LossGapsDoNotBreakDetection) {
+  auto far = diurnal_far(8, 2.0, 20.0, 12.0, 6.0, 0.3, 8);
+  Rng rng(9);
+  for (auto& v : far.ms) {
+    if (rng.chance(0.1)) v = kMissing;  // 10 % probe loss
+  }
+  LevelShiftDetector det;
+  const auto res = det.detect(far);
+  EXPECT_GE(res.episodes.size(), 6u);
+}
+
+// Threshold sweep (the Table 1 mechanism): a link with magnitude m is
+// flagged at threshold T iff m >= T.
+class ThresholdSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ThresholdSweep, FlaggingRespectsThreshold) {
+  const double magnitude = std::get<0>(GetParam());
+  const double threshold = std::get<1>(GetParam());
+  const auto far = diurnal_far(8, 2.0, magnitude, 12.0, 5.0, 0.25, 10);
+  LevelShiftOptions opt;
+  opt.threshold_ms = threshold;
+  LevelShiftDetector det(opt);
+  const bool flagged = det.detect(far).any();
+  // Allow a +/-1.5 ms gray zone right at the threshold (noise shifts the
+  // measured magnitude slightly).
+  if (magnitude >= threshold + 1.5) {
+    EXPECT_TRUE(flagged) << magnitude << " vs " << threshold;
+  } else if (magnitude <= threshold - 1.5) {
+    EXPECT_FALSE(flagged) << magnitude << " vs " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdSweep,
+                         ::testing::Combine(::testing::Values(7.0, 12.0, 17.0, 27.9),
+                                            ::testing::Values(5.0, 10.0, 15.0, 20.0)));
+
+// ---------------------------------------------------------------------------
+// slice()
+
+TEST(Slice, RestrictsToWindow) {
+  RttSeries s;
+  s.start = TimePoint(kDay);
+  s.interval = kMinute * 5;
+  for (int i = 0; i < 288 * 4; ++i) s.ms.push_back(static_cast<double>(i));
+  const auto cut = slice(s, TimePoint(kDay * 2), TimePoint(kDay * 3));
+  EXPECT_EQ(cut.ms.size(), 288u);
+  EXPECT_DOUBLE_EQ(cut.ms.front(), 288.0);  // first sample of day 2
+  EXPECT_EQ(cut.start, TimePoint(kDay * 2));
+}
+
+TEST(Slice, ClampsOutOfRange) {
+  RttSeries s;
+  s.start = TimePoint{};
+  s.interval = kMinute * 5;
+  s.ms.assign(100, 1.0);
+  const auto before = slice(s, TimePoint(kDay * 10), TimePoint(kDay * 11));
+  EXPECT_TRUE(before.ms.empty());
+  const auto all = slice(s, TimePoint{}, TimePoint(kDay * 99));
+  EXPECT_EQ(all.ms.size(), 100u);
+}
+
+TEST(Slice, LinkSeriesSlicesBothSides) {
+  LinkSeries ls;
+  ls.key = "k";
+  ls.near_rtt.start = TimePoint{};
+  ls.near_rtt.interval = kMinute * 5;
+  ls.near_rtt.ms.assign(288 * 2, 1.0);
+  ls.far_rtt = ls.near_rtt;
+  const auto cut = slice(ls, TimePoint(kDay), TimePoint(kDay * 2));
+  EXPECT_EQ(cut.near_rtt.ms.size(), 288u);
+  EXPECT_EQ(cut.far_rtt.ms.size(), 288u);
+  EXPECT_EQ(cut.key, "k");
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+
+LinkSeries make_link(RttSeries near, RttSeries far) {
+  LinkSeries ls;
+  ls.key = "test";
+  ls.near_rtt = std::move(near);
+  ls.far_rtt = std::move(far);
+  return ls;
+}
+
+TEST(Classifier, CongestedVerdict) {
+  const auto link = make_link(flat_near(12, 1.0, 0.2, 20),
+                              diurnal_far(12, 2.0, 18.0, 12.0, 6.0, 0.3, 21));
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_EQ(rep.verdict, Verdict::kCongested);
+  EXPECT_TRUE(rep.near_clean);
+  EXPECT_TRUE(rep.diurnal.recurring);
+  EXPECT_NEAR(rep.waveform.a_w_ms, 18.0, 3.0);
+}
+
+TEST(Classifier, CleanLinkNotCongested) {
+  const auto link = make_link(flat_near(12, 1.0, 0.2, 22), flat_near(12, 2.0, 0.3, 23));
+  CongestionClassifier c;
+  EXPECT_EQ(c.classify(link).verdict, Verdict::kNotCongested);
+}
+
+TEST(Classifier, NonDiurnalShiftIsPotentiallyCongested) {
+  auto far = flat_near(20, 2.0, 0.3, 24);
+  // A 3-day route-change shift.
+  for (std::size_t i = 8 * kSamplesPerDay; i < 11 * kSamplesPerDay; ++i) far.ms[i] += 25.0;
+  const auto link = make_link(flat_near(20, 1.0, 0.2, 25), std::move(far));
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_EQ(rep.verdict, Verdict::kPotentiallyCongested);
+  EXPECT_FALSE(rep.has_diurnal_pattern());
+}
+
+TEST(Classifier, DirtyNearSideInconclusive) {
+  const auto far = diurnal_far(12, 2.0, 18.0, 12.0, 6.0, 0.3, 26);
+  const auto near = diurnal_far(12, 1.0, 12.0, 12.0, 6.0, 0.3, 27);  // near also shifts
+  const auto link = make_link(near, far);
+  CongestionClassifier c;
+  EXPECT_EQ(c.classify(link).verdict, Verdict::kInconclusive);
+}
+
+TEST(Classifier, SustainedWhenPatternReachesEnd) {
+  const auto link = make_link(flat_near(20, 1.0, 0.2, 28),
+                              diurnal_far(20, 2.0, 18.0, 12.0, 6.0, 0.3, 29));
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_EQ(rep.verdict, Verdict::kCongested);
+  EXPECT_EQ(rep.persistence, Persistence::kSustained);
+}
+
+TEST(Classifier, TransientWhenPatternStops) {
+  // Congested for the first 20 days of a 60-day series.
+  const auto far = diurnal_far(60, 2.0, 18.0, 12.0, 6.0, 0.3, 30, 0, 20);
+  const auto link = make_link(flat_near(60, 1.0, 0.2, 31), far);
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_EQ(rep.verdict, Verdict::kCongested);
+  EXPECT_EQ(rep.persistence, Persistence::kTransient);
+}
+
+TEST(Classifier, WeekdayWeekendSplit) {
+  // Weekday-only congestion (days 0-4 of each week).
+  RttSeries far;
+  far.start = TimePoint{};
+  far.interval = kMinute * 5;
+  Rng rng(32);
+  for (int d = 0; d < 28; ++d) {
+    const bool weekend = (d % 7) >= 5;
+    for (std::size_t i = 0; i < kSamplesPerDay; ++i) {
+      const double hour = 24.0 * static_cast<double>(i) / kSamplesPerDay;
+      const bool peak = hour >= 11 && hour < 17;
+      const double mag = peak ? (weekend ? 8.0 : 30.0) : 0.0;
+      far.ms.push_back(2.0 + mag + 0.3 * std::fabs(rng.normal()));
+    }
+  }
+  const auto link = make_link(flat_near(28, 1.0, 0.2, 33), far);
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_GT(rep.waveform.weekday_peak_ms, rep.waveform.weekend_peak_ms * 1.5);
+}
+
+TEST(Classifier, FarSideGoesDarkStillSustained) {
+  // GIXA-GHANATEL phase 2: probing stops answering on 06/08; the pattern
+  // ran right up to the blackout, so the congestion counts as sustained.
+  auto far = diurnal_far(30, 2.0, 12.0, 12.0, 8.0, 0.3, 34);
+  for (std::size_t i = 20 * kSamplesPerDay; i < far.ms.size(); ++i) far.ms[i] = kMissing;
+  const auto link = make_link(flat_near(30, 1.0, 0.2, 35), far);
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_TRUE(rep.verdict == Verdict::kCongested || rep.verdict == Verdict::kInconclusive);
+  EXPECT_EQ(rep.persistence, Persistence::kSustained);
+}
+
+// ---------------------------------------------------------------------------
+// Loss correlation (the Fig 2b / Fig 3b analysis)
+
+LossSeries make_loss(const RttSeries& rtt, const LevelShiftResult& shifts, double in_rate,
+                     double out_rate, int sent = 100) {
+  LossSeries loss;
+  loss.target = net::Ipv4Address(196, 49, 0, 2);
+  for (std::size_t i = 0; i < rtt.ms.size(); i += 12) {  // one batch per hour
+    bool inside = false;
+    for (const auto& e : shifts.episodes) {
+      if (i >= e.begin && i < e.end) inside = true;
+    }
+    LossBatch b;
+    b.at = rtt.time_of(i);
+    b.sent = sent;
+    b.lost = static_cast<int>(std::lround(sent * (inside ? in_rate : out_rate)));
+    loss.batches.push_back(b);
+  }
+  return loss;
+}
+
+TEST(LossCorrelation, CongestionDrivenLossConfirms) {
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 50);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  ASSERT_TRUE(shifts.any());
+  const auto loss = make_loss(far, shifts, 0.20, 0.0);  // 20% inside, clean outside
+  const auto corr = correlate_loss(loss, far, shifts);
+  EXPECT_GT(corr.batches_in, 0u);
+  EXPECT_GT(corr.batches_out, 0u);
+  EXPECT_NEAR(corr.loss_in_episodes, 0.20, 0.02);
+  EXPECT_NEAR(corr.loss_outside, 0.0, 0.01);
+  EXPECT_TRUE(corr.loss_confirms_congestion());
+  EXPECT_FALSE(corr.users_likely_unaffected());
+  EXPECT_GT(corr.correlation, 0.8);
+}
+
+TEST(LossCorrelation, KnetStyleLowLoss) {
+  // Diurnal RTT pattern but negligible loss everywhere: KNET's signature.
+  const auto far = diurnal_far(10, 2.0, 17.5, 12.0, 3.0, 0.3, 51);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  ASSERT_TRUE(shifts.any());
+  const auto loss = make_loss(far, shifts, 0.001, 0.001, /*sent=*/1000);
+  const auto corr = correlate_loss(loss, far, shifts);
+  EXPECT_FALSE(corr.loss_confirms_congestion());
+  EXPECT_TRUE(corr.users_likely_unaffected());
+  EXPECT_NEAR(corr.average_loss(), 0.001, 0.0005);
+}
+
+TEST(LossCorrelation, NoEpisodesMeansNoInsideBatches) {
+  const auto far = flat_near(10, 2.0, 0.2, 52);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  const auto loss = make_loss(far, shifts, 0.5, 0.002);
+  const auto corr = correlate_loss(loss, far, shifts);
+  EXPECT_EQ(corr.batches_in, 0u);
+  EXPECT_TRUE(std::isnan(corr.correlation));
+}
+
+}  // namespace
+}  // namespace ixp::tslp

@@ -1,0 +1,194 @@
+// afixp -- the command-line front end to the library.
+//
+//   afixp campaign  --vp 1 --days 60 --out cap.wlt --report rep.md
+//       run one of the paper's six VP campaigns, write a warts-lite
+//       capture and a Markdown congestion report.
+//   afixp analyze   <capture.wlt> --threshold 10
+//       re-analyse a capture with different detector settings.
+//   afixp tables    [--fast] [--round-minutes 30]
+//       regenerate the paper's Table 1 and Table 2 in one run.
+//   afixp casebook
+//       print the documented §6.2 case studies.
+#include <fstream>
+#include <iostream>
+
+#include "analysis/africa.h"
+#include "analysis/campaign.h"
+#include "analysis/casebook.h"
+#include "analysis/report.h"
+#include "analysis/tables.h"
+#include "prober/warts_lite.h"
+#include "tslp/classifier.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace ixp;
+
+int cmd_campaign(int argc, const char* const* argv) {
+  Flags flags("afixp campaign", "run one of the paper's six VP campaigns");
+  flags.add_int("vp", 1, "vantage point 1..6 (GIXA, TIX, JINX, SIXP, KIXP, RINEX)");
+  flags.add_int("days", 60, "campaign length in days (0 = the paper's full calendar)");
+  flags.add_int("round-minutes", 15, "TSLP probing cadence");
+  flags.add_string("out", "", "warts-lite capture path (empty = no capture)");
+  flags.add_string("report", "", "Markdown report path (empty = stdout summary only)");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const auto specs = analysis::make_all_vps();
+  const std::int64_t vp = flags.get_int("vp");
+  if (vp < 1 || vp > static_cast<std::int64_t>(specs.size())) {
+    std::cerr << "--vp must be 1..6\n";
+    return 2;
+  }
+  const auto& spec = specs[static_cast<std::size_t>(vp - 1)];
+  auto rt = analysis::build_scenario(spec);
+  analysis::CampaignOptions opt;
+  opt.round_interval = kMinute * flags.get_int("round-minutes");
+  if (flags.get_int("days") > 0) opt.duration_override = kDay * flags.get_int("days");
+  const auto result = analysis::run_campaign(*rt, spec, opt);
+
+  std::cout << spec.vp_name << " at " << spec.ixp.name << ": " << result.series.size()
+            << " monitored links, " << result.congested() << " congested, "
+            << result.potentially_congested(10.0) << " flagged at 10 ms\n";
+  for (const auto& s : result.snapshots) {
+    std::cout << "  " << analysis::format_date(s.at) << ": " << s.discovered_links << " ("
+              << s.peering_links << ") links, " << s.neighbors << " (" << s.peers
+              << ") neighbors, " << s.congested_links << " congested\n";
+  }
+  if (const auto out = flags.get_string("out"); !out.empty()) {
+    prober::WartsLiteFile file;
+    file.links = result.series;
+    std::ofstream f(out, std::ios::binary);
+    if (!prober::write_warts_lite(f, file)) {
+      std::cerr << "failed to write " << out << "\n";
+      return 1;
+    }
+    std::cout << "capture: " << out << "\n";
+  }
+  if (const auto rep = flags.get_string("report"); !rep.empty()) {
+    std::ofstream f(rep);
+    analysis::ReportOptions ropt;
+    ropt.include_link_appendix = true;
+    analysis::write_report(f, spec, result, ropt);
+    std::cout << "report: " << rep << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  Flags flags("afixp analyze", "re-analyse a warts-lite capture");
+  flags.add_double("threshold", 10.0, "level-shift magnitude threshold in ms");
+  flags.add_double("min-duration-min", 30.0, "minimum shift duration in minutes");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested() || flags.positional().empty()) {
+    std::cout << flags.help_text() << "\nusage: afixp analyze <capture.wlt> [flags]\n";
+    return flags.help_requested() ? 0 : 2;
+  }
+  std::ifstream in(flags.positional()[0], std::ios::binary);
+  const auto file = prober::read_warts_lite(in);
+  if (!file) {
+    std::cerr << flags.positional()[0] << ": not a warts-lite capture\n";
+    return 1;
+  }
+  tslp::ClassifierOptions copt;
+  copt.level_shift.threshold_ms = flags.get_double("threshold");
+  copt.level_shift.min_duration =
+      Duration(static_cast<std::int64_t>(flags.get_double("min-duration-min") * 60e9));
+  tslp::CongestionClassifier classifier(copt);
+  std::size_t flagged = 0;
+  for (const auto& link : file->links) {
+    const auto rep = classifier.classify(link);
+    if (!rep.potentially_congested()) continue;
+    ++flagged;
+    std::cout << link.key << ": "
+              << (rep.congested() ? "CONGESTED" : "flagged (no diurnal pattern)") << "  A_w="
+              << strformat("%.1f", rep.waveform.a_w_ms) << "ms\n";
+  }
+  std::cout << flagged << " of " << file->links.size() << " links flagged\n";
+  return 0;
+}
+
+int cmd_tables(int argc, const char* const* argv) {
+  Flags flags("afixp tables", "regenerate the paper's Table 1 and Table 2");
+  flags.add_bool("fast", false, "6-week campaigns instead of the full calendar");
+  flags.add_int("round-minutes", 30, "TSLP probing cadence");
+  flags.add_string("report", "", "write the combined multi-VP Markdown report here");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  std::vector<analysis::Table1Row> t1;
+  std::vector<analysis::Table2Row> t2;
+  std::vector<analysis::VpCampaignResult> results;
+  const auto specs = analysis::make_all_vps();
+  for (const auto& spec : specs) {
+    std::cout << "running " << spec.vp_name << "...\n" << std::flush;
+    auto rt = analysis::build_scenario(spec);
+    analysis::CampaignOptions opt;
+    opt.round_interval = kMinute * flags.get_int("round-minutes");
+    if (flags.get_bool("fast")) opt.duration_override = kDay * 42;
+    auto result = analysis::run_campaign(*rt, spec, opt);
+    t1.push_back(analysis::make_table1_row(result));
+    for (auto& row : analysis::make_table2_rows(result, spec)) t2.push_back(row);
+    results.push_back(std::move(result));
+  }
+  std::cout << "\n";
+  analysis::print_table1(std::cout, t1);
+  std::cout << "\n";
+  analysis::print_table2(std::cout, t2);
+  const auto headline = analysis::make_headline(results);
+  std::cout << "\nheadline: " << strformat("%.1f%%", headline.fraction())
+            << " of monitored peering links congested (paper: 2.2%)\n";
+  if (const auto rep = flags.get_string("report"); !rep.empty()) {
+    std::vector<std::pair<analysis::VpSpec, const analysis::VpCampaignResult*>> pairs;
+    for (std::size_t i = 0; i < specs.size(); ++i) pairs.emplace_back(specs[i], &results[i]);
+    std::ofstream f(rep);
+    analysis::write_combined_report(f, pairs);
+    std::cout << "combined report: " << rep << "\n";
+  }
+  return 0;
+}
+
+int cmd_casebook() {
+  for (const auto& cs : analysis::casebook()) {
+    std::cout << cs.id << " (" << cs.vp << ")\n";
+    std::cout << "  A_w " << cs.expected_a_w_ms << " ms, dt_UD "
+              << format_duration(cs.expected_dt_ud) << ", "
+              << (cs.sustained ? "sustained" : "transient") << "\n";
+    std::cout << "  cause: " << cs.cause << "\n\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: afixp <campaign|analyze|tables|casebook> [flags]\n"
+      "run 'afixp <command> --help' for the command's flags\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "campaign") return cmd_campaign(argc - 1, argv + 1);
+  if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
+  if (cmd == "tables") return cmd_tables(argc - 1, argv + 1);
+  if (cmd == "casebook") return cmd_casebook();
+  std::cerr << "unknown command '" << cmd << "'\n" << usage;
+  return 2;
+}
