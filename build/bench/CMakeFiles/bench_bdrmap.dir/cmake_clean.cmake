@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdrmap.dir/bench_bdrmap.cc.o"
+  "CMakeFiles/bench_bdrmap.dir/bench_bdrmap.cc.o.d"
+  "bench_bdrmap"
+  "bench_bdrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels.cc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cc.o" "gcc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ixp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdrmap/CMakeFiles/ixp_bdrmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/prober/CMakeFiles/ixp_prober.dir/DependInfo.cmake"
+  "/root/repo/build/src/tslp/CMakeFiles/ixp_tslp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ixp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/ixp_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ixp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ixp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ixp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ixp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ixp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_postmortem.dir/congestion_postmortem.cpp.o"
+  "CMakeFiles/congestion_postmortem.dir/congestion_postmortem.cpp.o.d"
+  "congestion_postmortem"
+  "congestion_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

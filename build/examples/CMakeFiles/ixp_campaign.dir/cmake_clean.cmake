@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_campaign.dir/ixp_campaign.cpp.o"
+  "CMakeFiles/ixp_campaign.dir/ixp_campaign.cpp.o.d"
+  "ixp_campaign"
+  "ixp_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamper_lite_tour.dir/scamper_lite_tour.cpp.o"
+  "CMakeFiles/scamper_lite_tour.dir/scamper_lite_tour.cpp.o.d"
+  "scamper_lite_tour"
+  "scamper_lite_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamper_lite_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scamper_lite_tour.
+# This may be replaced when dependencies are built.

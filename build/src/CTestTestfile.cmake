@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("stats")
+subdirs("sim")
+subdirs("topo")
+subdirs("routing")
+subdirs("registry")
+subdirs("prober")
+subdirs("bdrmap")
+subdirs("geo")
+subdirs("tslp")
+subdirs("analysis")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_analysis.dir/africa.cc.o"
+  "CMakeFiles/ixp_analysis.dir/africa.cc.o.d"
+  "CMakeFiles/ixp_analysis.dir/campaign.cc.o"
+  "CMakeFiles/ixp_analysis.dir/campaign.cc.o.d"
+  "CMakeFiles/ixp_analysis.dir/casebook.cc.o"
+  "CMakeFiles/ixp_analysis.dir/casebook.cc.o.d"
+  "CMakeFiles/ixp_analysis.dir/report.cc.o"
+  "CMakeFiles/ixp_analysis.dir/report.cc.o.d"
+  "CMakeFiles/ixp_analysis.dir/scenario.cc.o"
+  "CMakeFiles/ixp_analysis.dir/scenario.cc.o.d"
+  "CMakeFiles/ixp_analysis.dir/tables.cc.o"
+  "CMakeFiles/ixp_analysis.dir/tables.cc.o.d"
+  "libixp_analysis.a"
+  "libixp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdrmap/alias.cc" "src/bdrmap/CMakeFiles/ixp_bdrmap.dir/alias.cc.o" "gcc" "src/bdrmap/CMakeFiles/ixp_bdrmap.dir/alias.cc.o.d"
+  "/root/repo/src/bdrmap/bdrmap.cc" "src/bdrmap/CMakeFiles/ixp_bdrmap.dir/bdrmap.cc.o" "gcc" "src/bdrmap/CMakeFiles/ixp_bdrmap.dir/bdrmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prober/CMakeFiles/ixp_prober.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/ixp_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ixp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ixp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ixp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ixp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

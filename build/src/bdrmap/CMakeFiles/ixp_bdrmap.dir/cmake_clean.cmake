@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_bdrmap.dir/alias.cc.o"
+  "CMakeFiles/ixp_bdrmap.dir/alias.cc.o.d"
+  "CMakeFiles/ixp_bdrmap.dir/bdrmap.cc.o"
+  "CMakeFiles/ixp_bdrmap.dir/bdrmap.cc.o.d"
+  "libixp_bdrmap.a"
+  "libixp_bdrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/dns_lite.cc" "src/geo/CMakeFiles/ixp_geo.dir/dns_lite.cc.o" "gcc" "src/geo/CMakeFiles/ixp_geo.dir/dns_lite.cc.o.d"
+  "/root/repo/src/geo/geo.cc" "src/geo/CMakeFiles/ixp_geo.dir/geo.cc.o" "gcc" "src/geo/CMakeFiles/ixp_geo.dir/geo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/ixp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ixp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ixp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

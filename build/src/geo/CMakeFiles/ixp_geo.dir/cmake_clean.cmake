@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_geo.dir/dns_lite.cc.o"
+  "CMakeFiles/ixp_geo.dir/dns_lite.cc.o.d"
+  "CMakeFiles/ixp_geo.dir/geo.cc.o"
+  "CMakeFiles/ixp_geo.dir/geo.cc.o.d"
+  "libixp_geo.a"
+  "libixp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_net.dir/ipv4.cc.o"
+  "CMakeFiles/ixp_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/ixp_net.dir/wire.cc.o"
+  "CMakeFiles/ixp_net.dir/wire.cc.o.d"
+  "libixp_net.a"
+  "libixp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

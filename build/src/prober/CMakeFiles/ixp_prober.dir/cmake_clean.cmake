@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_prober.dir/prober.cc.o"
+  "CMakeFiles/ixp_prober.dir/prober.cc.o.d"
+  "CMakeFiles/ixp_prober.dir/tslp_driver.cc.o"
+  "CMakeFiles/ixp_prober.dir/tslp_driver.cc.o.d"
+  "CMakeFiles/ixp_prober.dir/warts_lite.cc.o"
+  "CMakeFiles/ixp_prober.dir/warts_lite.cc.o.d"
+  "libixp_prober.a"
+  "libixp_prober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_registry.dir/registry.cc.o"
+  "CMakeFiles/ixp_registry.dir/registry.cc.o.d"
+  "libixp_registry.a"
+  "libixp_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_routing.dir/asrank.cc.o"
+  "CMakeFiles/ixp_routing.dir/asrank.cc.o.d"
+  "CMakeFiles/ixp_routing.dir/bgp.cc.o"
+  "CMakeFiles/ixp_routing.dir/bgp.cc.o.d"
+  "libixp_routing.a"
+  "libixp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libixp_routing.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/ixp_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/ixp_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/ixp_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/ixp_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/ixp_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/ixp_sim.dir/node.cc.o.d"
+  "/root/repo/src/sim/queue.cc" "src/sim/CMakeFiles/ixp_sim.dir/queue.cc.o" "gcc" "src/sim/CMakeFiles/ixp_sim.dir/queue.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/sim/CMakeFiles/ixp_sim.dir/traffic.cc.o" "gcc" "src/sim/CMakeFiles/ixp_sim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ixp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

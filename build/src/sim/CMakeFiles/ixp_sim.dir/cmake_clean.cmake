@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_sim.dir/event.cc.o"
+  "CMakeFiles/ixp_sim.dir/event.cc.o.d"
+  "CMakeFiles/ixp_sim.dir/network.cc.o"
+  "CMakeFiles/ixp_sim.dir/network.cc.o.d"
+  "CMakeFiles/ixp_sim.dir/node.cc.o"
+  "CMakeFiles/ixp_sim.dir/node.cc.o.d"
+  "CMakeFiles/ixp_sim.dir/queue.cc.o"
+  "CMakeFiles/ixp_sim.dir/queue.cc.o.d"
+  "CMakeFiles/ixp_sim.dir/traffic.cc.o"
+  "CMakeFiles/ixp_sim.dir/traffic.cc.o.d"
+  "libixp_sim.a"
+  "libixp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/changepoint.cc" "src/stats/CMakeFiles/ixp_stats.dir/changepoint.cc.o" "gcc" "src/stats/CMakeFiles/ixp_stats.dir/changepoint.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ixp_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ixp_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/periodicity.cc" "src/stats/CMakeFiles/ixp_stats.dir/periodicity.cc.o" "gcc" "src/stats/CMakeFiles/ixp_stats.dir/periodicity.cc.o.d"
+  "/root/repo/src/stats/ranks.cc" "src/stats/CMakeFiles/ixp_stats.dir/ranks.cc.o" "gcc" "src/stats/CMakeFiles/ixp_stats.dir/ranks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

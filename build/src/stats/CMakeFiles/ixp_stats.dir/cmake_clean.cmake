@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_stats.dir/changepoint.cc.o"
+  "CMakeFiles/ixp_stats.dir/changepoint.cc.o.d"
+  "CMakeFiles/ixp_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ixp_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ixp_stats.dir/periodicity.cc.o"
+  "CMakeFiles/ixp_stats.dir/periodicity.cc.o.d"
+  "CMakeFiles/ixp_stats.dir/ranks.cc.o"
+  "CMakeFiles/ixp_stats.dir/ranks.cc.o.d"
+  "libixp_stats.a"
+  "libixp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

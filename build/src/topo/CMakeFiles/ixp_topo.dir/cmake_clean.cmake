@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_topo.dir/topology.cc.o"
+  "CMakeFiles/ixp_topo.dir/topology.cc.o.d"
+  "libixp_topo.a"
+  "libixp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tslp/classifier.cc" "src/tslp/CMakeFiles/ixp_tslp.dir/classifier.cc.o" "gcc" "src/tslp/CMakeFiles/ixp_tslp.dir/classifier.cc.o.d"
+  "/root/repo/src/tslp/level_shift.cc" "src/tslp/CMakeFiles/ixp_tslp.dir/level_shift.cc.o" "gcc" "src/tslp/CMakeFiles/ixp_tslp.dir/level_shift.cc.o.d"
+  "/root/repo/src/tslp/loss_analysis.cc" "src/tslp/CMakeFiles/ixp_tslp.dir/loss_analysis.cc.o" "gcc" "src/tslp/CMakeFiles/ixp_tslp.dir/loss_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ixp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ixp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ixp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

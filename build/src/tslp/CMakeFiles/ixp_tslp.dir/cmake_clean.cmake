@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_tslp.dir/classifier.cc.o"
+  "CMakeFiles/ixp_tslp.dir/classifier.cc.o.d"
+  "CMakeFiles/ixp_tslp.dir/level_shift.cc.o"
+  "CMakeFiles/ixp_tslp.dir/level_shift.cc.o.d"
+  "CMakeFiles/ixp_tslp.dir/loss_analysis.cc.o"
+  "CMakeFiles/ixp_tslp.dir/loss_analysis.cc.o.d"
+  "libixp_tslp.a"
+  "libixp_tslp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_tslp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

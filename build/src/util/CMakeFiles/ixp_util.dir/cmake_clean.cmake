@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/ixp_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/ixp_util.dir/csv.cc.o"
+  "CMakeFiles/ixp_util.dir/csv.cc.o.d"
+  "CMakeFiles/ixp_util.dir/flags.cc.o"
+  "CMakeFiles/ixp_util.dir/flags.cc.o.d"
+  "CMakeFiles/ixp_util.dir/log.cc.o"
+  "CMakeFiles/ixp_util.dir/log.cc.o.d"
+  "CMakeFiles/ixp_util.dir/rng.cc.o"
+  "CMakeFiles/ixp_util.dir/rng.cc.o.d"
+  "CMakeFiles/ixp_util.dir/strings.cc.o"
+  "CMakeFiles/ixp_util.dir/strings.cc.o.d"
+  "CMakeFiles/ixp_util.dir/time.cc.o"
+  "CMakeFiles/ixp_util.dir/time.cc.o.d"
+  "libixp_util.a"
+  "libixp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

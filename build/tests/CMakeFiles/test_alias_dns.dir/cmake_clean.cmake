@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alias_dns.dir/test_alias_dns.cc.o"
+  "CMakeFiles/test_alias_dns.dir/test_alias_dns.cc.o.d"
+  "test_alias_dns"
+  "test_alias_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alias_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tslp.dir/test_tslp.cc.o"
+  "CMakeFiles/test_tslp.dir/test_tslp.cc.o.d"
+  "test_tslp"
+  "test_tslp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tslp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stats "/root/repo/build/tests/test_stats")
+set_tests_properties(test_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_topo "/root/repo/build/tests/test_topo")
+set_tests_properties(test_topo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_routing "/root/repo/build/tests/test_routing")
+set_tests_properties(test_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_registry "/root/repo/build/tests/test_registry")
+set_tests_properties(test_registry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_prober "/root/repo/build/tests/test_prober")
+set_tests_properties(test_prober PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bdrmap "/root/repo/build/tests/test_bdrmap")
+set_tests_properties(test_bdrmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_geo "/root/repo/build/tests/test_geo")
+set_tests_properties(test_geo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tslp "/root/repo/build/tests/test_tslp")
+set_tests_properties(test_tslp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_alias_dns "/root/repo/build/tests/test_alias_dns")
+set_tests_properties(test_alias_dns PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;ixp_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_campaigns "/root/repo/build/tests/test_campaigns")
+set_tests_properties(test_campaigns PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;ixp_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afixp.dir/afixp.cpp.o"
+  "CMakeFiles/afixp.dir/afixp.cpp.o.d"
+  "afixp"
+  "afixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for afixp.
+# This may be replaced when dependencies are built.
