@@ -6,6 +6,8 @@
 // environment variables so the full-fidelity run stays available:
 //   IXP_ROUND_MINUTES  probing cadence (default 30; the paper used 5)
 //   IXP_FAST=1         shorten campaigns (smoke-test mode)
+//   IXP_JOBS=N         parallel campaigns for the fleet-based table benches
+//                      (default: hardware concurrency, clamped to VP count)
 #pragma once
 
 #include <cstdlib>
@@ -14,6 +16,7 @@
 
 #include "analysis/africa.h"
 #include "analysis/campaign.h"
+#include "analysis/fleet.h"
 #include "analysis/tables.h"
 #include "tslp/series.h"
 #include "util/ascii_chart.h"
@@ -50,6 +53,22 @@ inline analysis::VpCampaignResult run_vp(const analysis::VpSpec& spec,
     opt.duration_override = kDay * 42;
   }
   return analysis::run_campaign(*rt, spec, opt);
+}
+
+/// Runs a whole VP fleet in parallel with bench-standard options (cadence
+/// and duration from the environment, IXP_JOBS-many workers).  Live status
+/// and the metrics table render on stderr; stdout stays byte-identical to
+/// a serial run, so bench output can still be diffed.
+inline analysis::FleetResult run_fleet_vps(const std::vector<analysis::VpSpec>& specs) {
+  analysis::FleetOptions opt;
+  opt.campaign.round_interval = round_interval_from_env();
+  if (fast_mode()) opt.campaign.duration_override = kDay * 42;
+  analysis::FleetStatusPrinter status(std::cerr, specs);
+  opt.on_progress = [&status](const analysis::CampaignMetrics& m) { status(m); };
+  auto fleet = analysis::run_fleet(specs, opt);
+  status.finish();
+  analysis::print_fleet_metrics(std::cerr, fleet);
+  return fleet;
 }
 
 /// First series whose far AS matches (and, optionally, whose IXP flag).

@@ -17,14 +17,12 @@ int main() {
   std::cout << "cadence: " << format_duration(bench::round_interval_from_env())
             << (bench::fast_mode() ? "  (IXP_FAST: 6-week campaign)\n" : "  (full campaign)\n");
 
+  const auto specs = analysis::make_all_vps();
+  const auto fleet = bench::run_fleet_vps(specs);
   std::vector<analysis::Table1Row> rows;
-  for (const auto& spec : analysis::make_all_vps()) {
-    std::cout << "running " << spec.vp_name << " (" << spec.ixp.name << ", "
-              << spec.neighbors.size() << " neighbors)...\n"
-              << std::flush;
-    const auto result = bench::run_vp(spec);
+  for (const auto& result : fleet.results) {
     rows.push_back(analysis::make_table1_row(result));
-    std::cout << "  monitored links: " << result.series.size()
+    std::cout << result.vp_name << ": monitored links: " << result.series.size()
               << ", probes sent: " << result.probes_sent << "\n";
   }
   std::cout << "\n";

@@ -11,15 +11,13 @@ int main() {
   std::cout << "bench_table2: evolution of discovered links / neighbors / congestion\n";
   std::cout << "cadence: " << format_duration(bench::round_interval_from_env()) << "\n";
 
-  std::vector<analysis::Table2Row> rows;
-  std::vector<analysis::VpCampaignResult> results;
   std::vector<analysis::VpSpec> specs = analysis::make_all_vps();
-  for (const auto& spec : specs) {
-    std::cout << "running " << spec.vp_name << "...\n" << std::flush;
-    auto result = bench::run_vp(spec);
-    for (auto& row : analysis::make_table2_rows(result, spec)) rows.push_back(row);
-    results.push_back(std::move(result));
+  auto fleet = bench::run_fleet_vps(specs);
+  std::vector<analysis::Table2Row> rows;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (auto& row : analysis::make_table2_rows(fleet.results[i], specs[i])) rows.push_back(row);
   }
+  std::vector<analysis::VpCampaignResult> results = std::move(fleet.results);
   std::cout << "\n";
   analysis::print_table2(std::cout, rows);
 

@@ -72,6 +72,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
 
   // ---- Discovery: initial bdrmap run --------------------------------------
   auto run_bdrmap = [&]() {
+    ++result.bdrmap_runs;
     const auto data = registry::harvest(rt.topology, *rt.bgp, rt.vp_asn, rt.collectors);
     bdrmap::Bdrmap mapper(prober, data, rt.vp_asn);
     return mapper.run();
@@ -167,6 +168,18 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     result.snapshots.push_back(std::move(snap));
   };
 
+  auto report_progress = [&](TimePoint at, bool finished) {
+    if (!opt.on_progress) return;
+    CampaignProgress p;
+    p.at = at;
+    p.rounds = result.rounds_completed;
+    p.probes = prober.probes_sent();
+    p.bdrmap_runs = result.bdrmap_runs;
+    p.monitored_links = targets.size();
+    p.finished = finished;
+    opt.on_progress(p);
+  };
+
   // ---- Main loop ------------------------------------------------------------
   TimePoint t = start;
   for (const TimePoint b : boundaries) {
@@ -178,7 +191,8 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       // campaign for path-symmetry checks).
       cfg.rr_every_rounds = static_cast<int>(kDay.count() / opt.round_interval.count());
       prober::TslpDriver driver(prober, cfg);
-      auto segment = driver.run(targets, t, b);
+      auto segment = driver.run(targets, t, b,
+                                [&](std::size_t) { ++result.rounds_completed; });
       result.record_routes += driver.record_routes();
       result.record_routes_symmetric += driver.record_routes_symmetric();
       for (std::size_t i = 0; i < segment.size(); ++i) {
@@ -219,6 +233,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       IXP_INFO << spec.vp_name << " boundary " << format_time(b) << ": " << targets.size()
                << " monitored links";
     }
+    report_progress(b, false);
   }
 
   // ---- Final classification (5 ms floor for threshold sweeps) --------------
@@ -229,6 +244,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
   result.series = std::move(series);
   result.probes_sent = prober.probes_sent();
+  report_progress(end, true);
   return result;
 }
 

@@ -12,6 +12,7 @@
 //      5 ms floor, diurnal pattern, near-side cleanliness) for Table 1.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,17 @@
 
 namespace ixp::analysis {
 
+/// Cumulative progress of a running campaign, reported at segment
+/// boundaries (membership changes, Table 2 snapshots) and at completion.
+struct CampaignProgress {
+  TimePoint at{};                  ///< simulated time reached
+  std::uint64_t rounds = 0;        ///< TSLP rounds completed so far
+  std::uint64_t probes = 0;        ///< probes sent so far
+  std::uint64_t bdrmap_runs = 0;   ///< border-mapping (re-)discoveries so far
+  std::size_t monitored_links = 0;
+  bool finished = false;
+};
+
 struct CampaignOptions {
   Duration round_interval = kMinute * 5;
   /// Override of the campaign window (0 = use the spec's window).  Benches
@@ -30,6 +42,10 @@ struct CampaignOptions {
   Duration duration_override = Duration(0);
   tslp::ClassifierOptions classifier;
   bool verbose = false;
+  /// Invoked on the campaign's own thread at every segment boundary and
+  /// once with finished=true.  The fleet driver (fleet.h) hooks this to
+  /// render live per-VP status; must not touch the runtime.
+  std::function<void(const CampaignProgress&)> on_progress;
 };
 
 struct SnapshotResult {
@@ -54,6 +70,8 @@ struct VpCampaignResult {
   std::uint64_t probes_sent = 0;          ///< Table 2's "total # traceroutes" role
   std::uint64_t record_routes = 0;        ///< Table 2's "total # record routes"
   std::uint64_t record_routes_symmetric = 0;
+  std::uint64_t rounds_completed = 0;     ///< TSLP rounds over the whole campaign
+  std::uint64_t bdrmap_runs = 0;          ///< initial discovery + membership re-runs
 
   /// Links with any level-shift episode of magnitude >= threshold_ms.
   [[nodiscard]] std::size_t potentially_congested(double threshold_ms) const;

@@ -1,0 +1,138 @@
+#include "analysis/fleet.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace ixp::analysis {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+long peak_rss_kb_now() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+std::string human_count(double v) {
+  if (v >= 1e9) return strformat("%.1fG", v / 1e9);
+  if (v >= 1e6) return strformat("%.1fM", v / 1e6);
+  if (v >= 1e3) return strformat("%.1fk", v / 1e3);
+  return strformat("%.0f", v);
+}
+
+}  // namespace
+
+FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt) {
+  FleetResult out;
+  out.results.resize(specs.size());
+  out.metrics.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out.metrics[i].vp_name = specs[i].vp_name;
+    out.metrics[i].vp_index = i;
+  }
+  out.jobs_used = ThreadPool::resolve_jobs(opt.jobs, specs.size());
+
+  const auto fleet_t0 = WallClock::now();
+  std::mutex progress_mu;
+  auto emit = [&](const CampaignMetrics& m) {
+    if (!opt.on_progress) return;
+    std::lock_guard<std::mutex> lk(progress_mu);
+    opt.on_progress(m);
+  };
+
+  ThreadPool pool(out.jobs_used);
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    CampaignMetrics& m = out.metrics[i];  // written only by this worker
+    const auto t0 = WallClock::now();
+    CampaignOptions copt = opt.campaign;
+    copt.on_progress = [&](const CampaignProgress& p) {
+      m.rounds_completed = p.rounds;
+      m.probes_sent = p.probes;
+      m.bdrmap_runs = p.bdrmap_runs;
+      m.monitored_links = p.monitored_links;
+      m.wall_seconds = seconds_since(t0);
+      if (!p.finished) emit(m);  // the finished event fires below, with RSS
+    };
+    auto rt = build_scenario(specs[i]);
+    auto result = run_campaign(*rt, specs[i], copt);
+    m.rounds_completed = result.rounds_completed;
+    m.probes_sent = result.probes_sent;
+    m.bdrmap_runs = result.bdrmap_runs;
+    m.monitored_links = result.series.size();
+    m.wall_seconds = seconds_since(t0);
+    m.probes_per_sec = m.wall_seconds > 0 ? static_cast<double>(m.probes_sent) / m.wall_seconds : 0;
+    m.peak_rss_kb = peak_rss_kb_now();
+    m.finished = true;
+    out.results[i] = std::move(result);
+    emit(m);
+  });
+
+  out.wall_seconds = seconds_since(fleet_t0);
+  return out;
+}
+
+FleetStatusPrinter::FleetStatusPrinter(std::ostream& out, const std::vector<VpSpec>& specs)
+    : out_(out), cells_(specs.size()) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    cells_[i] = strformat("[%s ...]", specs[i].vp_name.c_str());
+  }
+}
+
+FleetStatusPrinter::~FleetStatusPrinter() { finish(); }
+
+void FleetStatusPrinter::operator()(const CampaignMetrics& m) {
+  if (m.vp_index >= cells_.size()) return;
+  cells_[m.vp_index] =
+      m.finished
+          ? strformat("[%s ok %.1fs]", m.vp_name.c_str(), m.wall_seconds)
+          : strformat("[%s %llur %sp]", m.vp_name.c_str(),
+                      static_cast<unsigned long long>(m.rounds_completed),
+                      human_count(static_cast<double>(m.probes_sent)).c_str());
+  render();
+}
+
+void FleetStatusPrinter::render() {
+  std::string line;
+  for (const auto& c : cells_) {
+    if (!line.empty()) line += ' ';
+    line += c;
+  }
+  const std::size_t width = line.size();
+  if (width < last_width_) line.append(last_width_ - width, ' ');
+  last_width_ = width;
+  out_ << '\r' << line << std::flush;
+}
+
+void FleetStatusPrinter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (last_width_ > 0) out_ << '\n' << std::flush;
+}
+
+void print_fleet_metrics(std::ostream& out, const FleetResult& fleet) {
+  out << strformat("%-5s %9s %10s %10s %7s %6s %8s %9s\n", "VP", "rounds", "probes",
+                   "probes/s", "bdrmap", "links", "wall", "peak RSS");
+  for (const auto& m : fleet.metrics) {
+    out << strformat("%-5s %9llu %10s %10s %7llu %6zu %7.1fs %7ldMB\n", m.vp_name.c_str(),
+                     static_cast<unsigned long long>(m.rounds_completed),
+                     human_count(static_cast<double>(m.probes_sent)).c_str(),
+                     human_count(m.probes_per_sec).c_str(),
+                     static_cast<unsigned long long>(m.bdrmap_runs), m.monitored_links,
+                     m.wall_seconds, m.peak_rss_kb / 1024);
+  }
+  out << strformat("fleet: %d job%s, %.1fs wall\n", fleet.jobs_used,
+                   fleet.jobs_used == 1 ? "" : "s", fleet.wall_seconds);
+}
+
+}  // namespace ixp::analysis

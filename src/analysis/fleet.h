@@ -1,0 +1,93 @@
+// Fleet driver: runs many VP campaigns concurrently.
+//
+// The paper's measurement plane is embarrassingly parallel -- six Ark
+// vantage points probed their IXPs independently for a year -- so the
+// fleet fans the campaigns out across a deterministic thread pool
+// (util/thread_pool.h).  Each worker builds its *own* ScenarioRuntime, so
+// no simulator state is ever shared, and results are merged in spec order:
+// the output is bit-identical to the serial path for any job count
+// (pinned by tests/test_fleet.cc).
+//
+// Each campaign carries a per-run metrics struct (rounds, probes/sec,
+// bdrmap re-runs, peak RSS sample, wall time) surfaced through a progress
+// callback; FleetStatusPrinter renders those as the live per-VP status
+// line used by `afixp tables --jobs N` and the table benches.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.h"
+
+namespace ixp::analysis {
+
+/// Per-campaign run metrics, updated while the campaign progresses and
+/// finalized when it completes.  Host-side observability only: nothing in
+/// here feeds back into the (deterministic) simulation.
+struct CampaignMetrics {
+  std::string vp_name;
+  std::size_t vp_index = 0;           ///< position in the spec list
+  std::uint64_t rounds_completed = 0; ///< TSLP rounds so far
+  std::uint64_t probes_sent = 0;
+  std::uint64_t bdrmap_runs = 0;      ///< discovery + membership re-runs
+  std::size_t monitored_links = 0;
+  double wall_seconds = 0.0;          ///< host wall-clock of this campaign
+  double probes_per_sec = 0.0;        ///< probes_sent / wall_seconds
+  long peak_rss_kb = 0;               ///< process peak RSS, sampled at completion
+  bool finished = false;
+};
+
+/// Receives a snapshot of one campaign's metrics whenever it progresses.
+/// The fleet serializes invocations (never two at once), but they arrive
+/// on whichever worker thread made the progress.
+using FleetProgressFn = std::function<void(const CampaignMetrics&)>;
+
+struct FleetOptions {
+  CampaignOptions campaign;
+  /// Worker threads.  0 = auto: the IXP_JOBS environment variable if set,
+  /// else hardware concurrency; always clamped to the fleet size.
+  int jobs = 0;
+  FleetProgressFn on_progress;
+};
+
+struct FleetResult {
+  std::vector<VpCampaignResult> results;  ///< spec order
+  std::vector<CampaignMetrics> metrics;   ///< spec order
+  int jobs_used = 1;
+  double wall_seconds = 0.0;              ///< whole-fleet wall clock
+};
+
+/// Runs every campaign in `specs` across the pool and returns results in
+/// spec order.  A campaign that throws does not abort its siblings; the
+/// first (lowest-index) exception is rethrown after the fleet drains.
+FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt = {});
+
+/// Renders a live one-line status of every campaign, rewritten in place
+/// with '\r' on each progress event.  Point it at stderr so that table
+/// output on stdout stays machine-readable and byte-identical across job
+/// counts.  Call finish() (or destroy) to end the line.
+class FleetStatusPrinter {
+ public:
+  FleetStatusPrinter(std::ostream& out, const std::vector<VpSpec>& specs);
+  ~FleetStatusPrinter();
+
+  /// Bind as the FleetProgressFn: printer(metrics).
+  void operator()(const CampaignMetrics& m);
+  void finish();
+
+ private:
+  void render();
+
+  std::ostream& out_;
+  std::vector<std::string> cells_;
+  std::size_t last_width_ = 0;
+  bool finished_ = false;
+};
+
+/// Prints the per-campaign metrics table (rounds, probes, probes/s,
+/// bdrmap runs, links, wall, peak RSS) after a fleet run.
+void print_fleet_metrics(std::ostream& out, const FleetResult& fleet);
+
+}  // namespace ixp::analysis

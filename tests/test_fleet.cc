@@ -1,0 +1,184 @@
+// Fleet executor + thread pool: the parallel campaign path must be
+// bit-identical to the serial path for any job count (the determinism
+// pin behind `afixp tables --jobs N`), and the pool must drain cleanly
+// when a campaign throws.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/africa.h"
+#include "analysis/fleet.h"
+#include "analysis/tables.h"
+#include "util/thread_pool.h"
+
+namespace ixp::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialDegenerateCase) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  // One thread claims indices strictly in submission order.
+  std::vector<int> want(8);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+}
+
+TEST(ThreadPool, DrainsUnderExceptionsAndStaysUsable) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> ran(16);
+  // Two tasks throw; the lowest index must be the one reported, every
+  // other task must still run, and the pool must survive for a new batch.
+  EXPECT_THROW(
+      {
+        try {
+          pool.parallel_for(ran.size(), [&](std::size_t i) {
+            ++ran[i];
+            if (i == 11) throw std::runtime_error("task 11");
+            if (i == 3) throw std::runtime_error("task 3");
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task 3");
+          throw;
+        }
+      },
+      std::runtime_error);
+  for (const auto& h : ran) EXPECT_EQ(h.load(), 1);
+
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, BackToBackBatchesOfChangingSize) {
+  // Stresses the stale-worker guard: rapid small batches of shrinking and
+  // growing sizes must never claim an out-of-range index.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(iter * 13 % 7);
+    std::atomic<int> count{0};
+    std::atomic<bool> out_of_range{false};
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i >= n) out_of_range = true;
+      ++count;
+    });
+    ASSERT_FALSE(out_of_range.load()) << "iter " << iter;
+    ASSERT_EQ(count.load(), static_cast<int>(n)) << "iter " << iter;
+  }
+}
+
+TEST(ThreadPool, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(2, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+  pool.parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ResolveJobsClampsAndReadsEnv) {
+  unsetenv("IXP_JOBS");
+  EXPECT_EQ(ThreadPool::resolve_jobs(4, 6), 4);
+  EXPECT_EQ(ThreadPool::resolve_jobs(16, 6), 6);   // clamp to fleet size
+  EXPECT_GE(ThreadPool::resolve_jobs(0, 6), 1);    // auto is at least 1
+  setenv("IXP_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, 6), 3);    // env fills in auto
+  EXPECT_EQ(ThreadPool::resolve_jobs(0, 2), 2);    // still clamped
+  EXPECT_EQ(ThreadPool::resolve_jobs(5, 6), 5);    // explicit beats env
+  setenv("IXP_JOBS", "garbage", 1);
+  EXPECT_GE(ThreadPool::resolve_jobs(0, 6), 1);    // unparsable -> hardware
+  unsetenv("IXP_JOBS");
+}
+
+// ---------------------------------------------------------------------------
+// Fleet determinism: parallel == serial, any job count.
+
+// Renders the Table 1 + Table 2 rows exactly as the table benches do, so
+// "byte-identical" here is the same property the acceptance check pins.
+std::string render_tables(const std::vector<VpCampaignResult>& results,
+                          const std::vector<VpSpec>& specs) {
+  std::vector<Table1Row> t1;
+  std::vector<Table2Row> t2;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    t1.push_back(make_table1_row(results[i]));
+    for (auto& row : make_table2_rows(results[i], specs[i])) t2.push_back(row);
+  }
+  std::ostringstream out;
+  print_table1(out, t1);
+  print_table2(out, t2);
+  return out.str();
+}
+
+TEST(Fleet, ParallelMatchesSerialByteForByte) {
+  const auto specs = make_all_vps();
+  CampaignOptions copt;
+  copt.round_interval = kMinute * 30;
+  copt.duration_override = kDay * 14;  // 2-week fast campaigns
+
+  // Serial reference: plain run_campaign per spec, no pool involved.
+  std::vector<VpCampaignResult> serial;
+  for (const auto& spec : specs) {
+    auto rt = build_scenario(spec);
+    serial.push_back(run_campaign(*rt, spec, copt));
+  }
+  const std::string want = render_tables(serial, specs);
+  ASSERT_FALSE(want.empty());
+
+  for (const int jobs : {1, 2, 6}) {
+    FleetOptions fopt;
+    fopt.campaign = copt;
+    fopt.jobs = jobs;
+    const auto fleet = run_fleet(specs, fopt);
+    EXPECT_EQ(fleet.jobs_used, jobs);
+    EXPECT_EQ(render_tables(fleet.results, specs), want) << "jobs=" << jobs;
+  }
+}
+
+TEST(Fleet, MetricsArePopulatedInSpecOrder) {
+  const auto specs = make_all_vps();
+  FleetOptions fopt;
+  fopt.campaign.round_interval = kMinute * 60;
+  fopt.campaign.duration_override = kDay * 7;
+  fopt.jobs = 2;
+  std::atomic<int> progress_events{0};
+  fopt.on_progress = [&](const CampaignMetrics& m) {
+    ++progress_events;
+    EXPECT_LT(m.vp_index, specs.size());
+  };
+  const auto fleet = run_fleet(specs, fopt);
+  ASSERT_EQ(fleet.metrics.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& m = fleet.metrics[i];
+    EXPECT_EQ(m.vp_name, specs[i].vp_name);
+    EXPECT_EQ(m.vp_index, i);
+    EXPECT_TRUE(m.finished);
+    EXPECT_GT(m.rounds_completed, 0u);
+    EXPECT_GT(m.probes_sent, 0u);
+    EXPECT_GE(m.bdrmap_runs, 1u);
+    EXPECT_GT(m.monitored_links, 0u);
+    EXPECT_GT(m.peak_rss_kb, 0);
+    EXPECT_EQ(m.probes_sent, fleet.results[i].probes_sent);
+    EXPECT_EQ(m.rounds_completed, fleet.results[i].rounds_completed);
+    EXPECT_EQ(m.bdrmap_runs, fleet.results[i].bdrmap_runs);
+  }
+  // At minimum the six finished events fired; boundary events add more.
+  EXPECT_GE(progress_events.load(), static_cast<int>(specs.size()));
+  EXPECT_GT(fleet.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ixp::analysis

@@ -5,8 +5,9 @@
 //       capture and a Markdown congestion report.
 //   afixp analyze   <capture.wlt> --threshold 10
 //       re-analyse a capture with different detector settings.
-//   afixp tables    [--fast] [--round-minutes 30]
-//       regenerate the paper's Table 1 and Table 2 in one run.
+//   afixp tables    [--fast] [--round-minutes 30] [--jobs N]
+//       regenerate the paper's Table 1 and Table 2 in one run, fanning
+//       the six VP campaigns out across a thread pool.
 //   afixp casebook
 //       print the documented §6.2 case studies.
 #include <fstream>
@@ -15,6 +16,7 @@
 #include "analysis/africa.h"
 #include "analysis/campaign.h"
 #include "analysis/casebook.h"
+#include "analysis/fleet.h"
 #include "analysis/report.h"
 #include "analysis/tables.h"
 #include "prober/warts_lite.h"
@@ -25,6 +27,18 @@
 namespace {
 
 using namespace ixp;
+
+// Keep this list in sync with README "Environment knobs" (tools/check_docs.sh
+// cross-checks the two).
+constexpr const char* kEnvHelp =
+    "environment knobs:\n"
+    "  IXP_ROUND_MINUTES  TSLP probing cadence in minutes for table/bench\n"
+    "                     campaigns (default 30; the paper probed every 5)\n"
+    "  IXP_FAST           when set (and not 0), shorten campaigns to 6 weeks\n"
+    "                     (smoke-test mode for the table benches)\n"
+    "  IXP_JOBS           default worker-thread count for fleet runs when\n"
+    "                     --jobs is 0/absent (else hardware concurrency,\n"
+    "                     clamped to the number of campaigns)\n";
 
 int cmd_campaign(int argc, const char* const* argv) {
   Flags flags("afixp campaign", "run one of the paper's six VP campaigns");
@@ -122,30 +136,38 @@ int cmd_tables(int argc, const char* const* argv) {
   Flags flags("afixp tables", "regenerate the paper's Table 1 and Table 2");
   flags.add_bool("fast", false, "6-week campaigns instead of the full calendar");
   flags.add_int("round-minutes", 30, "TSLP probing cadence");
+  flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
   flags.add_string("report", "", "write the combined multi-VP Markdown report here");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
   }
   if (flags.help_requested()) {
-    std::cout << flags.help_text();
+    std::cout << flags.help_text() << "\n" << kEnvHelp;
     return 0;
   }
+  const auto specs = analysis::make_all_vps();
+
+  // All six campaigns fan out across the fleet; the live status line and
+  // the metrics table go to stderr so stdout stays machine-readable and
+  // byte-identical for every --jobs value.
+  analysis::FleetOptions fopt;
+  fopt.campaign.round_interval = kMinute * flags.get_int("round-minutes");
+  if (flags.get_bool("fast")) fopt.campaign.duration_override = kDay * 42;
+  fopt.jobs = static_cast<int>(flags.get_int("jobs"));
+  analysis::FleetStatusPrinter status(std::cerr, specs);
+  fopt.on_progress = [&status](const analysis::CampaignMetrics& m) { status(m); };
+  auto fleet = analysis::run_fleet(specs, fopt);
+  status.finish();
+  analysis::print_fleet_metrics(std::cerr, fleet);
+
   std::vector<analysis::Table1Row> t1;
   std::vector<analysis::Table2Row> t2;
-  std::vector<analysis::VpCampaignResult> results;
-  const auto specs = analysis::make_all_vps();
-  for (const auto& spec : specs) {
-    std::cout << "running " << spec.vp_name << "...\n" << std::flush;
-    auto rt = analysis::build_scenario(spec);
-    analysis::CampaignOptions opt;
-    opt.round_interval = kMinute * flags.get_int("round-minutes");
-    if (flags.get_bool("fast")) opt.duration_override = kDay * 42;
-    auto result = analysis::run_campaign(*rt, spec, opt);
-    t1.push_back(analysis::make_table1_row(result));
-    for (auto& row : analysis::make_table2_rows(result, spec)) t2.push_back(row);
-    results.push_back(std::move(result));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    t1.push_back(analysis::make_table1_row(fleet.results[i]));
+    for (auto& row : analysis::make_table2_rows(fleet.results[i], specs[i])) t2.push_back(row);
   }
+  const auto& results = fleet.results;
   std::cout << "\n";
   analysis::print_table1(std::cout, t1);
   std::cout << "\n";

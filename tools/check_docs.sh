@@ -1,0 +1,71 @@
+#!/bin/sh
+# Documentation lint, run from CTest (see tools/CMakeLists.txt).
+#
+# Fails when README.md references a binary, afixp subcommand, afixp flag,
+# or IXP_* environment variable that no longer exists -- and, conversely,
+# when the sources read an IXP_* knob that README does not document.
+#
+# usage: check_docs.sh <source_dir> <afixp_binary>
+set -u
+
+src=${1:?usage: check_docs.sh <source_dir> <afixp_binary>}
+afixp=${2:?usage: check_docs.sh <source_dir> <afixp_binary>}
+readme="$src/README.md"
+errors=$(mktemp)
+trap 'rm -f "$errors"' EXIT
+
+err() {
+    echo "check_docs: $*" | tee -a "$errors" >&2
+}
+
+[ -r "$readme" ] || { err "cannot read $readme"; exit 1; }
+[ -x "$afixp" ] || { err "cannot execute $afixp"; exit 1; }
+
+# --- 1. Every bench_* binary README mentions has a source file ------------
+for b in $(grep -o 'bench_[a-z0-9_]*' "$readme" | sort -u); do
+    [ -f "$src/bench/$b.cc" ] || err "README references '$b' but bench/$b.cc does not exist"
+done
+
+# --- 2. Every 'afixp <sub>' subcommand README mentions is real ------------
+usage=$("$afixp" 2>&1)
+for c in $(grep -oE 'afixp [a-z]+' "$readme" | awk '{print $2}' | sort -u); do
+    echo "$usage" | grep -qw "$c" || err "README references 'afixp $c' but afixp usage does not list it"
+done
+
+# --- 3. Every --flag on an afixp command line in README parses ------------
+# Lines like `./build/tools/afixp tables --fast --jobs 6`: each flag must
+# appear in that subcommand's --help.
+grep -oE 'afixp [a-z]+[^)`|]*' "$readme" | while read -r line; do
+    sub=$(echo "$line" | awk '{print $2}')
+    help=$("$afixp" "$sub" --help 2>&1)
+    for flag in $(echo "$line" | grep -oE '\-\-[a-z-]+' | sort -u); do
+        [ "$flag" = "--help" ] && continue  # implicit on every subcommand
+        echo "$help" | grep -q -- "$flag" ||
+            err "README uses 'afixp $sub $flag' but 'afixp $sub --help' does not document it"
+    done
+done
+
+# --- 4. IXP_* env knobs: README <-> sources must agree --------------------
+src_knobs=$(grep -rhoE 'getenv\("IXP_[A-Z_]+"\)' \
+    "$src/src" "$src/bench" "$src/tools" "$src/examples" 2>/dev/null |
+    grep -oE 'IXP_[A-Z_]+' | sort -u)
+readme_knobs=$(grep -oE 'IXP_[A-Z_]+' "$readme" | sort -u)
+for k in $readme_knobs; do
+    echo "$src_knobs" | grep -qx "$k" || err "README documents env knob '$k' but no source reads it"
+done
+for k in $src_knobs; do
+    echo "$readme_knobs" | grep -qx "$k" || err "sources read env knob '$k' but README does not document it"
+    "$afixp" tables --help 2>&1 | grep -q "$k" ||
+        err "'afixp tables --help' does not mention env knob '$k'"
+done
+
+# --- 5. Docs cross-links resolve ------------------------------------------
+for doc in $(grep -oE '\]\(([A-Za-z0-9_/.-]+\.md)\)' "$readme" | sed 's/](\(.*\))/\1/' | sort -u); do
+    [ -f "$src/$doc" ] || err "README links to '$doc' but the file does not exist"
+done
+
+if [ -s "$errors" ]; then
+    echo "check_docs: FAILED ($(wc -l < "$errors") problem(s))" >&2
+    exit 1
+fi
+echo "check_docs: OK"
