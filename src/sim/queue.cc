@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+#include "util/strings.h"
+
 namespace ixp::sim {
+
+namespace {
+
+// The backlog is the TSLP observable; if it ever leaves [0, buffer] the
+// level-shift magnitudes downstream are silently wrong.
+void check_backlog(double backlog, double buffer) {
+  IXP_CHECK(backlog >= 0.0 && backlog <= buffer,
+            strformat("fluid backlog %.3f bytes outside [0, %.3f]", backlog, buffer));
+}
+
+}  // namespace
 
 void FluidQueue::advance(TimePoint t) {
   if (t <= last_) return;
@@ -30,6 +44,8 @@ void FluidQueue::advance(TimePoint t) {
     last_ += Duration(dt_ns);
     remaining -= dt_ns;
   }
+  IXP_CHECK(last_ == t, "fluid queue integration must land exactly on the query time");
+  check_backlog(backlog_, cfg_.buffer_bytes);
 }
 
 double FluidQueue::backlog_bytes(TimePoint t) {
@@ -59,6 +75,7 @@ bool FluidQueue::enqueue(TimePoint t, std::uint32_t size_bytes) {
   advance(t);
   if (backlog_ + size_bytes > cfg_.buffer_bytes) return false;
   backlog_ += size_bytes;
+  check_backlog(backlog_, cfg_.buffer_bytes);
   return true;
 }
 

@@ -3,10 +3,24 @@
 #include <cmath>
 
 #include "stats/descriptive.h"
+#include "util/check.h"
+#include "util/strings.h"
 
 namespace ixp::tslp {
 
 CongestionClassifier::CongestionClassifier(ClassifierOptions opts) : opts_(opts) {}
+
+std::size_t samples_per_day(Duration interval) {
+  IXP_CHECK(interval.count() > 0,
+            strformat("probing interval must be positive, got %lldns",
+                      static_cast<long long>(interval.count())));
+  if (interval.count() <= 0) return 1;
+  const auto spd = static_cast<std::size_t>(
+      std::llround(static_cast<double>(kDay.count()) / static_cast<double>(interval.count())));
+  IXP_CHECK(spd > 0, strformat("samples_per_day rounds to zero for interval %s",
+                               format_duration(interval).c_str()));
+  return std::max<std::size_t>(1, spd);
+}
 
 namespace {
 
@@ -48,7 +62,7 @@ LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
   }
 
   stats::DiurnalOptions dopt = opts_.diurnal;
-  dopt.samples_per_day = static_cast<std::size_t>(kDay.count() / link.far_rtt.interval.count());
+  dopt.samples_per_day = samples_per_day(link.far_rtt.interval);
   // Diurnality is judged over the episodes' active span (with margin), not
   // the whole campaign: congestion that was mitigated after two months is
   // still "recurring diurnal" within those months (QCELL-NETPAGE).

@@ -23,6 +23,12 @@
 
 namespace ixp::tslp {
 
+/// Probing rounds per day at the given cadence, rounded to nearest and
+/// never zero.  Truncating instead (the old behaviour) skewed the diurnal
+/// day slicing for cadences that do not divide 24 h, and returned 0 for
+/// cadences above one day, which disabled the diurnal test entirely.
+std::size_t samples_per_day(Duration interval);
+
 enum class Verdict {
   kNotCongested,
   kPotentiallyCongested,  ///< far-side shifts, no recurring diurnal pattern

@@ -5,8 +5,39 @@
 
 #include "stats/descriptive.h"
 #include "stats/ranks.h"
+#include "util/check.h"
+#include "util/strings.h"
 
 namespace ixp::tslp {
+
+namespace {
+
+// Episode lists handed to consumers must be sorted, non-overlapping, and
+// non-empty per episode; the duration/period averages and the loss
+// correlation all assume it.
+void check_episode_invariants(const std::vector<Episode>& episodes) {
+  if (!paranoid_checks_enabled()) return;
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const Episode& e = episodes[i];
+    IXP_CHECK(e.begin < e.end,
+              strformat("episode %zu is empty or inverted: [%zu, %zu)", i, e.begin, e.end));
+    if (i > 0) {
+      IXP_CHECK(episodes[i - 1].end <= e.begin,
+                strformat("episodes %zu and %zu overlap or are unsorted: [%zu, %zu) then [%zu, %zu)",
+                          i - 1, i, episodes[i - 1].begin, episodes[i - 1].end, e.begin, e.end));
+    }
+  }
+}
+
+// total * interval / divisor, dividing *after* the multiplication and
+// rounding to nearest.  Dividing first (the old code) truncated to a whole
+// sample count and biased the reported dt_UD / period low by up to one full
+// probing interval.
+Duration scaled_mean(std::int64_t total, Duration interval, std::int64_t divisor) {
+  return Duration((interval.count() * total + divisor / 2) / divisor);
+}
+
+}  // namespace
 
 double LevelShiftResult::average_magnitude() const {
   if (episodes.empty()) return kMissing;
@@ -19,19 +50,48 @@ Duration LevelShiftResult::average_duration(Duration interval) const {
   if (episodes.empty()) return Duration(0);
   std::int64_t total = 0;
   for (const auto& e : episodes) total += static_cast<std::int64_t>(e.samples());
-  return interval * (total / static_cast<std::int64_t>(episodes.size()));
+  return scaled_mean(total, interval, static_cast<std::int64_t>(episodes.size()));
 }
 
 Duration LevelShiftResult::average_period(Duration interval) const {
   if (episodes.size() < 2) return Duration(0);
   const std::int64_t span = static_cast<std::int64_t>(episodes.back().begin - episodes.front().begin);
-  return interval * (span / static_cast<std::int64_t>(episodes.size() - 1));
+  return scaled_mean(span, interval, static_cast<std::int64_t>(episodes.size() - 1));
+}
+
+std::vector<Episode> sanitize_episodes(std::vector<Episode> raw, std::size_t gap_samples) {
+  std::vector<Episode> merged;
+  for (const auto& e : raw) {
+    if (!merged.empty() && e.begin <= merged.back().end + gap_samples) {
+      Episode& prev = merged.back();
+      // Weight the merged magnitude by the samples each episode actually
+      // contributes: overlap with `prev` must not be counted twice, and a
+      // nested episode (e.end <= prev.end) must not shrink the span.
+      const std::size_t fresh_begin = std::max(e.begin, prev.end);
+      const std::size_t fresh = e.end > fresh_begin ? e.end - fresh_begin : 0;
+      if (fresh > 0) {
+        const double w1 = static_cast<double>(prev.samples());
+        const double w2 = static_cast<double>(fresh);
+        prev.magnitude_ms = (prev.magnitude_ms * w1 + e.magnitude_ms * w2) / (w1 + w2);
+        prev.end = std::max(prev.end, e.end);
+      }
+    } else {
+      merged.push_back(e);
+    }
+  }
+  check_episode_invariants(merged);
+  return merged;
 }
 
 LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   LevelShiftResult out;
   const auto& v = series.ms;
   if (v.empty()) return out;
+  IXP_CHECK(series.interval.count() > 0,
+            strformat("RttSeries interval must be positive, got %lldns",
+                      static_cast<long long>(series.interval.count())));
+  IXP_CHECK(series.index_of(series.time_of(v.size() - 1)) == v.size() - 1,
+            "RttSeries index/time round-trip is broken");
 
   // Baseline: the 10th percentile of the whole series is a robust estimate
   // of the uncongested RTT floor.
@@ -89,19 +149,7 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   // Sanitize: merge episodes separated by gaps <= merge_gap.
   const std::size_t gap_samples = std::max<std::size_t>(
       1, static_cast<std::size_t>(opts_.merge_gap.count() / series.interval.count()));
-  std::vector<Episode> merged;
-  for (const auto& e : raw) {
-    if (!merged.empty() && e.begin <= merged.back().end + gap_samples) {
-      Episode& prev = merged.back();
-      // Weighted-average the magnitude over the merged span.
-      const double w1 = static_cast<double>(prev.samples());
-      const double w2 = static_cast<double>(e.samples());
-      prev.magnitude_ms = (prev.magnitude_ms * w1 + e.magnitude_ms * w2) / (w1 + w2);
-      prev.end = e.end;
-    } else {
-      merged.push_back(e);
-    }
-  }
+  const std::vector<Episode> merged = sanitize_episodes(std::move(raw), gap_samples);
 
   // Duration filter.
   const std::size_t min_samples = std::max<std::size_t>(
@@ -109,6 +157,7 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   for (const auto& e : merged) {
     if (e.samples() >= min_samples) out.episodes.push_back(e);
   }
+  check_episode_invariants(out.episodes);
 
   // Statistical significance: each surviving episode against a baseline
   // sample drawn from the non-elevated segments (capped for cost).

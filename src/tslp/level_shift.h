@@ -45,6 +45,13 @@ struct Episode {
   [[nodiscard]] bool significant(double alpha = 0.01) const { return p_value < alpha; }
 };
 
+/// The sanitization step: merges episodes whose gap is <= `gap_samples`
+/// samples, weighting the merged magnitude by each episode's contribution
+/// of *new* (non-overlapping) samples.  Input must be sorted by `begin`;
+/// overlapping and even fully nested episodes are handled (a nested episode
+/// never shrinks the merged span).  Exposed for direct testing.
+std::vector<Episode> sanitize_episodes(std::vector<Episode> raw, std::size_t gap_samples);
+
 struct LevelShiftResult {
   double baseline_ms = 0.0;           ///< robust base RTT level
   std::vector<stats::Segment> segments;

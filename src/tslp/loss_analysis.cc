@@ -1,6 +1,7 @@
 #include "tslp/loss_analysis.h"
 
 #include <cmath>
+#include <limits>
 
 namespace ixp::tslp {
 
@@ -42,7 +43,9 @@ LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
       (void)inside;
       var += (rate - mean) * (rate - mean);
     }
-    const double sd = std::sqrt(var / n);
+    // Sample standard deviation (n - 1), the denominator the point-biserial
+    // coefficient is defined with; n >= 4 is guaranteed above.
+    const double sd = std::sqrt(var / (n - 1.0));
     if (sd > 0) {
       const double p = static_cast<double>(out.batches_in) / n;
       out.correlation =

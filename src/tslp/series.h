@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "util/check.h"
 #include "util/time.h"
 
 namespace ixp::tslp {
@@ -25,9 +26,11 @@ struct RttSeries {
   std::vector<double> ms;          ///< NaN = probe unanswered
 
   [[nodiscard]] TimePoint time_of(std::size_t i) const {
+    IXP_CHECK(interval.count() > 0, "RttSeries interval must be positive");
     return start + interval * static_cast<std::int64_t>(i);
   }
   [[nodiscard]] std::size_t index_of(TimePoint t) const {
+    IXP_CHECK(interval.count() > 0, "RttSeries interval must be positive");
     const auto d = t - start;
     if (d.count() < 0) return 0;
     return static_cast<std::size_t>(d.count() / interval.count());

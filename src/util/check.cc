@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ixp::detail {
+
+bool paranoid_env_enabled() {
+  const char* v = std::getenv("IXP_PARANOID");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+void check_failed(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: IXP_CHECK(%s) failed: %s\n", file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ixp::detail

@@ -1,0 +1,50 @@
+// Runtime invariant checks for the statistics path (the "paranoid" layer
+// of the correctness harness).
+//
+// IXP_CHECK(cond, msg) aborts with a readable message when `cond` is false
+// and paranoid checks are enabled.  They are enabled two ways:
+//
+//   * at run time, by setting the IXP_PARANOID environment variable to
+//     anything other than "0" (zero rebuild cost, one cached branch per
+//     check site when off);
+//   * at build time, by configuring with -DIXP_PARANOID=ON, which defines
+//     the IXP_PARANOID macro and compiles the checks in unconditionally
+//     (this is what the sanitizer CI build uses).
+//
+// The message expression is only evaluated on failure, so callers may use
+// strformat() freely without paying for it on the hot path.
+#pragma once
+
+#include <string>
+
+namespace ixp {
+
+namespace detail {
+
+/// Reads the IXP_PARANOID environment variable (once).
+bool paranoid_env_enabled();
+
+/// Prints "<file>:<line>: IXP_CHECK(<expr>) failed: <msg>" and aborts.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+
+}  // namespace detail
+
+/// True when invariant checks should run (see the header comment).
+inline bool paranoid_checks_enabled() {
+#ifdef IXP_PARANOID
+  return true;
+#else
+  static const bool enabled = detail::paranoid_env_enabled();
+  return enabled;
+#endif
+}
+
+}  // namespace ixp
+
+#define IXP_CHECK(cond, msg)                                                 \
+  do {                                                                       \
+    if (::ixp::paranoid_checks_enabled() && !(cond)) {                       \
+      ::ixp::detail::check_failed(__FILE__, __LINE__, #cond, (msg));         \
+    }                                                                        \
+  } while (0)

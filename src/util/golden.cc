@@ -1,0 +1,121 @@
+#include "util/golden.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace ixp {
+
+namespace {
+
+// Within tolerance, treating NaN as equal to NaN (a detector that returns
+// NaN for "undefined" must keep returning NaN, not drift to a number).
+bool value_matches(double expected, double actual, double tol) {
+  if (std::isnan(expected) || std::isnan(actual)) {
+    return std::isnan(expected) && std::isnan(actual);
+  }
+  return std::fabs(expected - actual) <= tol;
+}
+
+std::string render(double v) {
+  if (std::isnan(v)) return "nan";
+  return strformat("%.17g", v);
+}
+
+}  // namespace
+
+void GoldenRecord::set(const std::string& key, double value, double tolerance) {
+  set(key, std::vector<double>{value}, tolerance);
+}
+
+void GoldenRecord::set(const std::string& key, std::vector<double> values, double tolerance) {
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.values = std::move(values);
+      e.tolerance = tolerance;
+      return;
+    }
+  }
+  entries_.push_back({key, std::move(values), tolerance});
+}
+
+const GoldenEntry* GoldenRecord::find(const std::string& key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+bool GoldenRecord::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# afixp golden record v1\n";
+  for (const auto& e : entries_) {
+    out << e.key << " tol=" << render(e.tolerance);
+    for (const double v : e.values) out << ' ' << render(v);
+    out << '\n';
+  }
+  return static_cast<bool>(out.flush());
+}
+
+std::optional<GoldenRecord> GoldenRecord::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  GoldenRecord rec;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    GoldenEntry e;
+    std::string tol;
+    if (!(fields >> e.key >> tol) || !starts_with(tol, "tol=")) return std::nullopt;
+    if (!parse_double(tol.substr(4), e.tolerance)) return std::nullopt;
+    std::string value;
+    while (fields >> value) {
+      double v = 0;
+      if (value == "nan") {
+        v = std::nan("");
+      } else if (!parse_double(value, v)) {
+        return std::nullopt;
+      }
+      e.values.push_back(v);
+    }
+    rec.entries_.push_back(std::move(e));
+  }
+  return rec;
+}
+
+std::vector<std::string> GoldenRecord::diff(const GoldenRecord& expected,
+                                            const GoldenRecord& actual) {
+  std::vector<std::string> out;
+  for (const auto& e : expected.entries_) {
+    const GoldenEntry* a = actual.find(e.key);
+    if (a == nullptr) {
+      out.push_back(strformat("key '%s': missing from actual output", e.key.c_str()));
+      continue;
+    }
+    if (a->values.size() != e.values.size()) {
+      out.push_back(strformat("key '%s': expected %zu value(s), got %zu", e.key.c_str(),
+                              e.values.size(), a->values.size()));
+      continue;
+    }
+    for (std::size_t i = 0; i < e.values.size(); ++i) {
+      if (value_matches(e.values[i], a->values[i], e.tolerance)) continue;
+      out.push_back(strformat("key '%s'[%zu]: expected %s, got %s (tol %s)", e.key.c_str(), i,
+                              render(e.values[i]).c_str(), render(a->values[i]).c_str(),
+                              render(e.tolerance).c_str()));
+    }
+  }
+  for (const auto& a : actual.entries_) {
+    if (expected.find(a.key) == nullptr) {
+      out.push_back(strformat("key '%s': unexpected in actual output", a.key.c_str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace ixp

@@ -1,0 +1,57 @@
+// Golden-record regression machinery (layer 1 of the correctness harness).
+//
+// A GoldenRecord is an ordered map from string keys to vectors of doubles,
+// each with an absolute comparison tolerance.  Records round-trip through a
+// small line-oriented text format so expectations can be checked into the
+// repository (tests/golden/), reviewed in diffs, and regenerated with
+// `afixp selftest --update-golden`.
+//
+// The point of the tolerance living *in the record* is that the producer of
+// a fixture decides how tightly each quantity is pinned (counts exactly,
+// bootstrap confidences loosely), and the comparator stays generic.
+//
+// File format, one entry per line (order preserved, '#' lines ignored):
+//
+//   # afixp golden record v1
+//   baseline_ms tol=1e-09 2.19340111
+//   episode_begin tol=0 144 432 720
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ixp {
+
+struct GoldenEntry {
+  std::string key;
+  std::vector<double> values;
+  double tolerance = 0.0;  ///< absolute; NaN expects NaN
+};
+
+class GoldenRecord {
+ public:
+  /// Appends a scalar entry (replaces an existing entry with the same key).
+  void set(const std::string& key, double value, double tolerance = 0.0);
+  /// Appends a vector entry.
+  void set(const std::string& key, std::vector<double> values, double tolerance = 0.0);
+
+  [[nodiscard]] const std::vector<GoldenEntry>& entries() const { return entries_; }
+  [[nodiscard]] const GoldenEntry* find(const std::string& key) const;
+
+  /// Writes the record; returns false on I/O error.
+  [[nodiscard]] bool save(const std::string& path) const;
+  /// Reads a record; nullopt when the file is missing or malformed.
+  static std::optional<GoldenRecord> load(const std::string& path);
+
+  /// Compares `actual` against `expected` using the *expected* side's
+  /// tolerances.  Returns one human-readable line per mismatch (missing or
+  /// unexpected keys, length mismatches, out-of-tolerance values); empty
+  /// means the records agree.
+  static std::vector<std::string> diff(const GoldenRecord& expected, const GoldenRecord& actual);
+
+ private:
+  std::vector<GoldenEntry> entries_;
+};
+
+}  // namespace ixp

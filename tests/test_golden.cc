@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/selftest.h"
+#include "util/golden.h"
+
+namespace ixp {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// ---------------------------------------------------------------------------
+// GoldenRecord machinery
+
+TEST(GoldenRecord, SaveLoadRoundTrip) {
+  GoldenRecord rec;
+  rec.set("scalar", 2.1934011873, 1e-9);
+  rec.set("counts", std::vector<double>{3, 144, 432});
+  rec.set("with_nan", std::vector<double>{1.5, std::nan("")}, 1e-6);
+  const auto path = temp_path("golden_roundtrip.golden");
+  ASSERT_TRUE(rec.save(path));
+  const auto loaded = GoldenRecord::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(GoldenRecord::diff(rec, *loaded).empty());
+  EXPECT_TRUE(GoldenRecord::diff(*loaded, rec).empty());
+  std::remove(path.c_str());
+}
+
+TEST(GoldenRecord, ToleranceSeparatesPassFromFail) {
+  GoldenRecord expected;
+  expected.set("v", 10.0, 0.5);
+  GoldenRecord close;
+  close.set("v", 10.4);
+  EXPECT_TRUE(GoldenRecord::diff(expected, close).empty());
+  GoldenRecord far;
+  far.set("v", 10.6);
+  const auto diffs = GoldenRecord::diff(expected, far);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_TRUE(contains(diffs[0], "'v'")) << diffs[0];
+  EXPECT_TRUE(contains(diffs[0], "10.6")) << diffs[0];
+}
+
+TEST(GoldenRecord, NanExpectsNan) {
+  GoldenRecord expected;
+  expected.set("corr", std::nan(""), 1e-6);
+  GoldenRecord nan_actual;
+  nan_actual.set("corr", std::nan(""));
+  EXPECT_TRUE(GoldenRecord::diff(expected, nan_actual).empty());
+  GoldenRecord drifted;
+  drifted.set("corr", 0.0);
+  EXPECT_EQ(GoldenRecord::diff(expected, drifted).size(), 1u);
+}
+
+TEST(GoldenRecord, StructuralMismatchesAreReadable) {
+  GoldenRecord expected;
+  expected.set("present", 1.0);
+  expected.set("sizes", std::vector<double>{1, 2, 3});
+  GoldenRecord actual;
+  actual.set("sizes", std::vector<double>{1, 2});
+  actual.set("surprise", 9.0);
+  const auto diffs = GoldenRecord::diff(expected, actual);
+  ASSERT_EQ(diffs.size(), 3u);
+  EXPECT_TRUE(contains(diffs[0], "missing")) << diffs[0];
+  EXPECT_TRUE(contains(diffs[1], "expected 3 value(s), got 2")) << diffs[1];
+  EXPECT_TRUE(contains(diffs[2], "unexpected")) << diffs[2];
+}
+
+TEST(GoldenRecord, SetReplacesExistingKey) {
+  GoldenRecord rec;
+  rec.set("k", 1.0);
+  rec.set("k", 2.0, 0.1);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.entries()[0].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(rec.entries()[0].tolerance, 0.1);
+}
+
+TEST(GoldenRecord, LoadRejectsMalformedFiles) {
+  const auto path = temp_path("golden_malformed.golden");
+  {
+    std::ofstream out(path);
+    out << "key_without_tolerance 1 2 3\n";
+  }
+  EXPECT_FALSE(GoldenRecord::load(path).has_value());
+  EXPECT_FALSE(GoldenRecord::load(temp_path("golden_does_not_exist.golden")).has_value());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Selftest corpus
+
+// Every case must be deterministic: two runs produce identical records.
+// This is what lets the corpus be checked in at tight tolerances.
+TEST(Selftest, CasesAreDeterministic) {
+  for (const auto& c : analysis::selftest_cases()) {
+    const GoldenRecord a = c.run();
+    const GoldenRecord b = c.run();
+    EXPECT_TRUE(GoldenRecord::diff(a, b).empty()) << "case " << c.name;
+    EXPECT_FALSE(a.entries().empty()) << "case " << c.name;
+  }
+}
+
+// The update/compare cycle: regenerating into a fresh directory and
+// comparing against it must pass; corrupting one fixture must fail with a
+// diff that names the damaged key.
+TEST(Selftest, UpdateThenCompareThenCorrupt) {
+  const std::string dir = ::testing::TempDir() + "golden_cycle";
+  std::filesystem::create_directories(dir);
+  std::ostringstream update_out;
+  ASSERT_EQ(analysis::run_selftest(update_out, dir, /*update=*/true), 0);
+
+  std::ostringstream ok_out;
+  EXPECT_EQ(analysis::run_selftest(ok_out, dir, /*update=*/false), 0) << ok_out.str();
+
+  // Corrupt one fixture: shift an episode end by one sample.
+  const std::string victim = dir + "/level_shift_merge.golden";
+  auto rec = GoldenRecord::load(victim);
+  ASSERT_TRUE(rec.has_value());
+  const GoldenEntry* ends = rec->find("merged_end");
+  ASSERT_NE(ends, nullptr);
+  auto tampered = ends->values;
+  ASSERT_FALSE(tampered.empty());
+  tampered[0] += 1.0;
+  rec->set("merged_end", tampered, ends->tolerance);
+  ASSERT_TRUE(rec->save(victim));
+
+  std::ostringstream fail_out;
+  EXPECT_EQ(analysis::run_selftest(fail_out, dir, /*update=*/false), 1);
+  EXPECT_TRUE(contains(fail_out.str(), "level_shift_merge ... FAIL")) << fail_out.str();
+  EXPECT_TRUE(contains(fail_out.str(), "merged_end")) << fail_out.str();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Selftest, UnknownCaseNameFails) {
+  std::ostringstream out;
+  EXPECT_EQ(analysis::run_selftest(out, ::testing::TempDir(), false, "no_such_case"), 1);
+}
+
+}  // namespace
+}  // namespace ixp

@@ -168,6 +168,99 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdSweep,
                                             ::testing::Values(5.0, 10.0, 15.0, 20.0)));
 
 // ---------------------------------------------------------------------------
+// Regression tests for the truncation/merge bugs flagged by the golden
+// corpus (each failed on the pre-fix code).
+
+TEST(LevelShift, AverageDurationKeepsSubIntervalPrecision) {
+  // Episodes of 3 and 4 samples average 3.5 samples = 17.5 min at a
+  // 5-minute cadence.  Dividing before multiplying truncated to 3 samples
+  // (15 min), biasing the reported dt_UD low by up to one full interval.
+  LevelShiftResult res;
+  res.episodes.push_back({0, 3, 15.0});
+  res.episodes.push_back({10, 14, 15.0});
+  EXPECT_EQ(res.average_duration(kMinute * 5), kSecond * (17 * 60 + 30));
+}
+
+TEST(LevelShift, AveragePeriodKeepsSubIntervalPrecision) {
+  // Starts at 0, 7, 13: mean spacing 6.5 samples = 32.5 min, not 30.
+  LevelShiftResult res;
+  res.episodes.push_back({0, 2, 15.0});
+  res.episodes.push_back({7, 9, 15.0});
+  res.episodes.push_back({13, 15, 15.0});
+  EXPECT_EQ(res.average_period(kMinute * 5), kSecond * (32 * 60 + 30));
+}
+
+TEST(LevelShift, MergeNeverShrinksAnEpisode) {
+  // A nested raw episode used to *shrink* the merged span (prev.end was
+  // overwritten with e.end) and double-count the overlap in the weighted
+  // magnitude; the following overlapping tail then failed to merge.
+  std::vector<Episode> raw;
+  raw.push_back({100, 300, 10.0});
+  raw.push_back({150, 250, 50.0});  // fully nested
+  raw.push_back({290, 310, 20.0});  // overlaps the tail
+  const auto merged = sanitize_episodes(std::move(raw), 3);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].begin, 100u);
+  EXPECT_EQ(merged[0].end, 310u);
+  // The nested episode contributes no new samples; the tail contributes
+  // its 10 samples beyond index 300.
+  EXPECT_NEAR(merged[0].magnitude_ms, (10.0 * 200 + 20.0 * 10) / 210.0, 1e-12);
+}
+
+TEST(LevelShift, MergeWeightsOverlapOnlyOnce) {
+  // Two 50%-overlapping episodes: the second's weight must be only its
+  // non-overlapping half, and the merged span must be the union.
+  std::vector<Episode> raw;
+  raw.push_back({0, 100, 10.0});
+  raw.push_back({50, 150, 30.0});
+  const auto merged = sanitize_episodes(std::move(raw), 1);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].begin, 0u);
+  EXPECT_EQ(merged[0].end, 150u);
+  EXPECT_NEAR(merged[0].magnitude_ms, (10.0 * 100 + 30.0 * 50) / 150.0, 1e-12);
+}
+
+TEST(Classifier, SamplesPerDayRoundsToNearest) {
+  EXPECT_EQ(samples_per_day(kMinute * 5), 288u);
+  EXPECT_EQ(samples_per_day(kMinute * 30), 48u);
+  // 7 minutes does not divide 24 h: 205.71 must round to 206, not
+  // truncate to 205 and skew the diurnal day slicing.
+  EXPECT_EQ(samples_per_day(kMinute * 7), 206u);
+  // 13-minute cadence: 110.77 -> 111.
+  EXPECT_EQ(samples_per_day(kMinute * 13), 111u);
+  // Cadences above one day used to truncate to zero and silently disable
+  // the diurnal test; they must clamp to one sample per "day".
+  EXPECT_EQ(samples_per_day(kHour * 25), 1u);
+}
+
+TEST(Classifier, NonDivisorCadenceStillClassifies) {
+  // A congested link probed every 7 minutes (24 h % 7 min != 0) must still
+  // come out congested with a recurring diurnal pattern.
+  RttSeries far;
+  far.start = TimePoint{};
+  far.interval = kMinute * 7;
+  RttSeries near = far;
+  Rng rng(40);
+  Rng rng_near(41);
+  const std::size_t n = static_cast<std::size_t>((kDay.count() * 12) / far.interval.count());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double hour = std::fmod(to_hours(far.time_of(i).since_epoch()), 24.0);
+    const bool peak = hour >= 12.0 && hour < 18.0;
+    far.ms.push_back(2.0 + (peak ? 18.0 : 0.0) + 0.3 * std::fabs(rng.normal()));
+    near.ms.push_back(1.0 + 0.2 * std::fabs(rng_near.normal()));
+  }
+  LinkSeries link;
+  link.key = "nondivisor";
+  link.near_rtt = std::move(near);
+  link.far_rtt = std::move(far);
+  CongestionClassifier c;
+  const auto rep = c.classify(link);
+  EXPECT_EQ(rep.verdict, Verdict::kCongested);
+  EXPECT_TRUE(rep.diurnal.recurring);
+  EXPECT_NEAR(to_hours(rep.waveform.dt_ud), 6.0, 1.5);
+}
+
+// ---------------------------------------------------------------------------
 // slice()
 
 TEST(Slice, RestrictsToWindow) {

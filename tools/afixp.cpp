@@ -10,6 +10,9 @@
 //       the six VP campaigns out across a thread pool.
 //   afixp casebook
 //       print the documented §6.2 case studies.
+//   afixp selftest  [--golden-dir tests/golden] [--update-golden]
+//       golden-regression checks of the statistics path (level shifts,
+//       change points, diurnal scoring, loss correlation).
 #include <fstream>
 #include <iostream>
 
@@ -18,6 +21,7 @@
 #include "analysis/casebook.h"
 #include "analysis/fleet.h"
 #include "analysis/report.h"
+#include "analysis/selftest.h"
 #include "analysis/tables.h"
 #include "prober/warts_lite.h"
 #include "tslp/classifier.h"
@@ -38,7 +42,10 @@ constexpr const char* kEnvHelp =
     "                     (smoke-test mode for the table benches)\n"
     "  IXP_JOBS           default worker-thread count for fleet runs when\n"
     "                     --jobs is 0/absent (else hardware concurrency,\n"
-    "                     clamped to the number of campaigns)\n";
+    "                     clamped to the number of campaigns)\n"
+    "  IXP_PARANOID       when set (and not 0), enable the runtime invariant\n"
+    "                     checks (episode ordering, fluid-queue backlog\n"
+    "                     bounds, series indexing) in every component\n";
 
 int cmd_campaign(int argc, const char* const* argv) {
   Flags flags("afixp campaign", "run one of the paper's six VP campaigns");
@@ -185,6 +192,30 @@ int cmd_tables(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_selftest(int argc, const char* const* argv) {
+  Flags flags("afixp selftest", "golden-regression checks of the statistics path");
+  flags.add_string("golden-dir", "tests/golden",
+                   "directory holding the checked-in golden records");
+  flags.add_bool("update-golden", false,
+                 "regenerate the golden records from the current code instead of comparing");
+  flags.add_string("case", "", "run only the named case (default: all)");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text() << "\ncases:\n";
+    for (const auto& c : analysis::selftest_cases()) {
+      std::cout << "  " << c.name << "  " << c.description << "\n";
+    }
+    return 0;
+  }
+  const int failures =
+      analysis::run_selftest(std::cout, flags.get_string("golden-dir"),
+                             flags.get_bool("update-golden"), flags.get_string("case"));
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_casebook() {
   for (const auto& cs : analysis::casebook()) {
     std::cout << cs.id << " (" << cs.vp << ")\n";
@@ -200,7 +231,7 @@ int cmd_casebook() {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: afixp <campaign|analyze|tables|casebook> [flags]\n"
+      "usage: afixp <campaign|analyze|tables|casebook|selftest> [flags]\n"
       "run 'afixp <command> --help' for the command's flags\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -211,6 +242,7 @@ int main(int argc, char** argv) {
   if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
   if (cmd == "tables") return cmd_tables(argc - 1, argv + 1);
   if (cmd == "casebook") return cmd_casebook();
+  if (cmd == "selftest") return cmd_selftest(argc - 1, argv + 1);
   std::cerr << "unknown command '" << cmd << "'\n" << usage;
   return 2;
 }

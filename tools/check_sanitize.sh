@@ -1,0 +1,65 @@
+#!/bin/sh
+# Sanitizer CI (layer 3 of the correctness harness), run from CTest.
+#
+# Configures a second build tree with -DIXP_SANITIZE=address;undefined and
+# -DIXP_PARANOID=ON, builds the statistics-path gtest suites, and runs them
+# with halt-on-error sanitizer settings.  The build tree is reused across
+# runs, so only the first invocation pays the full compile.
+#
+# When the toolchain cannot produce a working ASan/UBSan binary (missing
+# runtime libraries, cross builds), the check is SKIPPED, not failed: the
+# golden corpus and the invariant layer still run in the normal build.
+#
+# usage: check_sanitize.sh <source_dir> [build_dir]
+#   IXP_SANITIZE_SUITES  override the space-separated list of test binaries
+set -u
+
+src=${1:?usage: check_sanitize.sh <source_dir> [build_dir]}
+build=${2:-$src/build-sanitize}
+suites=${IXP_SANITIZE_SUITES:-test_util test_net test_stats test_sim test_tslp test_golden}
+
+# --- Toolchain probe: can we compile AND run a sanitized binary? ----------
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+int main() { return 0; }
+EOF
+if ! c++ -fsanitize=address,undefined "$probe_dir/probe.cc" -o "$probe_dir/probe" \
+        > /dev/null 2>&1 || ! "$probe_dir/probe" > /dev/null 2>&1; then
+    echo "check_sanitize: SKIPPED (toolchain cannot build/run sanitized binaries)"
+    exit 0
+fi
+
+# --- Configure + build the sanitized tree ---------------------------------
+if ! cmake -B "$build" -S "$src" \
+        -DIXP_SANITIZE="address;undefined" -DIXP_PARANOID=ON \
+        > "$probe_dir/configure.log" 2>&1; then
+    echo "check_sanitize: FAILED to configure the sanitized build" >&2
+    tail -n 30 "$probe_dir/configure.log" >&2
+    exit 1
+fi
+# shellcheck disable=SC2086  # suites is a deliberate word list
+if ! cmake --build "$build" --target $suites -j "$(nproc)" \
+        > "$probe_dir/build.log" 2>&1; then
+    echo "check_sanitize: FAILED to build the sanitized test suites" >&2
+    tail -n 30 "$probe_dir/build.log" >&2
+    exit 1
+fi
+
+# --- Run the suites with halt-on-error sanitizer settings -----------------
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS UBSAN_OPTIONS
+status=0
+for s in $suites; do
+    printf 'check_sanitize: running %s ... ' "$s"
+    if "$build/tests/$s" --gtest_brief=1 > "$probe_dir/$s.log" 2>&1; then
+        echo "OK"
+    else
+        echo "FAILED"
+        tail -n 40 "$probe_dir/$s.log"
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] && echo "check_sanitize: OK ($suites)"
+exit $status
