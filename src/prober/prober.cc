@@ -2,13 +2,15 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/log.h"
 
 namespace ixp::prober {
 
 Prober::Prober(sim::Network& net, sim::NodeId vp_host, double pps_limit)
     : net_(&net), host_(vp_host), pps_limit_(pps_limit) {
-  auto& host = dynamic_cast<sim::Host&>(net.node(vp_host));
+  IXP_CHECK(net.node(vp_host).is_host(), "prober VP must be a Host node");
+  auto& host = static_cast<sim::Host&>(net.node(vp_host));
   src_ = host.address();
   // Derive a stable ICMP ident from the host id (multiple probers on the
   // same network keep distinct ident spaces).
@@ -60,20 +62,20 @@ ProbeOutcome Prober::probe(net::Ipv4Address dst, const ProbeOptions& opts) {
   ++probes_sent_;
   if (opts.event_mode) return probe_event(pkt, opts);
 
-  const sim::ProbeResult r = net_->probe(host_, pkt);
+  sim::ProbeResult r = net_->probe(host_, pkt);
   ProbeOutcome out;
   out.answered = r.answered;
   out.responder = r.responder;
   out.reply_type = r.reply_type;
   out.rtt = r.rtt;
   out.ip_id = r.ip_id;
-  out.record_route = r.record_route;
+  out.record_route = std::move(r.record_route);
   if (out.answered) ++replies_;
   return out;
 }
 
 ProbeOutcome Prober::probe_event(const net::Packet& pkt, const ProbeOptions& opts) {
-  auto& host = dynamic_cast<sim::Host&>(net_->node(host_));
+  auto& host = static_cast<sim::Host&>(net_->node(host_));
   const auto key = std::make_pair(pkt.ident, pkt.seq);
   mailbox_.erase(key);
   host.send(*net_, pkt);

@@ -231,7 +231,7 @@ std::vector<Egress> find_egresses(const topo::Topology& topology, Asn x, Asn y) 
       }
       // Shared IXP LAN: find y-owned routers with a live port on the same
       // fabric node.
-      if (dynamic_cast<const sim::L2Switch*>(&net.node(peer)) != nullptr) {
+      if (net.node(peer).is_switch()) {
         for (const sim::NodeId yr : topology.routers_of(y)) {
           const sim::Node& yn = net.node(yr);
           for (std::size_t j = 0; j < yn.interfaces().size(); ++j) {
@@ -304,8 +304,8 @@ void Bgp::install_fibs(topo::Topology& topology) const {
       }()) {
     (void)asn;
     for (const sim::NodeId rid : routers) {
-      auto* r = dynamic_cast<sim::Router*>(&net.node(rid));
-      if (!r) continue;
+      if (!net.node(rid).is_router()) continue;
+      auto* r = static_cast<sim::Router*>(&net.node(rid));
       r->clear_fib();
       for (std::size_t i = 0; i < r->interfaces().size(); ++i) {
         const auto& ifc = r->interfaces()[i];

@@ -1,21 +1,26 @@
 #include "sim/event.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ixp::sim {
 
 void Simulator::schedule_at(TimePoint at, Action action) {
   if (at < now_) at = now_;
-  queue_.push(Entry{at, next_seq_++, std::move(action)});
+  heap_.push_back(Entry{at, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Entry Simulator::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
 }
 
 void Simulator::run_until(TimePoint until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the action handle instead (std::function copy is cheap enough
-    // relative to the simulated work per event).
-    Entry e = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().at <= until) {
+    Entry e = pop_next();
     now_ = e.at;
     ++executed_;
     e.action();
@@ -24,9 +29,8 @@ void Simulator::run_until(TimePoint until) {
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Entry e = pop_next();
     now_ = e.at;
     ++executed_;
     e.action();
@@ -34,7 +38,10 @@ void Simulator::run() {
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();
+  now_ = TimePoint{};
+  next_seq_ = 0;
+  executed_ = 0;
 }
 
 }  // namespace ixp::sim

@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/time.h"
@@ -33,7 +32,9 @@ class Simulator {
   /// Runs until the queue is empty.
   void run();
 
-  /// Discards all pending events (the clock is left where it is).
+  /// Discards all pending events and resets the clock, sequence counter,
+  /// and executed-event count: a cleared simulator behaves exactly like a
+  /// freshly constructed one.
   void clear();
 
   /// Advances the clock without running events scheduled in between.
@@ -42,7 +43,7 @@ class Simulator {
     if (at > now_) now_ = at;
   }
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -58,7 +59,12 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Pops the earliest entry by moving it out of the heap.  A
+  /// std::priority_queue only exposes a const top(), which forced a copy of
+  /// the std::function per event; an explicit vector heap does not.
+  Entry pop_next();
+
+  std::vector<Entry> heap_;  ///< binary heap ordered by Later
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

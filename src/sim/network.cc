@@ -45,12 +45,14 @@ int Network::connect(NodeId a, net::Ipv4Address addr_a, NodeId b, net::Ipv4Addre
   l.set_ifindex(b, if_b);
   if (!addr_a.is_unspecified()) addr_owner_[addr_a] = a;
   if (!addr_b.is_unspecified()) addr_owner_[addr_b] = b;
-  // If either endpoint is a switch fabric, teach it the far address.
-  if (auto* sw = dynamic_cast<L2Switch*>(&node(a)); sw && !addr_b.is_unspecified()) {
-    sw->learn(addr_b, if_a);
+  // If either endpoint is a switch fabric, teach it the far address and the
+  // node behind it: the learned table is the single O(1) port resolution
+  // used by both the event-driven and the analytic forwarding paths.
+  if (node(a).is_switch() && !addr_b.is_unspecified()) {
+    static_cast<L2Switch&>(node(a)).learn(addr_b, if_a, b);
   }
-  if (auto* sw = dynamic_cast<L2Switch*>(&node(b)); sw && !addr_a.is_unspecified()) {
-    sw->learn(addr_a, if_b);
+  if (node(b).is_switch() && !addr_a.is_unspecified()) {
+    static_cast<L2Switch&>(node(b)).learn(addr_a, if_b, a);
   }
   return link_id;
 }
@@ -68,24 +70,12 @@ void Network::transmit(NodeId from, int ifindex, net::Packet pkt, net::Ipv4Addre
   }
   const Interface& ifc = sender.interfaces()[static_cast<std::size_t>(ifindex)];
   DuplexLink& l = link(ifc.link_id);
-  if (!l.is_up()) {
-    ++packets_dropped;
-    return;
-  }
-  FluidQueue& q = l.queue_from(from);
-  const TimePoint t = sim_.now();
-  const double p_drop = q.drop_probability(t);
-  if (p_drop > 0 && rng_.chance(p_drop)) {
-    ++packets_dropped;
-    return;
-  }
-  const Duration delay = q.queuing_delay(t) + q.transmission_delay(pkt.size_bytes) +
-                         l.prop_delay() + l.extra_delay_from(from);
-  q.enqueue(t, pkt.size_bytes);  // probe bytes join the backlog (negligible)
+  TimePoint t = sim_.now();
+  if (!cross_link(l, from, pkt.size_bytes, t)) return;  // drop already counted
   pkt.l2_next_hop = next_hop;
   const NodeId peer = l.other(from);
   const int peer_if = l.ifindex_at(peer);
-  sim_.schedule(delay, [this, peer, peer_if, pkt = std::move(pkt)]() mutable {
+  sim_.schedule(t - sim_.now(), [this, peer, peer_if, pkt = std::move(pkt)]() mutable {
     node(peer).receive(*this, std::move(pkt), peer_if);
   });
 }
@@ -98,145 +88,133 @@ void Network::deliver(NodeId to, net::Packet pkt, int in_ifindex, Duration delay
 
 std::optional<Network::HopDecision> Network::route_at(NodeId at, net::Ipv4Address dst) const {
   const Node& n = node(at);
-  if (const auto* r = dynamic_cast<const Router*>(&n)) {
-    const auto* e = r->fib().lookup(dst);
-    if (!e) return std::nullopt;
-    return HopDecision{e->ifindex, e->next_hop.is_unspecified() ? dst : e->next_hop};
-  }
-  if (const auto* h = dynamic_cast<const Host*>(&n)) {
-    if (n.interfaces().empty()) return std::nullopt;
-    // Hosts send everything via interface 0; on-subnet destinations are
-    // reached directly, everything else via the configured gateway.
-    (void)h;
-    return HopDecision{0, dst};
+  switch (n.kind()) {
+    case NodeKind::kRouter: {
+      const auto* e = static_cast<const Router&>(n).route_lookup(dst);
+      if (!e) return std::nullopt;
+      return HopDecision{e->ifindex, e->next_hop.is_unspecified() ? dst : e->next_hop};
+    }
+    case NodeKind::kHost:
+      // Hosts send everything via interface 0; on-subnet destinations are
+      // reached directly, everything else via the configured gateway.
+      if (n.interfaces().empty()) return std::nullopt;
+      return HopDecision{0, dst};
+    case NodeKind::kSwitch:
+      break;  // switches forward at L2, not by FIB
   }
   return std::nullopt;
 }
 
-namespace {
-
-// One analytic link traversal: updates `t`, returns false on drop/down.
-bool cross_link(Network& net, Rng& rng, DuplexLink& l, NodeId from, std::uint32_t size_bytes,
-                TimePoint& t, std::uint64_t& dropped_counter) {
+bool Network::cross_link(DuplexLink& l, NodeId from, std::uint32_t size_bytes, TimePoint& t) {
   if (!l.is_up()) {
-    ++dropped_counter;
+    ++packets_dropped;
     return false;
   }
   FluidQueue& q = l.queue_from(from);
   const double p_drop = q.drop_probability(t);
-  if (p_drop > 0 && rng.chance(p_drop)) {
-    ++dropped_counter;
+  if (p_drop > 0 && rng_.chance(p_drop)) {
+    ++packets_dropped;
     return false;
   }
-  t += q.queuing_delay(t) + q.transmission_delay(size_bytes) + l.prop_delay() +
-       l.extra_delay_from(from);
-  (void)net;
+  const Duration delay = q.queuing_delay(t) + q.transmission_delay(size_bytes) + l.prop_delay() +
+                         l.extra_delay_from(from);
+  if (!q.enqueue(t, size_bytes) && q.offered_bps(t) <= q.config().capacity_bps) {
+    // Buffer full but not overflowing: a genuine tail drop.  (Under fluid
+    // overflow the backlog is pinned at the buffer so every enqueue fails;
+    // admission there is already decided by the drop_probability draw above
+    // -- the probe merely displaces fluid that was dropped anyway.)
+    ++packets_dropped;
+    return false;
+  }
+  t += delay;
+  ++hops_walked;
   return true;
 }
-
-}  // namespace
 
 std::vector<PathHop> Network::trace_forward(NodeId from, const net::Packet& pkt_in, bool& dropped,
                                             net::Packet* out) {
   std::vector<PathHop> hops;
+  trace_forward_into(from, pkt_in, dropped, out, hops);
+  return hops;
+}
+
+void Network::trace_forward_into(NodeId from, const net::Packet& pkt_in, bool& dropped,
+                                 net::Packet* out, std::vector<PathHop>& hops) {
+  hops.clear();
   dropped = false;
   net::Packet pkt = pkt_in;
   TimePoint t = sim_.now();
   NodeId cur = from;
-  for (int budget = 0; budget < 64; ++budget) {
+  for (int budget = 0; budget < kWalkBudget; ++budget) {
     Node& n = node(cur);
-    if (auto* sw = dynamic_cast<L2Switch*>(&n)) {
-      // L2 transit: resolve the port by the frame's next-hop and keep going.
-      (void)sw;
-      net::Packet probe_frame = pkt;
-      // L2Switch::receive path is event-driven; replicate its lookup here.
-      // The table is private, so route through interfaces: we stored the
-      // learning in connect(); do a linear scan over switch interfaces.
-      NodeId next = kInvalidNode;
-      int out_if = -1;
-      for (std::size_t i = 0; i < n.interfaces().size(); ++i) {
-        const auto& ifc = n.interfaces()[i];
-        const DuplexLink& l = *links_[static_cast<std::size_t>(ifc.link_id)];
-        const NodeId peer = l.other(cur);
-        if (node(peer).owns_address(pkt.l2_next_hop.is_unspecified() ? pkt.dst : pkt.l2_next_hop)) {
-          next = peer;
-          out_if = static_cast<int>(i);
-          break;
+    int out_if = -1;
+    if (n.kind() == NodeKind::kSwitch) {
+      // L2 transit: the port was resolved into the learned table at
+      // connect() time; the frame keeps its next-hop key and its TTL.
+      const L2Port* port = static_cast<const L2Switch&>(n).lookup(
+          pkt.l2_next_hop.is_unspecified() ? pkt.dst : pkt.l2_next_hop);
+      if (port == nullptr) {
+        dropped = true;
+        return;
+      }
+      out_if = port->ifindex;
+    } else {
+      const bool router = n.kind() == NodeKind::kRouter;
+      if (cur != from) {
+        // Decide whether this node answers or forwards.
+        if (router && static_cast<const Router&>(n).config().rr_filtered && pkt.record_route) {
+          dropped = true;  // RR-filtering router discards the optioned packet
+          return;
+        }
+        if (n.owns_address(pkt.dst)) {
+          if (out) *out = pkt;
+          return;
+        }
+        if (router) {
+          if (pkt.ttl <= 1) {
+            if (out) *out = pkt;
+            return;  // TTL expiry point; caller inspects hops.back()
+          }
+          pkt.ttl -= 1;
         }
       }
-      if (next == kInvalidNode) {
+      const auto hop = route_at(cur, pkt.dst);
+      if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(n.interfaces().size())) {
         dropped = true;
-        return hops;
+        return;
       }
-      DuplexLink& l = *links_[static_cast<std::size_t>(n.interfaces()[static_cast<std::size_t>(out_if)].link_id)];
-      std::uint64_t drops = 0;
-      if (!cross_link(*this, rng_, l, cur, pkt.size_bytes, t, drops)) {
-        dropped = true;
-        packets_dropped += drops;
-        return hops;
+      out_if = hop->ifindex;
+      if (router) {
+        if (pkt.record_route &&
+            pkt.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
+          pkt.route_stamps.push_back(n.interfaces()[static_cast<std::size_t>(out_if)].addr);
+        }
+        t += static_cast<const Router&>(n).config().forward_delay;
       }
-      (void)probe_frame;
-      cur = next;
-      hops.push_back({cur, node(cur).owns_address(pkt.dst) ? pkt.dst : net::Ipv4Address(), t});
-      continue;
+      pkt.l2_next_hop = hop->next_hop;
     }
-
-    // IP node (router or host) other than the origin: record arrival.
-    if (cur != from) {
-      // handled on link crossing below
-    }
-
-    // Decide whether this node answers or forwards.
-    auto* router = dynamic_cast<Router*>(&n);
-    if (cur != from && router && router->config().rr_filtered && pkt.record_route) {
-      dropped = true;  // RR-filtering router discards the optioned packet
-      return hops;
-    }
-    if (cur != from && n.owns_address(pkt.dst)) {
-      if (out) *out = pkt;
-      return hops;
-    }
-    if (cur != from && router && pkt.ttl <= 1) {
-      if (out) *out = pkt;
-      return hops;  // TTL expiry point; caller inspects hops.back()
-    }
-    if (cur != from && router) pkt.ttl -= 1;
-
-    const auto hop = route_at(cur, pkt.dst);
-    if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(n.interfaces().size())) {
+    DuplexLink& l = link(n.interfaces()[static_cast<std::size_t>(out_if)].link_id);
+    if (!cross_link(l, cur, pkt.size_bytes, t)) {
       dropped = true;
-      return hops;
-    }
-    if (router && pkt.record_route &&
-        pkt.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
-      pkt.route_stamps.push_back(n.interfaces()[static_cast<std::size_t>(hop->ifindex)].addr);
-    }
-    if (router) t += router->config().forward_delay;
-    pkt.l2_next_hop = hop->next_hop;
-    DuplexLink& l = *links_[static_cast<std::size_t>(n.interfaces()[static_cast<std::size_t>(hop->ifindex)].link_id)];
-    std::uint64_t drops = 0;
-    if (!cross_link(*this, rng_, l, cur, pkt.size_bytes, t, drops)) {
-      dropped = true;
-      packets_dropped += drops;
-      return hops;
+      return;
     }
     const NodeId peer = l.other(cur);
     const int peer_if = l.ifindex_at(peer);
-    const auto& peer_ifc = node(peer).interfaces()[static_cast<std::size_t>(peer_if)];
     cur = peer;
-    hops.push_back({cur, peer_ifc.addr, t});
-    if (out) *out = pkt;
+    // Record the receiving interface's address no matter how the hop was
+    // reached: a TTL expiry at a router across the L2 fabric must report
+    // the peer's fabric address, not 0.0.0.0.
+    hops.push_back({cur, node(cur).interfaces()[static_cast<std::size_t>(peer_if)].addr, t});
   }
   dropped = true;
-  return hops;
 }
 
 ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
   ProbeResult res;
-  net::Packet pkt = pkt_in;
   bool fwd_dropped = false;
   net::Packet at_end;
-  std::vector<PathHop> hops = trace_forward(from, pkt, fwd_dropped, &at_end);
+  trace_forward_into(from, pkt_in, fwd_dropped, &at_end, scratch_hops_);
+  const std::vector<PathHop>& hops = scratch_hops_;
   if (fwd_dropped || hops.empty()) {
     res.forward_dropped = true;
     return res;
@@ -245,41 +223,44 @@ ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
   // Identify the responder and the reply origin time.
   const PathHop& last = hops.back();
   Node& n = node(last.node);
+  const bool at_router = n.kind() == NodeKind::kRouter;
   TimePoint t = last.arrived;
   net::Packet reply;
   reply.ttl = 64;
-  reply.dst = pkt.src;
+  reply.dst = pkt_in.src;
   reply.size_bytes = 56;
   reply.record_route = at_end.record_route;
-  reply.route_stamps = at_end.route_stamps;
+  reply.route_stamps = std::move(at_end.route_stamps);
 
-  if (n.owns_address(pkt.dst)) {
-    reply.src = pkt.dst;
+  if (n.owns_address(pkt_in.dst)) {
+    reply.src = pkt_in.dst;
     reply.icmp_type = net::IcmpType::kEchoReply;
-    reply.ident = pkt.ident;
-    reply.seq = pkt.seq;
-    if (auto* r = dynamic_cast<Router*>(&n)) {
-      if (r->config().icmp_disabled || !r->icmp_rate_admit(t)) {
+    reply.ident = pkt_in.ident;
+    reply.seq = pkt_in.seq;
+    if (at_router) {
+      auto& r = static_cast<Router&>(n);
+      if (r.config().icmp_disabled || !r.icmp_rate_admit(t)) {
         res.forward_dropped = true;  // silent router or rate-limited
         return res;
       }
-      reply.ip_id = r->next_ip_id();
-      t += r->icmp_generation_delay(t);
+      reply.ip_id = r.next_ip_id();
+      t += r.icmp_generation_delay(t);
     } else {
       t += std::chrono::microseconds(50);
     }
-  } else if (auto* r = dynamic_cast<Router*>(&n)) {
+  } else if (at_router) {
     // TTL expiry at a router.
+    auto& r = static_cast<Router&>(n);
     reply.src = last.in_addr;
     reply.icmp_type = net::IcmpType::kTimeExceeded;
-    reply.quoted_ident = pkt.ident;
-    reply.quoted_seq = pkt.seq;
-    if (r->config().icmp_disabled || !r->icmp_rate_admit(t)) {
+    reply.quoted_ident = pkt_in.ident;
+    reply.quoted_seq = pkt_in.seq;
+    if (r.config().icmp_disabled || !r.icmp_rate_admit(t)) {
       res.forward_dropped = true;
       return res;
     }
-    reply.ip_id = r->next_ip_id();
-    t += r->icmp_generation_delay(t);
+    reply.ip_id = r.next_ip_id();
+    t += r.icmp_generation_delay(t);
   } else {
     res.forward_dropped = true;
     return res;
@@ -288,63 +269,52 @@ ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
 
   // Reverse walk from the responder to the probing host.
   NodeId cur = last.node;
-  for (int budget = 0; budget < 64; ++budget) {
+  for (int budget = 0; budget < kWalkBudget; ++budget) {
     Node& rn = node(cur);
     if (rn.owns_address(reply.dst)) {
       res.answered = true;
       res.responder = reply.src;
       res.reply_type = reply.icmp_type;
       res.rtt = t - sim_.now();
-      res.record_route = reply.route_stamps;
+      res.record_route = std::move(reply.route_stamps);
       res.ip_id = reply.ip_id;
       return res;
     }
-    std::optional<HopDecision> hop;
-    if (auto* sw = dynamic_cast<L2Switch*>(&rn)) {
-      (void)sw;
-      // Resolve the L2 port toward the frame's next hop.
-      NodeId next = kInvalidNode;
-      int out_if = -1;
-      const net::Ipv4Address key = reply.l2_next_hop.is_unspecified() ? reply.dst : reply.l2_next_hop;
-      for (std::size_t i = 0; i < rn.interfaces().size(); ++i) {
-        const DuplexLink& l = *links_[static_cast<std::size_t>(rn.interfaces()[i].link_id)];
-        const NodeId peer = l.other(cur);
-        if (node(peer).owns_address(key)) {
-          next = peer;
-          out_if = static_cast<int>(i);
-          break;
-        }
-      }
-      if (next == kInvalidNode) {
+    int out_if = -1;
+    if (rn.kind() == NodeKind::kSwitch) {
+      // O(1) learned-table resolution, same as the forward walk.
+      const L2Port* port = static_cast<const L2Switch&>(rn).lookup(
+          reply.l2_next_hop.is_unspecified() ? reply.dst : reply.l2_next_hop);
+      if (port == nullptr) {
         res.reverse_dropped = true;
         return res;
       }
-      hop = HopDecision{out_if, key};
+      out_if = port->ifindex;
     } else {
-      hop = route_at(cur, reply.dst);
-      if (auto* rr = dynamic_cast<Router*>(&rn); rr && cur != last.node) {
+      const bool router = rn.kind() == NodeKind::kRouter;
+      if (router && cur != last.node) {
         if (reply.ttl <= 1) {
           res.reverse_dropped = true;
           return res;
         }
         reply.ttl -= 1;
-        t += rr->config().forward_delay;
+        t += static_cast<const Router&>(rn).config().forward_delay;
       }
+      const auto hop = route_at(cur, reply.dst);
+      if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(rn.interfaces().size())) {
+        res.reverse_dropped = true;
+        return res;
+      }
+      out_if = hop->ifindex;
+      if (router && reply.record_route &&
+          reply.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
+        reply.route_stamps.push_back(rn.interfaces()[static_cast<std::size_t>(out_if)].addr);
+      }
+      reply.l2_next_hop = hop->next_hop;
     }
-    if (!hop || hop->ifindex < 0 || hop->ifindex >= static_cast<int>(rn.interfaces().size())) {
+    DuplexLink& l = link(rn.interfaces()[static_cast<std::size_t>(out_if)].link_id);
+    if (!cross_link(l, cur, reply.size_bytes, t)) {
       res.reverse_dropped = true;
-      return res;
-    }
-    if (reply.record_route && dynamic_cast<Router*>(&rn) != nullptr &&
-        reply.route_stamps.size() < static_cast<std::size_t>(net::kMaxRecordRouteSlots)) {
-      reply.route_stamps.push_back(rn.interfaces()[static_cast<std::size_t>(hop->ifindex)].addr);
-    }
-    reply.l2_next_hop = hop->next_hop;
-    DuplexLink& l = *links_[static_cast<std::size_t>(rn.interfaces()[static_cast<std::size_t>(hop->ifindex)].link_id)];
-    std::uint64_t drops = 0;
-    if (!cross_link(*this, rng_, l, cur, reply.size_bytes, t, drops)) {
-      res.reverse_dropped = true;
-      packets_dropped += drops;
       return res;
     }
     cur = l.other(cur);

@@ -23,6 +23,12 @@
 
 namespace ixp::sim {
 
+/// Maximum hops a fast-path walk will take before declaring a loop.  Well
+/// above any real path length (probes start with ttl <= 64; replies also
+/// start at 64), so reverse-path TTL expiry is observable before the walk
+/// budget runs out.
+inline constexpr int kWalkBudget = 255;
+
 /// One hop of a fast-path walk (for traceroute-style introspection).
 struct PathHop {
   NodeId node = kInvalidNode;
@@ -77,7 +83,7 @@ class Network {
 
   /// Emits `pkt` from `from` out of `ifindex`; `next_hop` picks the L2 port
   /// on a switch fabric (use the packet dst for directly-connected sends).
-  /// The packet is dropped silently if the egress queue overflows.
+  /// Queue overflow and tail drops are counted in packets_dropped.
   void transmit(NodeId from, int ifindex, net::Packet pkt, net::Ipv4Address next_hop);
 
   /// Delivers `pkt` to a node after `delay` (loopback / self-ping).
@@ -100,6 +106,7 @@ class Network {
   std::uint64_t packets_forwarded = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t icmp_generated = 0;
+  std::uint64_t hops_walked = 0;  ///< link crossings, event-mode and analytic
 
  private:
   friend class Router;
@@ -114,6 +121,18 @@ class Network {
   };
   std::optional<HopDecision> route_at(NodeId at, net::Ipv4Address dst) const;
 
+  /// One link traversal shared by event mode (transmit) and the analytic
+  /// walks: decides drops, advances `t` past the queue, and books the probe
+  /// bytes into the backlog.  Returns false when the packet is dropped (the
+  /// drop is already counted in packets_dropped).
+  bool cross_link(DuplexLink& l, NodeId from, std::uint32_t size_bytes, TimePoint& t);
+
+  /// trace_forward into a caller-owned hop buffer (the probe hot path
+  /// reuses one scratch vector instead of allocating per probe).
+  void trace_forward_into(NodeId from, const net::Packet& pkt_in, bool& dropped, net::Packet* out,
+                          std::vector<PathHop>& hops);
+
+  std::vector<PathHop> scratch_hops_;  ///< reused by probe()
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<DuplexLink>> links_;
   std::unordered_map<net::Ipv4Address, NodeId> addr_owner_;

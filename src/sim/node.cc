@@ -74,7 +74,7 @@ void Router::emit_icmp(Network& net, const net::Packet& cause, net::IcmpType typ
 }
 
 void Router::forward(Network& net, net::Packet pkt) {
-  const auto* entry = fib_.lookup(pkt.dst);
+  const auto* entry = route_lookup(pkt.dst);
   if (!entry || entry->ifindex < 0 || entry->ifindex >= static_cast<int>(interfaces_.size())) {
     ++net.packets_dropped;
     return;
@@ -159,13 +159,13 @@ void Host::send(Network& net, net::Packet pkt) {
 
 void L2Switch::receive(Network& net, net::Packet pkt, int /*in_ifindex*/) {
   const net::Ipv4Address key = pkt.l2_next_hop.is_unspecified() ? pkt.dst : pkt.l2_next_hop;
-  const auto it = table_.find(key);
-  if (it == table_.end()) {
+  const L2Port* entry = lookup(key);
+  if (entry == nullptr) {
     ++net.packets_dropped;
     return;
   }
   const NodeId self = id();
-  const int port = it->second;
+  const int port = entry->ifindex;
   net.simulator().schedule(latency_, [&net, self, port, pkt = std::move(pkt)]() mutable {
     net.transmit(self, port, std::move(pkt), pkt.l2_next_hop);
   });

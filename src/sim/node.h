@@ -40,12 +40,22 @@ struct FibEntry {
   net::Ipv4Address next_hop;  ///< 0 means "directly connected: use dst"
 };
 
+/// Concrete node type, queryable without RTTI.  The forwarding hot path
+/// dispatches on this tag instead of dynamic_cast (which dominated probe
+/// profiles before the tag existed).
+enum class NodeKind : std::uint8_t { kHost, kRouter, kSwitch };
+
 class Node {
  public:
-  explicit Node(std::string name) : name_(std::move(name)) {}
+  Node(NodeKind kind, std::string name) : name_(std::move(name)), kind_(kind) {}
   virtual ~Node() = default;
 
   virtual void receive(Network& net, net::Packet pkt, int in_ifindex) = 0;
+
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_host() const { return kind_ == NodeKind::kHost; }
+  [[nodiscard]] bool is_router() const { return kind_ == NodeKind::kRouter; }
+  [[nodiscard]] bool is_switch() const { return kind_ == NodeKind::kSwitch; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] NodeId id() const { return id_; }
@@ -69,6 +79,7 @@ class Node {
  private:
   std::string name_;
   NodeId id_ = kInvalidNode;
+  NodeKind kind_;
 };
 
 /// Router behaviour knobs.
@@ -99,7 +110,7 @@ struct RouterConfig {
 class Router final : public Node {
  public:
   Router(std::string name, RouterConfig cfg, Rng rng)
-      : Node(std::move(name)), cfg_(std::move(cfg)), rng_(rng) {}
+      : Node(NodeKind::kRouter, std::move(name)), cfg_(std::move(cfg)), rng_(rng) {}
 
   void receive(Network& net, net::Packet pkt, int in_ifindex) override;
 
@@ -108,9 +119,32 @@ class Router final : public Node {
   RouterConfig& mutable_config() { return cfg_; }
 
   /// Installs/overwrites a FIB route.
-  void add_route(const net::Ipv4Prefix& prefix, FibEntry entry) { fib_.insert(prefix, entry); }
+  void add_route(const net::Ipv4Prefix& prefix, FibEntry entry) {
+    fib_.insert(prefix, entry);
+    route_cache_.clear();
+    last_route_valid_ = false;
+  }
   [[nodiscard]] const net::PrefixMap<FibEntry>& fib() const { return fib_; }
-  void clear_fib() { fib_ = net::PrefixMap<FibEntry>(); }
+  void clear_fib() {
+    fib_ = net::PrefixMap<FibEntry>();
+    route_cache_.clear();
+    last_route_valid_ = false;
+  }
+
+  /// Memoized longest-prefix match.  A TSLP campaign hits each router with
+  /// the same handful of destinations every round, so the trie walk is paid
+  /// once per (router, dst); any FIB mutation invalidates the cache.  The
+  /// one-entry memo on top covers the far/near probe pairs, which query the
+  /// same destination back to back.
+  [[nodiscard]] const FibEntry* route_lookup(net::Ipv4Address dst) const {
+    if (last_route_valid_ && dst == last_route_dst_) return last_route_;
+    const auto [it, fresh] = route_cache_.try_emplace(dst, nullptr);
+    if (fresh) it->second = fib_.lookup(dst);
+    last_route_valid_ = true;
+    last_route_dst_ = dst;
+    last_route_ = it->second;
+    return it->second;
+  }
 
   /// ICMP generation delay at time t (deterministic given the RNG stream).
   Duration icmp_generation_delay(TimePoint t);
@@ -129,6 +163,11 @@ class Router final : public Node {
 
   RouterConfig cfg_;
   net::PrefixMap<FibEntry> fib_;
+  /// dst -> trie entry; pointers stay valid because any mutation clears it.
+  mutable std::unordered_map<net::Ipv4Address, const FibEntry*> route_cache_;
+  mutable net::Ipv4Address last_route_dst_;
+  mutable const FibEntry* last_route_ = nullptr;
+  mutable bool last_route_valid_ = false;
   Rng rng_;
   std::uint16_t ip_id_counter_ = 1;
   // Token bucket for ICMP rate limiting.
@@ -144,7 +183,7 @@ class Host final : public Node {
   using RxCallback = std::function<void(const net::Packet&, TimePoint)>;
 
   Host(std::string name, Duration reply_delay = std::chrono::microseconds(50))
-      : Node(std::move(name)), reply_delay_(reply_delay) {}
+      : Node(NodeKind::kHost, std::move(name)), reply_delay_(reply_delay) {}
 
   void receive(Network& net, net::Packet pkt, int in_ifindex) override;
 
@@ -168,21 +207,51 @@ class Host final : public Node {
   net::Ipv4Address gateway_;
 };
 
+/// Resolved L2 port: which switch ifindex reaches an address, and the node
+/// on the far side of that port.  Filled in by Network::connect() so both
+/// the event-driven and analytic paths share one O(1) lookup.
+struct L2Port {
+  int ifindex = -1;
+  NodeId peer = kInvalidNode;
+};
+
 /// IXP switching fabric: forwards by next-hop IP without touching TTL.
 class L2Switch final : public Node {
  public:
   explicit L2Switch(std::string name, Duration latency = std::chrono::microseconds(5))
-      : Node(std::move(name)), latency_(latency) {}
+      : Node(NodeKind::kSwitch, std::move(name)), latency_(latency) {}
 
   void receive(Network& net, net::Packet pkt, int in_ifindex) override;
 
-  /// Registers which port (ifindex on the switch) reaches `addr`.
-  void learn(net::Ipv4Address addr, int port_ifindex) { table_[addr] = port_ifindex; }
-  void forget(net::Ipv4Address addr) { table_.erase(addr); }
+  /// Registers which port (ifindex on the switch) reaches `addr`, and who
+  /// sits behind it.
+  void learn(net::Ipv4Address addr, int port_ifindex, NodeId peer = kInvalidNode) {
+    table_[addr] = L2Port{port_ifindex, peer};
+    last_key_valid_ = false;
+  }
+  void forget(net::Ipv4Address addr) {
+    table_.erase(addr);
+    last_key_valid_ = false;
+  }
+
+  /// O(1) learned-table lookup; nullptr for unknown addresses.  The
+  /// one-entry memo covers consecutive frames toward the same next hop
+  /// (TSLP's far/near probe pairs and their replies).
+  [[nodiscard]] const L2Port* lookup(net::Ipv4Address addr) const {
+    if (last_key_valid_ && addr == last_key_) return last_port_;
+    const auto it = table_.find(addr);
+    last_key_valid_ = true;
+    last_key_ = addr;
+    last_port_ = it == table_.end() ? nullptr : &it->second;
+    return last_port_;
+  }
 
  private:
   Duration latency_;
-  std::unordered_map<net::Ipv4Address, int> table_;
+  std::unordered_map<net::Ipv4Address, L2Port> table_;
+  mutable net::Ipv4Address last_key_;
+  mutable const L2Port* last_port_ = nullptr;
+  mutable bool last_key_valid_ = false;
 };
 
 }  // namespace ixp::sim

@@ -21,6 +21,14 @@ void check_backlog(double backlog, double buffer) {
 
 void FluidQueue::advance(TimePoint t) {
   if (t <= last_) return;
+  if (never_congests_ && backlog_ == 0.0) {
+    // Provably uncongested and already empty: every sub-step below would
+    // compute dq <= 0 and clamp straight back to 0.0, so the whole
+    // integration is a no-op.  Jump the clock instead of evaluating the
+    // profile -- the resulting state is bit-identical.
+    last_ = t;
+    return;
+  }
   if (!cfg_.cross_traffic) {
     // No cross traffic: the backlog only drains.
     const double drained = cfg_.capacity_bps * to_sec(t - last_) / 8.0;
@@ -43,6 +51,12 @@ void FluidQueue::advance(TimePoint t) {
     backlog_ = std::clamp(backlog_ + dq, 0.0, cfg_.buffer_bytes);
     last_ += Duration(dt_ns);
     remaining -= dt_ns;
+    if (never_congests_ && backlog_ == 0.0) {
+      // Drained to exactly empty with provable headroom: the remaining
+      // sub-steps cannot lift the backlog off zero again.
+      last_ = t;
+      break;
+    }
   }
   IXP_CHECK(last_ == t, "fluid queue integration must land exactly on the query time");
   check_backlog(backlog_, cfg_.buffer_bytes);
@@ -86,6 +100,7 @@ double FluidQueue::offered_bps(TimePoint t) const {
 void FluidQueue::set_cross_traffic(TimePoint t, TrafficProfilePtr profile) {
   advance(t);
   cfg_.cross_traffic = std::move(profile);
+  refresh_headroom();
 }
 
 void FluidQueue::set_capacity(TimePoint t, double capacity_bps, double buffer_bytes) {
@@ -93,6 +108,15 @@ void FluidQueue::set_capacity(TimePoint t, double capacity_bps, double buffer_by
   cfg_.capacity_bps = capacity_bps;
   cfg_.buffer_bytes = buffer_bytes;
   backlog_ = std::min(backlog_, buffer_bytes);
+  refresh_headroom();
+}
+
+void FluidQueue::refresh_headroom() {
+  const double bound = cfg_.cross_traffic ? cfg_.cross_traffic->max_bps() : 0.0;
+  // Demand a relative safety margin: max_bps() bounds the mathematical
+  // profile, but intermediate rounding inside bps() can overshoot it by a
+  // few ulps.  Links with genuine headroom clear 1e-9 effortlessly.
+  never_congests_ = std::isfinite(bound) && bound < cfg_.capacity_bps * (1.0 - 1e-9);
 }
 
 }  // namespace ixp::sim

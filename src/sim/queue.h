@@ -33,7 +33,7 @@ class FluidQueue {
                                       ///< microbursts the fluid misses)
   };
 
-  explicit FluidQueue(Config cfg) : cfg_(std::move(cfg)) {}
+  explicit FluidQueue(Config cfg) : cfg_(std::move(cfg)) { refresh_headroom(); }
 
   /// Advances the fluid state to `t` and returns the backlog in bytes.
   double backlog_bytes(TimePoint t);
@@ -68,10 +68,17 @@ class FluidQueue {
 
  private:
   void advance(TimePoint t);
+  void refresh_headroom();
 
   Config cfg_;
   TimePoint last_{};
   double backlog_ = 0.0;  ///< bytes
+  /// True when the profile's max_bps() bound proves lambda(t) can never
+  /// exceed capacity.  Then an empty backlog stays exactly 0.0 through any
+  /// integration window (every sub-step clamps back to 0), so advance() can
+  /// jump the clock without evaluating the profile -- bit-identical state at
+  /// a fraction of the cost.  Recomputed whenever profile or capacity change.
+  bool never_congests_ = false;
 };
 
 }  // namespace ixp::sim

@@ -1,6 +1,8 @@
 #include "sim/traffic.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ixp::sim {
 namespace {
@@ -26,6 +28,17 @@ double DiurnalProfile::bps(TimePoint t) const {
   return scale * load;
 }
 
+double DiurnalProfile::max_bps() const {
+  // With any negative parameter the simple peak formula below is no longer
+  // an upper bound; report "unknown" rather than a wrong bound.
+  if (cfg_.base_bps < 0 || cfg_.peak_bps < 0 || cfg_.weekday_scale < 0 ||
+      cfg_.weekend_scale < 0 || cfg_.midnight_dip_frac < 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // bump() is in [0, 1] and the midnight dip only reduces load.
+  return std::max(cfg_.weekday_scale, cfg_.weekend_scale) * (cfg_.base_bps + cfg_.peak_bps);
+}
+
 double PiecewiseProfile::bps(TimePoint t) const {
   for (const auto& piece : pieces_) {
     if (t < piece.until) return piece.profile->bps(t);
@@ -33,9 +46,21 @@ double PiecewiseProfile::bps(TimePoint t) const {
   return tail_ ? tail_->bps(t) : 0.0;
 }
 
+double PiecewiseProfile::max_bps() const {
+  double bound = tail_ ? tail_->max_bps() : 0.0;
+  for (const auto& piece : pieces_) bound = std::max(bound, piece.profile->max_bps());
+  return bound;
+}
+
 double SumProfile::bps(TimePoint t) const {
   double total = 0.0;
   for (const auto& p : parts_) total += p->bps(t);
+  return total;
+}
+
+double SumProfile::max_bps() const {
+  double total = 0.0;
+  for (const auto& p : parts_) total += p->max_bps();
   return total;
 }
 
@@ -60,6 +85,13 @@ double JitteredProfile::bps(TimePoint t) const {
                    std::sin(2 * kPi * h / 0.2236067977 + phase_[1]) * 0.3 +
                    std::sin(2 * kPi * h / 3.1415926536 + phase_[2]) * 0.2;
   return base * (1.0 + amplitude_ * n);
+}
+
+double JitteredProfile::max_bps() const {
+  const double base_max = base_->max_bps();
+  if (base_max < 0) return std::numeric_limits<double>::infinity();
+  // |n| <= 0.5 + 0.3 + 0.2 = 1.
+  return base_max * (1.0 + std::fabs(amplitude_));
 }
 
 }  // namespace ixp::sim

@@ -12,6 +12,7 @@
 // boundaries (phase changes such as the 28/04/2016 NETPAGE port upgrade).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -25,6 +26,12 @@ class TrafficProfile {
   virtual ~TrafficProfile() = default;
   /// Offered load in bits per second at time t.
   [[nodiscard]] virtual double bps(TimePoint t) const = 0;
+  /// Upper bound on bps(t) over all t; +infinity when no bound is known.
+  /// Need not be tight.  FluidQueue uses it to prove a link can never
+  /// congest, which lets it skip integrating an empty backlog entirely.
+  [[nodiscard]] virtual double max_bps() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 using TrafficProfilePtr = std::shared_ptr<const TrafficProfile>;
@@ -34,6 +41,7 @@ class ConstantProfile final : public TrafficProfile {
  public:
   explicit ConstantProfile(double bps) : bps_(bps) {}
   [[nodiscard]] double bps(TimePoint) const override { return bps_; }
+  [[nodiscard]] double max_bps() const override { return bps_; }
 
  private:
   double bps_;
@@ -60,6 +68,7 @@ class DiurnalProfile final : public TrafficProfile {
 
   explicit DiurnalProfile(Config cfg) : cfg_(cfg) {}
   [[nodiscard]] double bps(TimePoint t) const override;
+  [[nodiscard]] double max_bps() const override;
 
   [[nodiscard]] const Config& config() const { return cfg_; }
 
@@ -82,6 +91,7 @@ class PiecewiseProfile final : public TrafficProfile {
       : pieces_(std::move(pieces)), tail_(std::move(tail)) {}
 
   [[nodiscard]] double bps(TimePoint t) const override;
+  [[nodiscard]] double max_bps() const override;
 
  private:
   std::vector<Piece> pieces_;
@@ -93,6 +103,7 @@ class SumProfile final : public TrafficProfile {
  public:
   explicit SumProfile(std::vector<TrafficProfilePtr> parts) : parts_(std::move(parts)) {}
   [[nodiscard]] double bps(TimePoint t) const override;
+  [[nodiscard]] double max_bps() const override;
 
  private:
   std::vector<TrafficProfilePtr> parts_;
@@ -105,6 +116,7 @@ class JitteredProfile final : public TrafficProfile {
  public:
   JitteredProfile(TrafficProfilePtr base, double relative_amplitude, std::uint64_t phase_seed);
   [[nodiscard]] double bps(TimePoint t) const override;
+  [[nodiscard]] double max_bps() const override;
 
  private:
   TrafficProfilePtr base_;

@@ -54,15 +54,28 @@ double stddev(std::span<const double> v) {
 }
 
 double quantile(std::span<const double> v, double q) {
-  auto clean = drop_nan(v);
+  // Reused scratch: quantile sits inside the level-shift detector's inner
+  // loop, so per-call allocation and a full sort both show up in profiles.
+  static thread_local std::vector<double> clean;
+  clean.clear();
+  clean.reserve(v.size());
+  for (double x : v) {
+    if (std::isfinite(x)) clean.push_back(x);
+  }
   if (clean.empty()) return kNaN;
   q = std::clamp(q, 0.0, 1.0);
-  std::sort(clean.begin(), clean.end());
   const double pos = q * static_cast<double>(clean.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, clean.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return clean[lo] * (1.0 - frac) + clean[hi] * frac;
+  // Only the lo-th and hi-th order statistics matter, so select instead of
+  // sorting: O(n) against O(n log n), with bit-identical results.
+  const auto lo_it = clean.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(clean.begin(), lo_it, clean.end());
+  const double at_lo = clean[lo];
+  const double at_hi =
+      hi == lo ? at_lo : *std::min_element(lo_it + 1, clean.end());
+  return at_lo * (1.0 - frac) + at_hi * frac;
 }
 
 double median(std::span<const double> v) { return quantile(v, 0.5); }

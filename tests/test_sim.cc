@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "sim/network.h"
 #include "sim/queue.h"
@@ -62,6 +63,29 @@ TEST(Simulator, AdvanceToSkipsForward) {
   EXPECT_EQ(sim.now(), TimePoint(kHour));
   sim.advance_to(TimePoint(kMinute));  // backwards is a no-op
   EXPECT_EQ(sim.now(), TimePoint(kHour));
+}
+
+TEST(Simulator, ClearResetsState) {
+  Simulator sim;
+  sim.schedule(kSecond, [] {});
+  sim.schedule(kSecond * 2, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), TimePoint(kSecond * 2));
+  EXPECT_EQ(sim.executed(), 2u);
+
+  sim.schedule(kSecond, [] {});  // left pending across the clear
+  sim.clear();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), TimePoint{});
+  EXPECT_EQ(sim.executed(), 0u);
+
+  // A cleared simulator must behave like a fresh one: an event scheduled
+  // one second out fires at t=1s, not one second past the stale clock.
+  TimePoint fired_at{};
+  sim.schedule(kSecond, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, TimePoint(kSecond));
+  EXPECT_EQ(sim.executed(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -131,6 +155,39 @@ TEST(Traffic, JitterBoundedAndDeterministic) {
     EXPECT_GE(p.bps(t), 100e6 * 0.89);
     EXPECT_LE(p.bps(t), 100e6 * 1.11);
   }
+}
+
+TEST(Traffic, MaxBpsBoundsObservedLoad) {
+  DiurnalProfile::Config cfg;
+  cfg.base_bps = 10e6;
+  cfg.peak_bps = 90e6;
+  cfg.weekday_scale = 1.2;
+  cfg.weekend_scale = 0.7;
+  cfg.midnight_dip_frac = 0.3;
+  auto diurnal = std::make_shared<DiurnalProfile>(cfg);
+  EXPECT_DOUBLE_EQ(diurnal->max_bps(), 1.2 * 100e6);
+
+  auto jitter = std::make_shared<JitteredProfile>(diurnal, 0.1, 7);
+  EXPECT_DOUBLE_EQ(jitter->max_bps(), 1.2 * 100e6 * 1.1);
+
+  SumProfile sum({diurnal, std::make_shared<ConstantProfile>(5e6)});
+  EXPECT_DOUBLE_EQ(sum.max_bps(), 1.2 * 100e6 + 5e6);
+
+  std::vector<PiecewiseProfile::Piece> pieces;
+  pieces.push_back({TimePoint(kDay), std::make_shared<ConstantProfile>(30e6)});
+  PiecewiseProfile pw(std::move(pieces), diurnal);
+  EXPECT_DOUBLE_EQ(pw.max_bps(), 1.2 * 100e6);
+
+  // The bound must dominate the profile everywhere it is sampled.
+  for (int h = 0; h < 24 * 14; ++h) {
+    EXPECT_LE(jitter->bps(TimePoint(kHour * h)), jitter->max_bps());
+  }
+  // An unbounded base propagates "unknown".
+  struct Unbounded final : TrafficProfile {
+    [[nodiscard]] double bps(TimePoint) const override { return 1.0; }
+  };
+  JitteredProfile unknown(std::make_shared<Unbounded>(), 0.1, 7);
+  EXPECT_TRUE(std::isinf(unknown.max_bps()));
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +272,18 @@ TEST(FluidQueue, ConservationUnderVaryingLoad) {
   // fully drain overnight (queries are forward-only: the queue is lazy).
   EXPECT_NEAR(peak_backlog, 500e3, 1e3);
   EXPECT_NEAR(q.backlog_bytes(TimePoint(kHour * 47)), 0.0, 1e3);
+}
+
+TEST(FluidQueue, HeadroomSkipTracksProfileSwap) {
+  // A provably-uncongested queue takes the empty-backlog fast path; swapping
+  // in an overloading profile must re-arm full integration, and swapping the
+  // light profile back must drain and re-enable the skip.
+  FluidQueue q({100e6, 350e3, std::make_shared<ConstantProfile>(50e6), kSecond, 0.0});
+  EXPECT_NEAR(q.backlog_bytes(TimePoint(kHour)), 0.0, 1.0);
+  q.set_cross_traffic(TimePoint(kHour), std::make_shared<ConstantProfile>(120e6));
+  EXPECT_NEAR(q.backlog_bytes(TimePoint(kHour + kSecond * 10)), 350e3, 1.0);
+  q.set_cross_traffic(TimePoint(kHour + kSecond * 10), std::make_shared<ConstantProfile>(10e6));
+  EXPECT_NEAR(q.backlog_bytes(TimePoint(kHour * 2)), 0.0, 1.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -471,6 +540,181 @@ TEST(Network, RecordRouteStampsForwardAndReverse) {
   // toward r1 (10.0.1.2), r1 egress toward host (10.0.0.1).
   ASSERT_GE(res.record_route.size(), 4u);
   EXPECT_EQ(res.record_route[0], t.r1_r2_if);
+}
+
+TEST(Network, RecordRouteReverseStampsExactAddresses) {
+  // Pins the reverse-walk RR branch hop by hop: the reply is stamped with
+  // each router's egress interface on the way back, in order.
+  TestNet t;
+  auto pkt = t.probe(net::Ipv4Address(10, 0, 2, 1), 64);
+  pkt.record_route = true;
+  const auto res = t.net.probe(t.host, pkt);
+  ASSERT_TRUE(res.answered);
+  ASSERT_EQ(res.record_route.size(), 4u);
+  EXPECT_EQ(res.record_route[0], t.r1_r2_if);    // fwd: r1 toward r2
+  EXPECT_EQ(res.record_route[1], t.r2_lo);       // fwd: r2 toward the stub
+  EXPECT_EQ(res.record_route[2], t.r2_r1_if);    // rev: r2 back toward r1
+  EXPECT_EQ(res.record_route[3], t.r1_host_if);  // rev: r1 back toward host
+}
+
+TEST(Network, EchoReplyRateLimited) {
+  // The reverse-walk admission branch for *echo replies* (destination-owned
+  // address on a router) shares the ICMP token bucket with TIME_EXCEEDED.
+  TestNet t;
+  auto& r2 = dynamic_cast<Router&>(t.net.node(t.r2));
+  r2.mutable_config().icmp_rate_limit_per_sec = 2.0;
+  int answered = 0;
+  for (int i = 0; i < 10; ++i) {
+    answered += t.net.probe(t.host, t.probe(t.r2_r1_if, 64)).answered ? 1 : 0;
+  }
+  EXPECT_LE(answered, 3);
+  EXPECT_GE(answered, 1);
+}
+
+TEST(NetworkFastPath, AnalyticTailDropWhenBufferFull) {
+  // A full-but-not-overflowing buffer must tail-drop the probe itself: the
+  // enqueue failure counts as a loss instead of being silently ignored.
+  TestNet t;
+  auto& q = t.net.link(0).queue_from(t.host);
+  ASSERT_TRUE(q.enqueue(TimePoint{}, 1'000'000));  // fill to the 1 MB buffer
+  const auto before = t.net.packets_dropped;
+  const auto res = t.net.probe(t.host, t.probe(t.r2_r1_if, 64));
+  EXPECT_FALSE(res.answered);
+  EXPECT_TRUE(res.forward_dropped);
+  EXPECT_EQ(t.net.packets_dropped, before + 1);
+}
+
+TEST(NetworkEventMode, TailDropCountedWhenBufferFull) {
+  // Event-mode transmit must honour the enqueue verdict the same way the
+  // analytic walk does: no delivery, and the drop shows up in the counters.
+  TestNet t;
+  auto& q = t.net.link(0).queue_from(t.host);
+  ASSERT_TRUE(q.enqueue(TimePoint{}, 1'000'000));
+  auto& h = dynamic_cast<Host&>(t.net.node(t.host));
+  bool got = false;
+  h.set_rx_callback([&](const net::Packet&, TimePoint) { got = true; });
+  const auto before = t.net.packets_dropped;
+  auto pkt = t.probe(t.r1_host_if, 64);
+  h.send(t.net, pkt);
+  t.net.simulator().run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(t.net.packets_dropped, before + 1);
+}
+
+TEST(NetworkFastPath, ProbeBytesJoinBacklog) {
+  // Analytic probes book their bytes into each crossed queue, matching what
+  // event mode does; both directions of the first link see the traffic.
+  TestNet t;
+  const auto res = t.net.probe(t.host, t.probe(t.r2_r1_if, 64));
+  ASSERT_TRUE(res.answered);
+  const TimePoint now = t.net.simulator().now();
+  EXPECT_DOUBLE_EQ(t.net.link(0).queue_from(t.host).backlog_bytes(now), 64.0);
+  EXPECT_DOUBLE_EQ(t.net.link(0).queue_from(t.r1).backlog_bytes(now), 56.0);  // reply size
+}
+
+TEST(Network, TtlExpiryAcrossFabricReportsPeerAddress) {
+  // TTL expiry at a router reached *through* the IXP switch must be reported
+  // from that router's fabric-facing interface -- the address a real
+  // traceroute across an IXP LAN records -- never 0.0.0.0.
+  Network net;
+  auto& h = net.add_host("vp");
+  auto& a = net.add_router("a", {});
+  auto& sw = net.add_switch("fabric");
+  auto& b = net.add_router("b", {});
+  auto& dsth = net.add_host("dst");
+
+  LinkConfig lan;
+  net.connect(h.id(), net::Ipv4Address(10, 0, 0, 2), a.id(), net::Ipv4Address(10, 0, 0, 1), lan,
+              *net::Ipv4Prefix::parse("10.0.0.0/30"));
+  h.set_gateway(0, net::Ipv4Address(10, 0, 0, 1));
+  const auto peering = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  net.connect(a.id(), net::Ipv4Address(196, 49, 0, 1), sw.id(), {}, lan, peering);
+  net.connect(b.id(), net::Ipv4Address(196, 49, 0, 2), sw.id(), {}, lan, peering);
+  net.connect(b.id(), net::Ipv4Address(10, 0, 3, 1), dsth.id(), net::Ipv4Address(10, 0, 3, 2), lan,
+              *net::Ipv4Prefix::parse("10.0.3.0/30"));
+  dsth.set_gateway(0, net::Ipv4Address(10, 0, 3, 1));
+  a.add_route(*net::Ipv4Prefix::parse("10.0.0.0/30"), {0, {}});
+  a.add_route(*net::Ipv4Prefix::parse("10.0.3.0/30"), {1, net::Ipv4Address(196, 49, 0, 2)});
+  b.add_route(*net::Ipv4Prefix::parse("10.0.0.0/30"), {0, net::Ipv4Address(196, 49, 0, 1)});
+  b.add_route(*net::Ipv4Prefix::parse("10.0.3.0/30"), {1, {}});
+
+  net::Packet p;
+  p.src = net::Ipv4Address(10, 0, 0, 2);
+  p.dst = net::Ipv4Address(10, 0, 3, 2);
+  p.ttl = 2;  // expires at b: decremented at a, crosses the fabric, dies
+  p.icmp_type = net::IcmpType::kEchoRequest;
+  const auto res = net.probe(h.id(), p);
+  ASSERT_TRUE(res.answered);
+  EXPECT_EQ(res.reply_type, net::IcmpType::kTimeExceeded);
+  EXPECT_EQ(res.responder, net::Ipv4Address(196, 49, 0, 2));
+
+  // Control: one more TTL reaches the destination host.
+  p.ttl = 3;
+  const auto through = net.probe(h.id(), p);
+  ASSERT_TRUE(through.answered);
+  EXPECT_EQ(through.reply_type, net::IcmpType::kEchoReply);
+}
+
+// Builds host -- rs -- target, with the target routing its replies back over
+// a chain of `n` extra routers (asymmetric return path).
+struct AsymmetricNet {
+  Network net;
+  NodeId host;
+  net::Ipv4Address target_addr{net::Ipv4Address(10, 1, 0, 2)};
+
+  explicit AsymmetricNet(int n) {
+    auto& h = net.add_host("vp");
+    auto& rs = net.add_router("rs", {});
+    auto& target = net.add_router("target", {});
+    host = h.id();
+    LinkConfig lan;
+    const auto host_net = *net::Ipv4Prefix::parse("10.0.0.0/30");
+    net.connect(host, net::Ipv4Address(10, 0, 0, 2), rs.id(), net::Ipv4Address(10, 0, 0, 1), lan,
+                host_net);
+    h.set_gateway(0, net::Ipv4Address(10, 0, 0, 1));
+    net.connect(rs.id(), net::Ipv4Address(10, 1, 0, 1), target.id(), target_addr, lan,
+                *net::Ipv4Prefix::parse("10.1.0.0/30"));
+    rs.add_route(host_net, {0, {}});
+    rs.add_route(*net::Ipv4Prefix::parse("10.1.0.0/30"), {1, {}});
+    // Return chain: target -> c1 -> ... -> cn -> rs.
+    Router* prev = &target;
+    for (int i = 1; i <= n; ++i) {
+      auto& c = net.add_router("c" + std::to_string(i), {});
+      net.connect(prev->id(), net::Ipv4Address(10, 2, static_cast<std::uint8_t>(i), 1), c.id(),
+                  net::Ipv4Address(10, 2, static_cast<std::uint8_t>(i), 2), lan,
+                  *net::Ipv4Prefix::parse("10.2." + std::to_string(i) + ".0/30"));
+      prev->add_route(host_net, {static_cast<int>(prev->interfaces().size()) - 1, {}});
+      prev = &c;
+    }
+    net.connect(prev->id(), net::Ipv4Address(10, 3, 0, 1), rs.id(), net::Ipv4Address(10, 3, 0, 2),
+                lan, *net::Ipv4Prefix::parse("10.3.0.0/30"));
+    prev->add_route(host_net, {static_cast<int>(prev->interfaces().size()) - 1, {}});
+  }
+
+  ProbeResult ping() {
+    net::Packet p;
+    p.src = net::Ipv4Address(10, 0, 0, 2);
+    p.dst = target_addr;
+    p.ttl = 64;
+    p.icmp_type = net::IcmpType::kEchoRequest;
+    return net.probe(host, p);
+  }
+};
+
+TEST(Network, ReverseTtlExpiryOnLongAsymmetricPath) {
+  // Replies start at TTL 64.  A 40-router return chain survives; a 70-router
+  // one expires the reply in flight: the probe is lost on the *reverse*
+  // path, which only a walk budget above 64 can even observe.
+  AsymmetricNet ok(40);
+  const auto good = ok.ping();
+  ASSERT_TRUE(good.answered);
+  EXPECT_EQ(good.reply_type, net::IcmpType::kEchoReply);
+
+  AsymmetricNet far(70);
+  const auto lost = far.ping();
+  EXPECT_FALSE(lost.answered);
+  EXPECT_FALSE(lost.forward_dropped);
+  EXPECT_TRUE(lost.reverse_dropped);
 }
 
 }  // namespace

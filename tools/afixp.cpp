@@ -13,10 +13,14 @@
 //   afixp selftest  [--golden-dir tests/golden] [--update-golden]
 //       golden-regression checks of the statistics path (level shifts,
 //       change points, diurnal scoring, loss correlation).
+//   afixp bench     [--smoke] [--out BENCH_sim.json] [--only <name>]
+//       probe hot-path benchmark harness; emits the BENCH_sim.json perf
+//       record compared across PRs (see README "Benchmark harness").
 #include <fstream>
 #include <iostream>
 
 #include "analysis/africa.h"
+#include "analysis/benchmarks.h"
 #include "analysis/campaign.h"
 #include "analysis/casebook.h"
 #include "analysis/fleet.h"
@@ -216,6 +220,41 @@ int cmd_selftest(int argc, const char* const* argv) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_bench(int argc, const char* const* argv) {
+  Flags flags("afixp bench", "probe hot-path benchmark harness (BENCH_sim.json)");
+  flags.add_bool("smoke", false, "CI-sized workloads (seconds, not minutes)");
+  flags.add_string("out", "BENCH_sim.json", "output JSON path (empty = stdout)");
+  flags.add_string("only", "", "run only the named benchmark (probe_fabric, "
+                   "event_loop, campaign_six_vp)");
+  flags.add_int("repeats", 3, "warm passes per micro-benchmark");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  analysis::BenchOptions opt;
+  opt.smoke = flags.get_bool("smoke");
+  opt.only = flags.get_string("only");
+  opt.repeats = static_cast<int>(flags.get_int("repeats"));
+  const auto report = analysis::run_sim_benchmarks(opt, &std::cerr);
+  const auto out_path = flags.get_string("out");
+  if (out_path.empty()) {
+    analysis::write_bench_json(std::cout, report);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  analysis::write_bench_json(out, report);
+  std::cout << "bench record: " << out_path << "\n";
+  return 0;
+}
+
 int cmd_casebook() {
   for (const auto& cs : analysis::casebook()) {
     std::cout << cs.id << " (" << cs.vp << ")\n";
@@ -231,7 +270,7 @@ int cmd_casebook() {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: afixp <campaign|analyze|tables|casebook|selftest> [flags]\n"
+      "usage: afixp <campaign|analyze|tables|casebook|selftest|bench> [flags]\n"
       "run 'afixp <command> --help' for the command's flags\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -243,6 +282,7 @@ int main(int argc, char** argv) {
   if (cmd == "tables") return cmd_tables(argc - 1, argv + 1);
   if (cmd == "casebook") return cmd_casebook();
   if (cmd == "selftest") return cmd_selftest(argc - 1, argv + 1);
+  if (cmd == "bench") return cmd_bench(argc - 1, argv + 1);
   std::cerr << "unknown command '" << cmd << "'\n" << usage;
   return 2;
 }

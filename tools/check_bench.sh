@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmark-harness smoke check, run from CTest (see tools/CMakeLists.txt).
+#
+# Runs the CI-sized benchmark workloads and fails when the harness crashes,
+# emits malformed JSON, or the record is missing the fields the comparison
+# workflow in README.md depends on (schema tag, per-benchmark name/unit and
+# positive throughput numbers).  This is a format/liveness gate, not a
+# performance gate: smoke timings on shared CI boxes are too noisy to assert
+# thresholds on.
+#
+# usage: check_bench.sh <bench_probe_binary>
+set -u
+
+bench=${1:?usage: check_bench.sh <bench_probe_binary>}
+[ -x "$bench" ] || { echo "check_bench: cannot execute $bench" >&2; exit 1; }
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+if ! "$bench" --smoke --out "$out"; then
+    echo "check_bench: bench_probe --smoke exited non-zero" >&2
+    exit 1
+fi
+
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: {msg}")
+
+if record.get("schema") != "afixp-bench-sim/1":
+    fail(f"unexpected schema tag {record.get('schema')!r}")
+if record.get("workload") != "smoke":
+    fail(f"expected workload 'smoke', got {record.get('workload')!r}")
+benches = record.get("benchmarks")
+if not isinstance(benches, list) or not benches:
+    fail("'benchmarks' must be a non-empty list")
+expected = {"probe_fabric", "event_loop", "campaign_six_vp"}
+names = {b.get("name") for b in benches}
+if names != expected:
+    fail(f"benchmark set {sorted(names)} != {sorted(expected)}")
+for b in benches:
+    for key in ("unit", "items_per_pass", "cold_per_sec", "warm_per_sec", "wall_seconds"):
+        if key not in b:
+            fail(f"benchmark {b.get('name')!r} lacks field {key!r}")
+    for key in ("cold_per_sec", "warm_per_sec"):
+        if not (isinstance(b[key], (int, float)) and b[key] > 0):
+            fail(f"benchmark {b.get('name')!r} has non-positive {key}: {b[key]!r}")
+print("check_bench: OK")
+EOF

@@ -70,7 +70,17 @@ for k in $cmake_knobs; do
         err "CMakeLists defines build knob '$k' but README does not document it"
 done
 
-# --- 5. Docs cross-links resolve ------------------------------------------
+# --- 5. Benchmark harness flags: README documents every one ----------------
+# `afixp bench` is the PR-to-PR performance comparison contract, so the
+# README's "Benchmark harness" section must cover each flag it offers (the
+# reverse of check 3, which only validates flags README already uses).
+"$afixp" bench --help 2>&1 | grep -oE '^  --[a-z-]+' | tr -d ' ' | sort -u |
+while read -r flag; do
+    grep -q -- "$flag" "$readme" ||
+        err "'afixp bench --help' offers '$flag' but README does not document it"
+done
+
+# --- 6. Docs cross-links resolve ------------------------------------------
 for doc in $(grep -oE '\]\(([A-Za-z0-9_/.-]+\.md)\)' "$readme" | sed 's/](\(.*\))/\1/' | sort -u); do
     [ -f "$src/$doc" ] || err "README links to '$doc' but the file does not exist"
 done
