@@ -4,6 +4,7 @@
 #include <set>
 
 #include "geo/dns_lite.h"
+#include "sim/faults.h"
 #include "registry/registry.h"
 #include "util/strings.h"
 #include "util/log.h"
@@ -176,6 +177,12 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     p.probes = prober.probes_sent();
     p.bdrmap_runs = result.bdrmap_runs;
     p.monitored_links = targets.size();
+    if (opt.faults != nullptr) {
+      p.fault_events = opt.faults->counters().timeline_faults;
+      p.outage_rounds = opt.faults->counters().outage_rounds;
+    }
+    p.stale_relearns = result.stale_relearns;
+    p.loss_relearns = result.loss_relearns;
     p.finished = finished;
     opt.on_progress(p);
   };
@@ -190,11 +197,14 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       // One record-route measurement per link per day (the paper's RR
       // campaign for path-symmetry checks).
       cfg.rr_every_rounds = static_cast<int>(kDay.count() / opt.round_interval.count());
+      cfg.faults = opt.faults;
       prober::TslpDriver driver(prober, cfg);
       auto segment = driver.run(targets, t, b,
                                 [&](std::size_t) { ++result.rounds_completed; });
       result.record_routes += driver.record_routes();
       result.record_routes_symmetric += driver.record_routes_symmetric();
+      result.stale_relearns += driver.stale_relearns();
+      result.loss_relearns += driver.loss_relearns();
       for (std::size_t i = 0; i < segment.size(); ++i) {
         auto& acc = series[i];
         acc.near_rtt.ms.insert(acc.near_rtt.ms.end(), segment[i].near_rtt.ms.begin(),
@@ -244,6 +254,11 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
   result.series = std::move(series);
   result.probes_sent = prober.probes_sent();
+  if (opt.faults != nullptr) {
+    result.fault_events = opt.faults->counters().timeline_faults;
+    result.probes_suppressed = opt.faults->counters().probes_suppressed;
+    result.outage_rounds = opt.faults->counters().outage_rounds;
+  }
   report_progress(end, true);
   return result;
 }

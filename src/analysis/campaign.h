@@ -31,6 +31,10 @@ struct CampaignProgress {
   std::uint64_t probes = 0;        ///< probes sent so far
   std::uint64_t bdrmap_runs = 0;   ///< border-mapping (re-)discoveries so far
   std::size_t monitored_links = 0;
+  std::uint64_t fault_events = 0;  ///< topology faults fired so far
+  std::uint64_t outage_rounds = 0; ///< rounds lost to VP outages so far
+  std::uint64_t stale_relearns = 0;  ///< responder-change re-learns so far
+  std::uint64_t loss_relearns = 0;   ///< consecutive-loss re-learns so far
   bool finished = false;
 };
 
@@ -46,6 +50,10 @@ struct CampaignOptions {
   /// once with finished=true.  The fleet driver (fleet.h) hooks this to
   /// render live per-VP status; must not touch the runtime.
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Optional fault injector (not owned; keep it alive for the run).
+  /// Obtain one from attach_fault_plan() so the timeline faults and the
+  /// probe-level gates come from the same expanded plan.
+  sim::FaultInjector* faults = nullptr;
 };
 
 struct SnapshotResult {
@@ -72,6 +80,12 @@ struct VpCampaignResult {
   std::uint64_t record_routes_symmetric = 0;
   std::uint64_t rounds_completed = 0;     ///< TSLP rounds over the whole campaign
   std::uint64_t bdrmap_runs = 0;          ///< initial discovery + membership re-runs
+  // Fault/retry accounting (all zero when no fault plan is attached).
+  std::uint64_t fault_events = 0;         ///< topology fault events that fired
+  std::uint64_t probes_suppressed = 0;    ///< probes not sent (outages/bursts)
+  std::uint64_t outage_rounds = 0;        ///< whole rounds lost to VP outages
+  std::uint64_t stale_relearns = 0;       ///< responder-change re-learns
+  std::uint64_t loss_relearns = 0;        ///< consecutive-loss re-learns
 
   /// Links with any level-shift episode of magnitude >= threshold_ms.
   [[nodiscard]] std::size_t potentially_congested(double threshold_ms) const;

@@ -3,9 +3,12 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <ostream>
 
+#include "sim/faults.h"
+#include "util/fault_plan.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -61,15 +64,36 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
       m.probes_sent = p.probes;
       m.bdrmap_runs = p.bdrmap_runs;
       m.monitored_links = p.monitored_links;
+      m.fault_events = p.fault_events;
+      m.outage_rounds = p.outage_rounds;
+      m.stale_relearns = p.stale_relearns;
+      m.loss_relearns = p.loss_relearns;
       m.wall_seconds = seconds_since(t0);
       if (!p.finished) emit(m);  // the finished event fires below, with RSS
     };
     auto rt = build_scenario(specs[i]);
+    std::shared_ptr<sim::FaultInjector> faults;
+    if (opt.fault_plan != nullptr && !opt.fault_plan->empty()) {
+      const TimePoint fstart = specs[i].campaign_start;
+      const TimePoint fend = copt.duration_override.count() > 0
+                                 ? fstart + copt.duration_override
+                                 : specs[i].campaign_end;
+      // Per-VP seed derived from the spec index, never from worker
+      // identity, so the expanded plan is byte-identical for any --jobs.
+      faults = attach_fault_plan(*rt, specs[i], *opt.fault_plan,
+                                 opt.fault_seed + (i + 1) * 0x9e3779b97f4a7c15ULL, fend);
+      copt.faults = faults.get();
+    }
     auto result = run_campaign(*rt, specs[i], copt);
     m.rounds_completed = result.rounds_completed;
     m.probes_sent = result.probes_sent;
     m.bdrmap_runs = result.bdrmap_runs;
     m.monitored_links = result.series.size();
+    m.fault_events = result.fault_events;
+    m.probes_suppressed = result.probes_suppressed;
+    m.outage_rounds = result.outage_rounds;
+    m.stale_relearns = result.stale_relearns;
+    m.loss_relearns = result.loss_relearns;
     m.wall_seconds = seconds_since(t0);
     m.probes_per_sec = m.wall_seconds > 0 ? static_cast<double>(m.probes_sent) / m.wall_seconds : 0;
     m.peak_rss_kb = peak_rss_kb_now();
@@ -121,14 +145,19 @@ void FleetStatusPrinter::finish() {
 }
 
 void print_fleet_metrics(std::ostream& out, const FleetResult& fleet) {
-  out << strformat("%-5s %9s %10s %10s %7s %6s %8s %9s\n", "VP", "rounds", "probes",
-                   "probes/s", "bdrmap", "links", "wall", "peak RSS");
+  out << strformat("%-5s %9s %10s %10s %7s %6s %7s %7s %8s %8s %9s\n", "VP", "rounds",
+                   "probes", "probes/s", "bdrmap", "links", "faults", "suppr", "relearns",
+                   "wall", "peak RSS");
   for (const auto& m : fleet.metrics) {
-    out << strformat("%-5s %9llu %10s %10s %7llu %6zu %7.1fs %7ldMB\n", m.vp_name.c_str(),
+    out << strformat("%-5s %9llu %10s %10s %7llu %6zu %7llu %7s %8llu %7.1fs %7ldMB\n",
+                     m.vp_name.c_str(),
                      static_cast<unsigned long long>(m.rounds_completed),
                      human_count(static_cast<double>(m.probes_sent)).c_str(),
                      human_count(m.probes_per_sec).c_str(),
                      static_cast<unsigned long long>(m.bdrmap_runs), m.monitored_links,
+                     static_cast<unsigned long long>(m.fault_events),
+                     human_count(static_cast<double>(m.probes_suppressed)).c_str(),
+                     static_cast<unsigned long long>(m.stale_relearns + m.loss_relearns),
                      m.wall_seconds, m.peak_rss_kb / 1024);
   }
   out << strformat("fleet: %d job%s, %.1fs wall\n", fleet.jobs_used,

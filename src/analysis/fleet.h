@@ -36,6 +36,12 @@ struct CampaignMetrics {
   double wall_seconds = 0.0;          ///< host wall-clock of this campaign
   double probes_per_sec = 0.0;        ///< probes_sent / wall_seconds
   long peak_rss_kb = 0;               ///< process peak RSS, sampled at completion
+  // Fault/retry accounting (zero unless a fault plan was attached).
+  std::uint64_t fault_events = 0;       ///< topology fault events fired
+  std::uint64_t probes_suppressed = 0;  ///< probes not sent (outages/bursts)
+  std::uint64_t outage_rounds = 0;      ///< whole rounds lost to VP outages
+  std::uint64_t stale_relearns = 0;     ///< responder-change re-learns
+  std::uint64_t loss_relearns = 0;      ///< consecutive-loss re-learns
   bool finished = false;
 };
 
@@ -50,6 +56,11 @@ struct FleetOptions {
   /// else hardware concurrency; always clamped to the fleet size.
   int jobs = 0;
   FleetProgressFn on_progress;
+  /// When set (and non-empty), every campaign runs under this fault plan:
+  /// each worker expands it with a per-VP seed derived from `fault_seed`
+  /// and the spec index, so results stay independent of the job count.
+  const FaultPlan* fault_plan = nullptr;
+  std::uint64_t fault_seed = 1;
 };
 
 struct FleetResult {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/faults.h"
+#include "util/fault_plan.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -406,6 +408,22 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
     };
     buffer_phases(n.congestion, lan_ports.empty() ? -1 : lan_ports.front());
     buffer_phases(n.congestion_ptp, ptps.empty() ? -1 : ptps.front());
+
+    // ---- Handles for post-build passes (fault attachment) -------------------
+    NeighborHandles h;
+    h.asn = n.asn;
+    h.name = n.name;
+    h.silent = n.silent;
+    h.engineered = !n.congestion.empty() || !n.congestion_ptp.empty() ||
+                   n.slow_icmp.has_value() || !n.noise_list.empty() ||
+                   !n.capacity_upgrades.empty();
+    const bool windowed = n.join > spec.campaign_start || n.leave < kForever ||
+                          !n.lan_windows.empty() || !n.ptp_windows.empty();
+    h.always_on = !windowed;
+    h.routers = rts;
+    h.lan_links = lan_ports;
+    h.ptp_links = ptps;
+    rt->neighbor_handles.push_back(std::move(h));
   }
 
   std::stable_sort(rt->timeline.begin(), rt->timeline.end(),
@@ -414,6 +432,168 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
   rt->collectors = {kTier1Asn, kCdnAsn};
   rt->reroute();
   return rt;
+}
+
+void ScenarioRuntime::add_events(std::vector<TimelineEvent> events) {
+  if (timeline_cursor_ != 0) {
+    throw std::logic_error("add_events after the timeline already started firing");
+  }
+  for (auto& e : events) timeline.push_back(std::move(e));
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) { return a.at < b.at; });
+}
+
+namespace {
+
+// Address a router answers with on a given link (its interface facing it).
+net::Ipv4Address addr_on_link(sim::Network& net, sim::NodeId node, int link_id) {
+  for (const auto& ifc : net.node(node).interfaces()) {
+    if (ifc.link_id == link_id) return ifc.addr;
+  }
+  return net::Ipv4Address();
+}
+
+// The VP router's IXP-facing interface: the one whose link's far end is the
+// fabric switch.
+struct IxpPort {
+  int ifindex = -1;
+  net::Ipv4Address addr;
+};
+IxpPort vp_ixp_port(sim::Network& net, sim::NodeId vp_router) {
+  const auto& ifaces = net.node(vp_router).interfaces();
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    if (ifaces[i].link_id < 0) continue;
+    auto& l = net.link(ifaces[i].link_id);
+    if (net.node(l.other(vp_router)).is_switch()) {
+      return {static_cast<int>(i), ifaces[i].addr};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::shared_ptr<sim::FaultInjector> attach_fault_plan(ScenarioRuntime& rt, const VpSpec& spec,
+                                                      const FaultPlan& plan, std::uint64_t seed,
+                                                      TimePoint campaign_end) {
+  auto inj = std::make_shared<sim::FaultInjector>(plan, seed, spec.campaign_start, campaign_end);
+  sim::FaultInjector* fi = inj.get();
+  ScenarioRuntime* rtp = &rt;
+  auto& net = rt.topology.net();
+
+  // Destructive faults only target clean always-on neighbors: engineered
+  // links keep their scripted behaviour (the ground truth must stay
+  // interpretable), silent routers would make the fault unobservable, and
+  // windowed members are managed by membership events.
+  std::vector<const NeighborHandles*> eligible;
+  for (const auto& h : rt.neighbor_handles) {
+    if (h.engineered || h.silent || !h.always_on) continue;
+    if (h.routers.empty() || h.lan_links.empty()) continue;
+    eligible.push_back(&h);
+  }
+
+  std::vector<TimelineEvent> events;
+  auto push = [&](TimePoint at, std::string what, std::function<void()> apply) {
+    events.push_back({at, std::move(what),
+                      [fi, apply = std::move(apply)]() {
+                        apply();
+                        fi->note_timeline_fault();
+                      },
+                      /*membership=*/false});
+  };
+
+  // Link flaps: the member's primary IXP port goes down, BGP converges
+  // around it, and the port is restored at window end.
+  for (std::size_t k = 0; k < plan.link_flaps.size() && !eligible.empty(); ++k) {
+    const auto& h = *eligible[static_cast<std::size_t>(plan.link_flaps[k].nth_link) %
+                              eligible.size()];
+    const int link_id = h.lan_links.front();
+    for (const auto& w : fi->flap_windows()[k]) {
+      push(w.begin, "chaos: " + h.name + " port flap (down)", [rtp, link_id]() {
+        rtp->topology.net().link(link_id).set_up(false);
+        rtp->reroute();
+      });
+      push(w.end, "chaos: " + h.name + " port flap (restored)", [rtp, link_id]() {
+        rtp->topology.net().link(link_id).set_up(true);
+        rtp->reroute();
+      });
+    }
+  }
+
+  // ICMP rate-limit tightening on the member's primary router.  The old
+  // rate is captured at fire time (another fault may have changed it).
+  for (std::size_t k = 0; k < plan.icmp_tighten.size() && !eligible.empty(); ++k) {
+    const auto& f = plan.icmp_tighten[k];
+    const auto& h =
+        *eligible[static_cast<std::size_t>(f.nth_router) % eligible.size()];
+    const sim::NodeId router = h.routers.front();
+    for (const auto& w : fi->icmp_windows()[k]) {
+      auto saved = std::make_shared<double>(0.0);
+      const double rate = f.rate_per_sec;
+      push(w.begin, "chaos: " + h.name + " ICMP rate limit tightened",
+           [rtp, router, saved, rate]() {
+             auto& r = static_cast<sim::Router&>(rtp->topology.net().node(router));
+             *saved = r.config().icmp_rate_limit_per_sec;
+             r.mutable_config().icmp_rate_limit_per_sec = rate;
+           });
+      push(w.end, "chaos: " + h.name + " ICMP rate limit restored", [rtp, router, saved]() {
+        auto& r = static_cast<sim::Router&>(rtp->topology.net().node(router));
+        r.mutable_config().icmp_rate_limit_per_sec = *saved;
+      });
+    }
+  }
+
+  // Silent-drop windows: the router stops answering ICMP entirely.
+  for (std::size_t k = 0; k < plan.silent_drops.size() && !eligible.empty(); ++k) {
+    const auto& h = *eligible[static_cast<std::size_t>(plan.silent_drops[k].nth_router) %
+                              eligible.size()];
+    const sim::NodeId router = h.routers.front();
+    for (const auto& w : fi->silent_windows()[k]) {
+      auto saved = std::make_shared<bool>(false);
+      push(w.begin, "chaos: " + h.name + " goes ICMP-silent", [rtp, router, saved]() {
+        auto& r = static_cast<sim::Router&>(rtp->topology.net().node(router));
+        *saved = r.config().icmp_disabled;
+        r.mutable_config().icmp_disabled = true;
+      });
+      push(w.end, "chaos: " + h.name + " answers ICMP again", [rtp, router, saved]() {
+        auto& r = static_cast<sim::Router&>(rtp->topology.net().node(router));
+        r.mutable_config().icmp_disabled = *saved;
+      });
+    }
+  }
+
+  // Reroutes: a /32 detour route for the target member's monitored far
+  // address is installed on the VP router, pointing at ANOTHER member's LAN
+  // address across the fabric.  TTL-limited probes then expire one hop
+  // early at the detour router, so the TSLP target goes stale until the
+  // driver notices the responder change.  Restoration is a full reroute():
+  // install_fibs rebuilds every FIB, which drops the injected route.
+  for (std::size_t k = 0; k < plan.reroutes.size() && eligible.size() >= 2; ++k) {
+    const std::size_t n = eligible.size();
+    const std::size_t t_idx = static_cast<std::size_t>(plan.reroutes[k].nth_link) % n;
+    const auto& target = *eligible[t_idx];
+    const auto& detour = *eligible[(t_idx + 1) % n];
+    const IxpPort port = vp_ixp_port(net, rt.vp_router);
+    const net::Ipv4Address far_ip =
+        addr_on_link(net, target.routers.front(), target.lan_links.front());
+    const net::Ipv4Address detour_ip =
+        addr_on_link(net, detour.routers.front(), detour.lan_links.front());
+    if (port.ifindex < 0 || far_ip.value() == 0 || detour_ip.value() == 0) continue;
+    const net::Ipv4Prefix host_route(far_ip, 32);
+    for (const auto& w : fi->reroute_windows()[k]) {
+      push(w.begin, "chaos: detour route toward " + target.name,
+           [rtp, host_route, port, detour_ip]() {
+             auto& r =
+                 static_cast<sim::Router&>(rtp->topology.net().node(rtp->vp_router));
+             r.add_route(host_route, {port.ifindex, detour_ip});
+           });
+      push(w.end, "chaos: detour route withdrawn (" + target.name + ")",
+           [rtp]() { rtp->reroute(); });
+    }
+  }
+
+  if (!events.empty()) rt.add_events(std::move(events));
+  return inj;
 }
 
 }  // namespace ixp::analysis

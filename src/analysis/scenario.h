@@ -19,6 +19,13 @@
 #include "topo/calendar.h"
 #include "topo/topology.h"
 
+namespace ixp {
+struct FaultPlan;
+namespace sim {
+class FaultInjector;
+}  // namespace sim
+}  // namespace ixp
+
 namespace ixp::analysis {
 
 using topo::Asn;
@@ -140,6 +147,25 @@ struct TimelineEvent {
   bool membership = false;       ///< changes who is connected (re-run bdrmap)
 };
 
+/// Simulator handles for one built neighbor, kept so post-build passes
+/// (fault attachment, diagnostics) can address its routers and links
+/// without re-deriving them from addresses.
+struct NeighborHandles {
+  Asn asn = 0;
+  std::string name;
+  /// Carries scripted congestion / slow-ICMP / noise / upgrades — its
+  /// behaviour is part of the ground truth, so faults must not target it.
+  bool engineered = false;
+  bool silent = false;
+  /// Present for the whole campaign with no membership windows; only such
+  /// neighbors are eligible fault targets (flapping a windowed member's
+  /// link would fight the membership timeline).
+  bool always_on = false;
+  std::vector<sim::NodeId> routers;
+  std::vector<int> lan_links;  ///< IXP-port link ids, port order
+  std::vector<int> ptp_links;
+};
+
 /// Live world for one VP: topology + routing + bookkeeping.
 class ScenarioRuntime {
  public:
@@ -151,6 +177,12 @@ class ScenarioRuntime {
   std::string ixp_name;
   std::vector<TimelineEvent> timeline;  ///< sorted by time
   std::vector<Asn> collectors;          ///< RIB-dump vantage ASes
+  std::vector<NeighborHandles> neighbor_handles;  ///< spec order
+
+  /// Merges extra events into the timeline (keeping it sorted).  Must be
+  /// called before the first apply_timeline_until(); the cursor would skip
+  /// events inserted behind it.
+  void add_events(std::vector<TimelineEvent> events);
 
   /// Applies every event with at <= t (in order); returns how many fired.
   /// Reroutes requested by the fired events are coalesced into a single
@@ -171,6 +203,20 @@ class ScenarioRuntime {
 /// Builds the world at campaign start; later joins/leaves/upgrades are in
 /// the returned runtime's timeline.
 std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec);
+
+/// Expands `plan` against [spec.campaign_start, campaign_end) and installs
+/// the topology-touching faults (link flaps, ICMP tightening, silent drops,
+/// reroutes) as membership=false timeline events on `rt`.  Destructive
+/// faults target only clean always-on neighbors, so the engineered ground
+/// truth stays interpretable.  The returned injector also gates VP outages
+/// and probe-loss bursts; hand it to CampaignOptions::faults and keep the
+/// shared_ptr alive for the duration of the run (timeline events hold a raw
+/// pointer into it).  Call before the first apply_timeline_until().
+std::shared_ptr<sim::FaultInjector> attach_fault_plan(ScenarioRuntime& rt,
+                                                      const VpSpec& spec,
+                                                      const FaultPlan& plan,
+                                                      std::uint64_t seed,
+                                                      TimePoint campaign_end);
 
 /// Demand profile engineered so that a link of `capacity_bps` develops a
 /// standing queue of up to `a_w_ms` for about `dt_ud` around `peak_hour`

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/faults.h"
 #include "util/log.h"
 
 namespace ixp::prober {
@@ -11,6 +12,10 @@ struct TargetState {
   MonitorTarget target;
   int far_ttl = 0;          ///< hop distance of the far address; 0 = unknown
   int consecutive_losses = 0;
+  /// Consecutive *answered* near probes whose responder belongs to the
+  /// wrong router: the path under the monitor changed length, so the
+  /// near probe now expires somewhere else.
+  int near_mismatches = 0;
 };
 
 }  // namespace
@@ -47,41 +52,119 @@ std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& 
     out.push_back(std::move(ls));
   }
 
+  auto relearn = [this](TargetState& s) {
+    s.consecutive_losses = 0;
+    s.near_mismatches = 0;
+    if (const auto d = prober_->hop_distance(s.target.far_ip, cfg_.max_ttl)) {
+      s.far_ttl = *d;
+    } else {
+      s.far_ttl = 0;  // target gone (link removed / member left)
+    }
+  };
+
   const std::int64_t rounds = (end - start).count() / cfg_.round_interval.count();
   for (std::int64_t r = 0; r < rounds; ++r) {
     const TimePoint at = start + cfg_.round_interval * r;
     sim.advance_to(at);
     if (cfg_.pre_round) cfg_.pre_round(at);
+    sim::FaultInjector* fi = cfg_.faults;
+
+    // VP outage: the monitor itself is dark, so the whole round is skipped.
+    // No loss bookkeeping — the network is fine, the monitor is not, and a
+    // hop-distance relearn fired from here would "succeed" and reset state
+    // that is in fact untouched.
+    if (fi != nullptr && fi->vp_down(at)) {
+      fi->note_outage_round();
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        if (state[i].far_ttl >= 2) fi->note_suppressed(2);
+        out[i].near_rtt.ms.push_back(tslp::kMissing);
+        out[i].far_rtt.ms.push_back(tslp::kMissing);
+      }
+      if (on_round) on_round(static_cast<std::size_t>(r));
+      continue;
+    }
+
     for (std::size_t i = 0; i < state.size(); ++i) {
       TargetState& s = state[i];
       tslp::LinkSeries& ls = out[i];
       double near_ms = tslp::kMissing;
       double far_ms = tslp::kMissing;
+      bool far_stale = false;
+      bool near_answered = false;
+      bool near_mismatch = false;
       if (s.far_ttl >= 2) {
-        ProbeOptions fo;
-        fo.ttl = static_cast<std::uint8_t>(s.far_ttl);
-        fo.event_mode = cfg_.event_mode;
-        const ProbeOutcome far = prober_->probe(s.target.far_ip, fo);
-        if (far.answered) far_ms = to_ms(far.rtt);
-
-        ProbeOptions no;
-        no.ttl = static_cast<std::uint8_t>(s.far_ttl - 1);
-        no.event_mode = cfg_.event_mode;
-        const ProbeOutcome near = prober_->probe(s.target.far_ip, no);
-        if (near.answered) near_ms = to_ms(near.rtt);
-      }
-      if (std::isnan(far_ms)) {
-        if (++s.consecutive_losses >= cfg_.relearn_after_losses) {
-          // Route may have moved; re-learn the hop distance.
-          s.consecutive_losses = 0;
-          if (const auto d = prober_->hop_distance(s.target.far_ip, cfg_.max_ttl)) {
-            s.far_ttl = *d;
-          } else {
-            s.far_ttl = 0;  // target gone (link removed / member left)
+        if (fi != nullptr && fi->lose_probe(at)) {
+          fi->note_suppressed(1);
+        } else {
+          ProbeOptions fo;
+          fo.ttl = static_cast<std::uint8_t>(s.far_ttl);
+          fo.event_mode = cfg_.event_mode;
+          const ProbeOutcome far = prober_->probe(s.target.far_ip, fo);
+          if (far.answered) {
+            // A response from a different address means the path moved and
+            // the configured TTL now expires at some other router: the
+            // sample belongs to a different link and must not be recorded.
+            if (far.responder == s.target.far_ip) {
+              far_ms = to_ms(far.rtt);
+            } else {
+              far_stale = true;
+            }
           }
+        }
+
+        if (fi != nullptr && fi->lose_probe(at)) {
+          fi->note_suppressed(1);
+        } else {
+          ProbeOptions no;
+          no.ttl = static_cast<std::uint8_t>(s.far_ttl - 1);
+          no.event_mode = cfg_.event_mode;
+          const ProbeOutcome near = prober_->probe(s.target.far_ip, no);
+          if (near.answered) {
+            near_answered = true;
+            // The near probe normally expires at the near router but on a
+            // *different* interface than near_ip (the host-facing one), so
+            // compare owning routers, not addresses.
+            const auto owner = prober_->network().find_owner(near.responder);
+            if (owner != sim::kInvalidNode &&
+                owner == prober_->network().find_owner(s.target.near_ip)) {
+              near_ms = to_ms(near.rtt);
+            } else {
+              near_mismatch = true;
+            }
+          }
+        }
+      }
+
+      if (far_stale) {
+        // Stale path detected from the far side: relearn immediately, as
+        // the real driver re-triggers bdrmap for the affected link.
+        ++stale_relearns_;
+        relearn(s);
+      } else if (std::isnan(far_ms)) {
+        if (++s.consecutive_losses >= cfg_.relearn_after_losses) {
+          // Route may have moved; re-learn the hop distance.  Dead targets
+          // (far_ttl 0: member gone or link down) re-poll through the same
+          // path so they recover when the link returns, but only live
+          // targets count as loss-forced re-learns.
+          if (s.far_ttl >= 2) ++loss_relearns_;
+          relearn(s);
         }
       } else {
         s.consecutive_losses = 0;
+      }
+      if (near_answered) {
+        if (near_mismatch) {
+          // The far side can keep answering (echo replies reach the target
+          // at any sufficient TTL) while the near probe expires at the
+          // wrong router — detect that drift too, with the same patience
+          // as the loss path.
+          if (++s.near_mismatches >= cfg_.relearn_after_losses) {
+            ++stale_relearns_;
+            relearn(s);
+          }
+        } else {
+          s.near_mismatches = 0;
+        }
       }
       ls.near_rtt.ms.push_back(near_ms);
       ls.far_rtt.ms.push_back(far_ms);

@@ -18,6 +18,10 @@
 #include "prober/prober.h"
 #include "tslp/series.h"
 
+namespace ixp::sim {
+class FaultInjector;
+}  // namespace ixp::sim
+
 namespace ixp::prober {
 
 /// A link to be monitored, as produced by border mapping.
@@ -45,6 +49,9 @@ struct TslpConfig {
   /// Every N rounds, send one record-route probe per target (the paper's
   /// path-symmetry campaign; Table 2 reports the totals).  0 disables.
   int rr_every_rounds = 0;
+  /// Optional fault injector (not owned).  Gates whole rounds during VP
+  /// outages and individual probes during loss bursts; see sim/faults.h.
+  sim::FaultInjector* faults = nullptr;
 };
 
 class TslpDriver {
@@ -62,12 +69,20 @@ class TslpDriver {
   [[nodiscard]] std::uint64_t record_routes() const { return record_routes_; }
   /// Of those, measurements whose stamps mirrored (symmetric paths).
   [[nodiscard]] std::uint64_t record_routes_symmetric() const { return rr_symmetric_; }
+  /// Hop-distance re-learns triggered by consecutive losses.
+  [[nodiscard]] std::uint64_t loss_relearns() const { return loss_relearns_; }
+  /// Re-learns triggered by a responder-address change (stale path): the
+  /// probe was answered, but by the wrong router — the route moved under
+  /// the monitor, so the configured TTL no longer lands on this link.
+  [[nodiscard]] std::uint64_t stale_relearns() const { return stale_relearns_; }
 
  private:
   Prober* prober_;
   TslpConfig cfg_;
   std::uint64_t record_routes_ = 0;
   std::uint64_t rr_symmetric_ = 0;
+  std::uint64_t loss_relearns_ = 0;
+  std::uint64_t stale_relearns_ = 0;
 };
 
 struct LossConfig {

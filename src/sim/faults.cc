@@ -1,0 +1,93 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+
+namespace ixp::sim {
+
+namespace {
+
+std::vector<FaultWindow> expand(const FaultWindowSpec& spec, Rng rng, TimePoint start,
+                                TimePoint end) {
+  std::vector<FaultWindow> out;
+  for (const auto& [offset, length] : spec.fixed) {
+    const TimePoint b = start + offset;
+    if (b >= end || length.count() <= 0) continue;
+    out.push_back({b, std::min(b + length, end)});
+  }
+  const std::int64_t lo =
+      std::min(spec.random_min_len.count(), spec.random_max_len.count());
+  const std::int64_t hi =
+      std::max(spec.random_min_len.count(), spec.random_max_len.count());
+  for (int i = 0; i < spec.random_count; ++i) {
+    // Draw length then placement, always in that order, so the sequence of
+    // draws is a pure function of the spec — skipped windows (campaign too
+    // short) still consume their draws and later specs stay unperturbed.
+    const Duration length(rng.uniform_int(lo, std::max(lo, hi)));
+    const std::int64_t room = (end - start).count() - length.count();
+    const std::int64_t at = rng.uniform_int(0, std::max<std::int64_t>(0, room));
+    if (room <= 0 || length.count() <= 0) continue;
+    const TimePoint b = start + Duration(at);
+    out.push_back({b, std::min(b + length, end)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultWindow& a, const FaultWindow& b) { return a.begin < b.begin; });
+  return out;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, TimePoint start,
+                             TimePoint end)
+    : plan_(std::move(plan)), burst_rng_(seed ^ 0xc2b2ae3d27d4eb4fULL) {
+  // Window expansion consumes forked streams in a fixed category order;
+  // adding a spec to one category never perturbs another's windows.
+  Rng root(seed);
+  Rng outage_rng = root.fork();
+  Rng flap_rng = root.fork();
+  Rng icmp_rng = root.fork();
+  Rng silent_rng = root.fork();
+  Rng reroute_rng = root.fork();
+  Rng burst_win_rng = root.fork();
+
+  for (const auto& f : plan_.vp_outages) {
+    auto w = expand(f.windows, outage_rng.fork(), start, end);
+    outage_windows_.insert(outage_windows_.end(), w.begin(), w.end());
+  }
+  std::sort(outage_windows_.begin(), outage_windows_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) { return a.begin < b.begin; });
+  for (const auto& f : plan_.link_flaps)
+    flap_windows_.push_back(expand(f.windows, flap_rng.fork(), start, end));
+  for (const auto& f : plan_.icmp_tighten)
+    icmp_windows_.push_back(expand(f.windows, icmp_rng.fork(), start, end));
+  for (const auto& f : plan_.silent_drops)
+    silent_windows_.push_back(expand(f.windows, silent_rng.fork(), start, end));
+  for (const auto& f : plan_.reroutes)
+    reroute_windows_.push_back(expand(f.windows, reroute_rng.fork(), start, end));
+  for (const auto& f : plan_.loss_bursts)
+    burst_windows_.push_back(expand(f.windows, burst_win_rng.fork(), start, end));
+}
+
+bool FaultInjector::vp_down(TimePoint t) const {
+  for (const auto& w : outage_windows_) {
+    if (w.begin > t) break;  // sorted by begin
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::lose_probe(TimePoint t) {
+  bool lost = false;
+  for (std::size_t k = 0; k < burst_windows_.size(); ++k) {
+    for (const auto& w : burst_windows_[k]) {
+      if (w.begin > t) break;
+      if (!w.contains(t)) continue;
+      // Draw even when an earlier spec already lost the probe: the draw
+      // sequence must depend only on the timestamps probed, not on
+      // outcomes, or overlapping specs would decohere replays.
+      if (burst_rng_.chance(plan_.loss_bursts[k].loss_prob)) lost = true;
+    }
+  }
+  return lost;
+}
+
+}  // namespace ixp::sim

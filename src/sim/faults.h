@@ -1,0 +1,98 @@
+// FaultInjector: expands a declarative FaultPlan (util/fault_plan.h) into
+// concrete fault windows over one campaign's calendar, and answers the two
+// questions the TSLP driver asks on its hot path — "is the VP dark right
+// now?" and "does this probe die in a loss burst?".
+//
+// Determinism contract: all randomness is drawn in the constructor (window
+// placement) or from a dedicated member stream (per-probe burst losses), in
+// a fixed category order, from Rngs forked off the single injector seed.
+// Two injectors built from the same (plan, seed, start, end) therefore
+// produce identical windows and identical per-probe draw sequences, which
+// is what makes `afixp chaos --seed S --plan P` byte-reproducible.
+//
+// Topology-touching faults (link flaps, ICMP tightening, silent drops,
+// reroutes) are not applied here: analysis/scenario.cc's
+// `attach_fault_plan` turns this injector's windows into timeline events
+// against a live ScenarioRuntime, and bumps `counters().timeline_faults`
+// each time one fires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fault_plan.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ixp::sim {
+
+/// Half-open activity window of one fault instance.
+struct FaultWindow {
+  TimePoint begin;
+  TimePoint end;
+  [[nodiscard]] bool contains(TimePoint t) const { return begin <= t && t < end; }
+};
+
+/// What actually happened during a campaign, for fleet metrics and the
+/// chaos report.
+struct FaultCounters {
+  std::uint64_t timeline_faults = 0;    ///< topology fault events that fired
+  std::uint64_t probes_suppressed = 0;  ///< probes not sent (outage/burst)
+  std::uint64_t outage_rounds = 0;      ///< whole rounds lost to VP outages
+};
+
+class FaultInjector {
+ public:
+  /// Expands every window spec in `plan` against [start, end).  The plan is
+  /// copied so the injector owns its schedule.
+  FaultInjector(FaultPlan plan, std::uint64_t seed, TimePoint start, TimePoint end);
+
+  /// True while any VP-outage window is active: the driver skips the whole
+  /// probing round.
+  [[nodiscard]] bool vp_down(TimePoint t) const;
+
+  /// Per-probe loss-burst gate.  Draws from the burst stream only while a
+  /// burst window is active, so quiet periods consume no randomness.
+  bool lose_probe(TimePoint t);
+
+  void note_suppressed(std::uint64_t n) { counters_.probes_suppressed += n; }
+  void note_outage_round() { ++counters_.outage_rounds; }
+  void note_timeline_fault() { ++counters_.timeline_faults; }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+  /// Expanded windows, one vector per spec, index-aligned with the plan's
+  /// category vectors.  Used by attach_fault_plan to emit timeline events.
+  [[nodiscard]] const std::vector<FaultWindow>& outage_windows() const {
+    return outage_windows_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& flap_windows() const {
+    return flap_windows_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& icmp_windows() const {
+    return icmp_windows_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& silent_windows() const {
+    return silent_windows_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& reroute_windows() const {
+    return reroute_windows_;
+  }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& burst_windows() const {
+    return burst_windows_;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::vector<FaultWindow> outage_windows_;  // all outage specs merged
+  std::vector<std::vector<FaultWindow>> flap_windows_;
+  std::vector<std::vector<FaultWindow>> icmp_windows_;
+  std::vector<std::vector<FaultWindow>> silent_windows_;
+  std::vector<std::vector<FaultWindow>> reroute_windows_;
+  std::vector<std::vector<FaultWindow>> burst_windows_;
+  Rng burst_rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace ixp::sim

@@ -23,6 +23,7 @@ struct DiurnalScore {
   double acf_day = 0.0;        ///< autocorrelation at the 1-day lag
   double elevated_day_frac = 0.0;  ///< fraction of days with an elevated period
   int elevated_days = 0;       ///< absolute number of such days
+  int days_with_data = 0;      ///< days dense enough to judge at all
   bool recurring = false;      ///< final verdict given the options below
 };
 
@@ -33,6 +34,10 @@ struct DiurnalOptions {
                                       ///< p90 exceeds its p10 by this much
   double min_day_frac = 0.25;         ///< fraction of days that must recur
   int min_days = 3;                   ///< and at least this many days
+  /// A day with less than this fraction of finite samples is too sparse to
+  /// judge: it joins neither the elevated count nor its denominator, so
+  /// outage/rate-limit gaps cannot dilute the recurrence fraction.
+  double min_day_coverage = 0.25;
 };
 
 /// Scores how diurnal the series is.  `v` is sampled uniformly, one entry

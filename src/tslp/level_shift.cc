@@ -60,9 +60,20 @@ Duration LevelShiftResult::average_period(Duration interval) const {
 }
 
 std::vector<Episode> sanitize_episodes(std::vector<Episode> raw, std::size_t gap_samples) {
+  return sanitize_episodes(std::move(raw), gap_samples, nullptr);
+}
+
+std::vector<Episode> sanitize_episodes(
+    std::vector<Episode> raw, std::size_t gap_samples,
+    const std::function<bool(std::size_t, std::size_t)>& also_merge) {
   std::vector<Episode> merged;
   for (const auto& e : raw) {
-    if (!merged.empty() && e.begin <= merged.back().end + gap_samples) {
+    const bool close_enough =
+        !merged.empty() && e.begin <= merged.back().end + gap_samples;
+    const bool bridgeable = !merged.empty() && !close_enough && also_merge &&
+                            e.begin > merged.back().end &&
+                            also_merge(merged.back().end, e.begin);
+    if (close_enough || bridgeable) {
       Episode& prev = merged.back();
       // Weight the merged magnitude by the samples each episode actually
       // contributes: overlap with `prev` must not be counted twice, and a
@@ -93,6 +104,13 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   IXP_CHECK(series.index_of(series.time_of(v.size() - 1)) == v.size() - 1,
             "RttSeries index/time round-trip is broken");
 
+  // Gap accounting: explicit markers for the missing runs, and a coverage
+  // early-out — a series that is almost entirely dark (monitor outage for
+  // most of the window) cannot support any verdict.
+  out.coverage = series.coverage();
+  out.gaps = find_gaps(series, std::max<std::size_t>(1, opts_.gap_min_run));
+  if (out.coverage < opts_.min_coverage) return out;
+
   // Baseline: the 10th percentile of the whole series is a robust estimate
   // of the uncongested RTT floor.
   out.baseline_ms = stats::quantile(v, 0.10);
@@ -109,6 +127,14 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   for (std::size_t begin = 0; begin < v.size(); begin += win / 2) {
     const std::size_t end = std::min(begin + win, v.size());
     const std::span<const double> chunk(v.data() + begin, end - begin);
+    // Mostly-dark windows are skipped outright: a handful of surviving
+    // samples cannot support a change-point decision, and the bootstrap's
+    // rank transform would amplify their noise.
+    std::size_t finite = 0;
+    for (const double x : chunk) {
+      if (!std::isnan(x)) ++finite;
+    }
+    if (finite < opts_.min_finite_window) continue;
     if (opts_.skip_quiet_windows) {
       const double hi = stats::quantile(chunk, 0.95);
       const double lo = stats::quantile(chunk, 0.05);
@@ -137,19 +163,41 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   }
   out.segments = stats::to_segments(v, cp_structs);
 
-  // Elevated segments -> raw episodes.
+  // Elevated segments -> raw episodes.  Episodes whose span is mostly
+  // missing are unsupported: the segment level rests on too few samples.
   std::vector<Episode> raw;
   for (const auto& seg : out.segments) {
     if (std::isnan(seg.level)) continue;
     if (seg.level - out.baseline_ms >= opts_.threshold_ms) {
+      std::size_t finite = 0;
+      for (std::size_t i = seg.begin; i < seg.end; ++i) {
+        if (!std::isnan(v[i])) ++finite;
+      }
+      const double span = static_cast<double>(seg.end - seg.begin);
+      if (span <= 0 || static_cast<double>(finite) / span < opts_.min_episode_coverage) {
+        continue;
+      }
       raw.push_back({seg.begin, seg.end, seg.level - out.baseline_ms});
     }
   }
 
-  // Sanitize: merge episodes separated by gaps <= merge_gap.
+  // Sanitize: merge episodes separated by gaps <= merge_gap, and bridge
+  // across all-missing runs of any length — the series was still elevated
+  // at the last sample before the gap and at the first one after it, and
+  // the gap itself carries no evidence the level came back down.
   const std::size_t gap_samples = std::max<std::size_t>(
       1, static_cast<std::size_t>(opts_.merge_gap.count() / series.interval.count()));
-  const std::vector<Episode> merged = sanitize_episodes(std::move(raw), gap_samples);
+  const auto all_missing = [&v](std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) {
+      if (!std::isnan(v[i])) return false;
+    }
+    return true;
+  };
+  const std::vector<Episode> merged = sanitize_episodes(
+      std::move(raw), gap_samples,
+      opts_.bridge_gaps
+          ? std::function<bool(std::size_t, std::size_t)>(all_missing)
+          : nullptr);
 
   // Duration filter.
   const std::size_t min_samples = std::max<std::size_t>(

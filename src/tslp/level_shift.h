@@ -13,6 +13,7 @@
 // "level shifts sanitization" step before computing dt_UD.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "stats/changepoint.h"
@@ -30,6 +31,28 @@ struct LevelShiftOptions {
   bool skip_quiet_windows = true;
   /// Merge episodes separated by gaps up to this long (sanitization).
   Duration merge_gap = kMinute * 30;
+
+  // ---- Gap tolerance ----
+  // Real deployments return gappy series (monitor outages, ICMP rate
+  // limiting, loss trains); missing rounds must never be treated as
+  // observations.  These rules decide when the surviving samples still
+  // support a verdict.
+  /// Missing runs of at least this many samples become explicit SeriesGap
+  /// markers in the result.
+  std::size_t gap_min_run = 6;
+  /// Windows with fewer finite samples than this are skipped outright: a
+  /// handful of surviving points cannot support a change-point decision.
+  std::size_t min_finite_window = 8;
+  /// A raw episode must carry at least this fraction of finite samples
+  /// over its span, or it is discarded as unsupported.
+  double min_episode_coverage = 0.25;
+  /// Below this overall finite fraction the series is unjudgeable and the
+  /// detector reports no episodes at all.
+  double min_coverage = 0.02;
+  /// Merge episodes separated by an *all-missing* run of any length: a gap
+  /// carries no evidence that the level ever came back down.  (Gaps with
+  /// even one quiet finite sample in between still split episodes.)
+  bool bridge_gaps = true;
 };
 
 /// One elevated episode: [begin, end) sample indices.
@@ -52,8 +75,18 @@ struct Episode {
 /// never shrinks the merged span).  Exposed for direct testing.
 std::vector<Episode> sanitize_episodes(std::vector<Episode> raw, std::size_t gap_samples);
 
+/// Same merge, with an extra predicate: episodes whose inter-gap
+/// [prev_end, next_begin) satisfies `also_merge` are merged even when the
+/// gap exceeds `gap_samples`.  Used by the detector to bridge all-missing
+/// gaps; a null predicate reduces to the two-argument form.
+std::vector<Episode> sanitize_episodes(
+    std::vector<Episode> raw, std::size_t gap_samples,
+    const std::function<bool(std::size_t, std::size_t)>& also_merge);
+
 struct LevelShiftResult {
   double baseline_ms = 0.0;           ///< robust base RTT level
+  double coverage = 1.0;              ///< finite fraction of the series
+  std::vector<SeriesGap> gaps;        ///< missing runs >= gap_min_run
   std::vector<stats::Segment> segments;
   std::vector<Episode> episodes;      ///< sanitized, duration-filtered
 

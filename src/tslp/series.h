@@ -44,7 +44,50 @@ struct RttSeries {
     }
     return static_cast<double>(lost) / static_cast<double>(ms.size());
   }
+  /// Samples that actually carry a measurement.
+  [[nodiscard]] std::size_t finite_count() const {
+    std::size_t n = 0;
+    for (double v : ms) {
+      if (!std::isnan(v)) ++n;
+    }
+    return n;
+  }
+  /// Fraction of rounds with a measurement (1.0 for an empty series, so a
+  /// not-yet-probed link is not reported as fully dark).
+  [[nodiscard]] double coverage() const {
+    if (ms.empty()) return 1.0;
+    return static_cast<double>(finite_count()) / static_cast<double>(ms.size());
+  }
 };
+
+/// Explicit marker for a maximal run of consecutive missing samples:
+/// [begin, end) indices into the series.  Downstream detectors bridge or
+/// skip these instead of treating missing rounds as observations.
+struct SeriesGap {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t samples() const { return end - begin; }
+};
+
+/// All maximal missing runs of at least `min_run` samples, in order.
+inline std::vector<SeriesGap> find_gaps(const RttSeries& s, std::size_t min_run = 1) {
+  std::vector<SeriesGap> gaps;
+  std::size_t run_begin = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i < s.ms.size(); ++i) {
+    if (std::isnan(s.ms[i])) {
+      if (!in_run) {
+        in_run = true;
+        run_begin = i;
+      }
+    } else if (in_run) {
+      in_run = false;
+      if (i - run_begin >= min_run) gaps.push_back({run_begin, i});
+    }
+  }
+  if (in_run && s.ms.size() - run_begin >= min_run) gaps.push_back({run_begin, s.ms.size()});
+  return gaps;
+}
 
 /// Near+far measurement record for one monitored interdomain link.
 struct LinkSeries {

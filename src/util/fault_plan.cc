@@ -1,0 +1,144 @@
+#include "util/fault_plan.h"
+
+#include <cstdio>
+#include <map>
+
+namespace ixp {
+
+namespace {
+
+// Fixed windows are quoted as (offset from campaign start, length); the
+// random counts add seed-dependent windows on top.  The "default" plan
+// deliberately touches every fault category while staying gentle enough
+// that the paper's case-study links (GIXA-GHANATEL, GIXA-KNET) remain
+// classifiable — that property is the acceptance run recorded in
+// EXPERIMENTS.md.
+FaultPlan make_default_plan() {
+  FaultPlan p;
+  p.name = "default";
+  p.vp_outages.push_back(
+      {{{{kDay * 10, kHour * 36}}, /*random_count=*/1, kHour * 12, kHour * 48}});
+  p.link_flaps.push_back(
+      {/*nth_link=*/0, {{{kDay * 30, kHour * 4}}, /*random_count=*/2, kHour, kHour * 6}});
+  p.icmp_tighten.push_back({/*nth_router=*/1,
+                            /*rate_per_sec=*/0.0003,
+                            {{{kDay * 45, kDay * 3}}, /*random_count=*/1, kDay, kDay * 3}});
+  p.silent_drops.push_back(
+      {/*nth_router=*/2, {{{kDay * 60, kDay * 2}}, /*random_count=*/1, kDay, kDay * 2}});
+  p.reroutes.push_back(
+      {/*nth_link=*/0, {{{kDay * 80, kDay * 2}}, /*random_count=*/1, kHour * 12, kDay * 2}});
+  p.loss_bursts.push_back(
+      {/*loss_prob=*/0.5, {{{kDay * 5, kHour * 6}}, /*random_count=*/3, kHour, kHour * 6}});
+  return p;
+}
+
+// Heavier monitor-side pathologies only: outages plus loss bursts.
+FaultPlan make_outages_plan() {
+  FaultPlan p;
+  p.name = "outages";
+  p.vp_outages.push_back(
+      {{{{kDay * 7, kDay * 4}, {kDay * 120, kDay * 7}}, /*random_count=*/2, kDay, kDay * 4}});
+  p.loss_bursts.push_back(
+      {/*loss_prob=*/0.6, {{{kDay * 20, kHour * 12}}, /*random_count=*/6, kHour, kHour * 12}});
+  return p;
+}
+
+// Responder-side pathologies: rate limiting and silent drops.
+FaultPlan make_icmp_plan() {
+  FaultPlan p;
+  p.name = "icmp";
+  p.icmp_tighten.push_back({/*nth_router=*/0,
+                            /*rate_per_sec=*/0.0003,
+                            {{{kDay * 15, kDay * 5}}, /*random_count=*/2, kDay, kDay * 4}});
+  p.silent_drops.push_back(
+      {/*nth_router=*/1, {{{kDay * 40, kDay * 3}}, /*random_count=*/2, kDay, kDay * 3}});
+  return p;
+}
+
+// Path-change pathologies: reroutes plus link flaps.
+FaultPlan make_reroutes_plan() {
+  FaultPlan p;
+  p.name = "reroutes";
+  p.reroutes.push_back(
+      {/*nth_link=*/0, {{{kDay * 25, kDay * 3}}, /*random_count=*/2, kDay, kDay * 3}});
+  p.link_flaps.push_back(
+      {/*nth_link=*/1, {{{kDay * 50, kHour * 8}}, /*random_count=*/3, kHour, kHour * 8}});
+  return p;
+}
+
+const std::map<std::string, FaultPlan, std::less<>>& registry() {
+  static const std::map<std::string, FaultPlan, std::less<>> plans = [] {
+    std::map<std::string, FaultPlan, std::less<>> m;
+    FaultPlan none;
+    none.name = "none";
+    m.emplace("none", std::move(none));
+    m.emplace("default", make_default_plan());
+    m.emplace("outages", make_outages_plan());
+    m.emplace("icmp", make_icmp_plan());
+    m.emplace("reroutes", make_reroutes_plan());
+    return m;
+  }();
+  return plans;
+}
+
+void describe_windows(std::string& out, const FaultWindowSpec& w) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%zu fixed + %d random window(s)", w.fixed.size(),
+                w.random_count);
+  out += buf;
+}
+
+}  // namespace
+
+const FaultPlan* fault_plan_by_name(std::string_view name) {
+  const auto& plans = registry();
+  const auto it = plans.find(name);
+  return it == plans.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> known_fault_plan_names() {
+  return {"none", "default", "outages", "icmp", "reroutes"};
+}
+
+std::string describe_fault_plan(const FaultPlan& plan) {
+  std::string out = "plan '" + plan.name + "'";
+  if (plan.empty()) return out + ": no faults\n";
+  out += ":\n";
+  for (const auto& f : plan.vp_outages) {
+    out += "  vp-outage: ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.link_flaps) {
+    out += "  link-flap (neighbor #" + std::to_string(f.nth_link) + "): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.icmp_tighten) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%g", f.rate_per_sec);
+    out += "  icmp-tighten (router #" + std::to_string(f.nth_router) + ", " + buf + "/s): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.silent_drops) {
+    out += "  silent-drop (router #" + std::to_string(f.nth_router) + "): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.reroutes) {
+    out += "  reroute (neighbor #" + std::to_string(f.nth_link) + "): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.loss_bursts) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.0f%%", f.loss_prob * 100.0);
+    out += "  probe-loss burst (" + std::string(buf) + "): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ixp

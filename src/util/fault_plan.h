@@ -1,0 +1,116 @@
+// Declarative fault plans: the measurement pathologies the paper's year-long
+// deployment actually suffered.  §3 of the paper notes VPs that went dark for
+// weeks, routers that rate-limited or silently dropped ICMP, and paths that
+// changed under the prober so the monitored far address went stale.  A
+// FaultPlan describes a reproducible schedule of such pathologies; the
+// sim-side FaultInjector (src/sim/faults.h) expands it against a concrete
+// campaign window using forked Rng streams, so `plan name + seed` replays
+// byte-identically — the same contract the fleet executor gives tables.
+//
+// This header is data-only (util layer): it knows nothing about the
+// simulator.  Attachment to a live scenario happens in
+// analysis/scenario.h (`attach_fault_plan`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ixp {
+
+/// When a fault is active.  Windows are expressed relative to the campaign
+/// start so one plan applies to every VP regardless of its calendar;
+/// `random_count` extra windows are drawn from the injector's forked Rng
+/// stream, which is what makes a plan+seed reproduce byte-identically.
+struct FaultWindowSpec {
+  /// Fixed windows: (offset from campaign start, length).  Windows that
+  /// start past the campaign end are dropped; windows that overhang are
+  /// clamped.
+  std::vector<std::pair<Duration, Duration>> fixed;
+  /// Extra windows with uniformly drawn start and length.
+  int random_count = 0;
+  Duration random_min_len = kHour;
+  Duration random_max_len = kHour * 6;
+};
+
+/// The VP host goes dark: no probes at all are sent while the window is
+/// active (monitor outage — the paper lost individual Ark VPs for weeks).
+struct VpOutageFault {
+  FaultWindowSpec windows;
+};
+
+/// A clean member's IXP port flaps: link down at window start (BGP
+/// reconverges around it), restored at window end.
+struct LinkFlapFault {
+  int nth_link = 0;  ///< picks the nth eligible clean neighbor (mod count)
+  FaultWindowSpec windows;
+};
+
+/// A clean member's router tightens its ICMP rate limit so most TSLP
+/// expiries go unanswered — gappy series without any forwarding change.
+struct IcmpTightenFault {
+  int nth_router = 0;
+  /// Tokens/sec while tightened.  The default admits roughly one response
+  /// per couple of probing rounds at either the 5- or 30-minute cadence.
+  double rate_per_sec = 0.0003;
+  FaultWindowSpec windows;
+};
+
+/// A clean member's router stops answering ICMP entirely (silent drop).
+struct SilentDropFault {
+  int nth_router = 0;
+  FaultWindowSpec windows;
+};
+
+/// Mid-campaign path change: a more-specific detour route is installed on
+/// the VP router for a monitored far address, so TTL-limited probes expire
+/// at a *different* router — the TSLP target series goes stale until the
+/// driver notices the responder change and re-learns the hop distance.
+struct RerouteFault {
+  int nth_link = 0;  ///< target = nth eligible neighbor, detour = nth+1
+  FaultWindowSpec windows;
+};
+
+/// The measurement path itself drops probes in bursts (loss trains).
+struct ProbeLossBurstFault {
+  double loss_prob = 0.5;  ///< per-probe loss probability inside a window
+  FaultWindowSpec windows;
+};
+
+/// A named bundle of fault schedules, attachable to any VP campaign.
+struct FaultPlan {
+  std::string name;
+  std::vector<VpOutageFault> vp_outages;
+  std::vector<LinkFlapFault> link_flaps;
+  std::vector<IcmpTightenFault> icmp_tighten;
+  std::vector<SilentDropFault> silent_drops;
+  std::vector<RerouteFault> reroutes;
+  std::vector<ProbeLossBurstFault> loss_bursts;
+
+  [[nodiscard]] bool empty() const {
+    return vp_outages.empty() && link_flaps.empty() && icmp_tighten.empty() &&
+           silent_drops.empty() && reroutes.empty() && loss_bursts.empty();
+  }
+  /// Total number of fault specs across all categories.
+  [[nodiscard]] std::size_t fault_count() const {
+    return vp_outages.size() + link_flaps.size() + icmp_tighten.size() +
+           silent_drops.size() + reroutes.size() + loss_bursts.size();
+  }
+};
+
+/// Looks up a built-in plan ("none", "default", "outages", "icmp",
+/// "reroutes"); nullptr when unknown.
+const FaultPlan* fault_plan_by_name(std::string_view name);
+
+/// Names of all built-in plans, in presentation order.
+std::vector<std::string> known_fault_plan_names();
+
+/// Human-readable one-line-per-category description, for `afixp chaos
+/// --list-plans` and chaos report headers.
+std::string describe_fault_plan(const FaultPlan& plan);
+
+}  // namespace ixp

@@ -1,0 +1,285 @@
+// Fault-injection layer: plan registry, deterministic window expansion, and
+// end-to-end campaigns under measurement pathologies.  The contract under
+// test is the one `afixp chaos` sells: plan + seed replays byte-identically,
+// faults corrupt the *measurement*, and the engineered ground truth still
+// classifies correctly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "analysis/africa.h"
+#include "analysis/campaign.h"
+#include "sim/faults.h"
+#include "topo/calendar.h"
+#include "util/fault_plan.h"
+
+namespace ixp {
+namespace {
+
+using analysis::CampaignOptions;
+using analysis::VpCampaignResult;
+using topo::date;
+
+// ---------------------------------------------------------------------------
+// Plan registry
+
+TEST(FaultPlanRegistry, KnownPlansResolveAndDescribe) {
+  const auto names = known_fault_plan_names();
+  ASSERT_FALSE(names.empty());
+  for (const auto& name : names) {
+    const FaultPlan* p = fault_plan_by_name(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name, name);
+    const std::string desc = describe_fault_plan(*p);
+    ASSERT_FALSE(desc.empty());
+    EXPECT_EQ(desc.back(), '\n');  // callers print it raw
+  }
+  EXPECT_EQ(fault_plan_by_name("no-such-plan"), nullptr);
+}
+
+TEST(FaultPlanRegistry, NoneIsEmptyAndDefaultCoversEveryCategory) {
+  const FaultPlan* none = fault_plan_by_name("none");
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+  EXPECT_EQ(none->fault_count(), 0u);
+
+  const FaultPlan* def = fault_plan_by_name("default");
+  ASSERT_NE(def, nullptr);
+  EXPECT_FALSE(def->vp_outages.empty());
+  EXPECT_FALSE(def->link_flaps.empty());
+  EXPECT_FALSE(def->icmp_tighten.empty());
+  EXPECT_FALSE(def->silent_drops.empty());
+  EXPECT_FALSE(def->reroutes.empty());
+  EXPECT_FALSE(def->loss_bursts.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Injector: deterministic expansion
+
+std::vector<sim::FaultWindow> all_windows(const sim::FaultInjector& fi) {
+  std::vector<sim::FaultWindow> out = fi.outage_windows();
+  const auto absorb = [&out](const std::vector<std::vector<sim::FaultWindow>>& groups) {
+    for (const auto& g : groups) out.insert(out.end(), g.begin(), g.end());
+  };
+  absorb(fi.flap_windows());
+  absorb(fi.icmp_windows());
+  absorb(fi.silent_windows());
+  absorb(fi.reroute_windows());
+  absorb(fi.burst_windows());
+  return out;
+}
+
+TEST(FaultInjector, SamePlanAndSeedExpandIdentically) {
+  const FaultPlan* def = fault_plan_by_name("default");
+  ASSERT_NE(def, nullptr);
+  const TimePoint start = date(1, 3, 2016);
+  const TimePoint end = start + kDay * 200;
+  sim::FaultInjector a(*def, 7, start, end);
+  sim::FaultInjector b(*def, 7, start, end);
+  const auto wa = all_windows(a);
+  const auto wb = all_windows(b);
+  ASSERT_FALSE(wa.empty());
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].begin, wb[i].begin) << i;
+    EXPECT_EQ(wa[i].end, wb[i].end) << i;
+  }
+  // The per-probe burst stream replays identically too.
+  for (int i = 0; i < 20000; ++i) {
+    const TimePoint t = start + kMinute * (i * 15);
+    ASSERT_EQ(a.lose_probe(t), b.lose_probe(t)) << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedMovesRandomWindows) {
+  const FaultPlan* def = fault_plan_by_name("default");
+  ASSERT_NE(def, nullptr);
+  const TimePoint start = date(1, 3, 2016);
+  const TimePoint end = start + kDay * 200;
+  sim::FaultInjector a(*def, 7, start, end);
+  sim::FaultInjector b(*def, 8, start, end);
+  const auto wa = all_windows(a);
+  const auto wb = all_windows(b);
+  bool any_difference = wa.size() != wb.size();
+  for (std::size_t i = 0; !any_difference && i < wa.size(); ++i) {
+    any_difference = wa[i].begin != wb[i].begin || wa[i].end != wb[i].end;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, WindowsClampedToCampaign) {
+  FaultPlan p;
+  p.name = "clamp";
+  VpOutageFault o;
+  o.windows.fixed = {{kDay * 1, kDay * 400},   // overhangs: clamped
+                     {kDay * 500, kDay * 1}};  // starts past the end: dropped
+  p.vp_outages = {o};
+  const TimePoint start = date(1, 3, 2016);
+  const TimePoint end = start + kDay * 10;
+  sim::FaultInjector fi(p, 1, start, end);
+  ASSERT_EQ(fi.outage_windows().size(), 1u);
+  EXPECT_EQ(fi.outage_windows()[0].begin, start + kDay);
+  EXPECT_EQ(fi.outage_windows()[0].end, end);
+  EXPECT_FALSE(fi.vp_down(start));
+  EXPECT_TRUE(fi.vp_down(start + kDay * 2));
+  EXPECT_FALSE(fi.vp_down(end));
+}
+
+TEST(FaultInjector, LoseProbeOnlyDrawsInsideBurstWindows) {
+  FaultPlan p;
+  p.name = "burst";
+  ProbeLossBurstFault b;
+  b.loss_prob = 1.0;  // every probe in the window dies
+  b.windows.fixed = {{kDay, kHour * 6}};
+  p.loss_bursts = {b};
+  const TimePoint start = date(1, 3, 2016);
+  sim::FaultInjector fi(p, 3, start, start + kDay * 10);
+  EXPECT_FALSE(fi.lose_probe(start));
+  EXPECT_TRUE(fi.lose_probe(start + kDay + kHour));
+  EXPECT_FALSE(fi.lose_probe(start + kDay * 2));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end campaigns under faults (VP1/GIXA, shortened windows)
+
+// Exercises every fault category with fixed windows inside a 42-day run.
+FaultPlan all_categories_plan() {
+  FaultPlan p;
+  p.name = "test-all";
+  VpOutageFault o;
+  o.windows.fixed = {{kDay * 2, kHour * 12}};
+  p.vp_outages = {o};
+  LinkFlapFault f;
+  f.nth_link = 0;
+  f.windows.fixed = {{kDay * 5, kHour * 6}};
+  p.link_flaps = {f};
+  IcmpTightenFault t;
+  t.nth_router = 1;
+  t.windows.fixed = {{kDay * 8, kDay * 2}};
+  p.icmp_tighten = {t};
+  SilentDropFault sd;
+  sd.nth_router = 2;
+  sd.windows.fixed = {{kDay * 12, kDay * 1}};
+  p.silent_drops = {sd};
+  RerouteFault r;
+  r.nth_link = 0;
+  r.windows.fixed = {{kDay * 16, kDay * 2}};
+  p.reroutes = {r};
+  ProbeLossBurstFault b;
+  b.loss_prob = 0.6;
+  b.windows.fixed = {{kDay * 1, kHour * 6}};
+  p.loss_bursts = {b};
+  return p;
+}
+
+VpCampaignResult run_vp1_with_plan(const FaultPlan& plan, std::uint64_t seed, int days) {
+  const auto spec = analysis::make_vp1_gixa();
+  auto rt = analysis::build_scenario(spec);
+  CampaignOptions opt;
+  opt.round_interval = kMinute * 30;
+  opt.duration_override = kDay * days;
+  std::shared_ptr<sim::FaultInjector> faults;
+  if (!plan.empty()) {
+    faults = analysis::attach_fault_plan(*rt, spec, plan, seed,
+                                         spec.campaign_start + opt.duration_override);
+    opt.faults = faults.get();
+  }
+  return analysis::run_campaign(*rt, spec, opt);
+}
+
+TEST(FaultCampaign, AllCategoriesFireAndGroundTruthSurvives) {
+  const auto result = run_vp1_with_plan(all_categories_plan(), 3, 42);
+  // Each topology fault contributes a begin and an end event.
+  EXPECT_EQ(result.fault_events, 8u);  // flap 2 + icmp 2 + silent 2 + reroute 2
+  EXPECT_GT(result.probes_suppressed, 0u);
+  EXPECT_EQ(result.outage_rounds, 24u);  // 12 h of 30-minute rounds
+  EXPECT_GE(result.stale_relearns, 1u);  // the reroute must be noticed
+  // The engineered ground truth survives the pathologies: GHANATEL (and
+  // only GHANATEL) is classified congested in the first 42 days.
+  bool ghanatel = false;
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    if (!result.reports[i].congested()) continue;
+    EXPECT_EQ(result.series[i].far_asn, 29614u) << result.series[i].key;
+    ghanatel = true;
+  }
+  EXPECT_TRUE(ghanatel);
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i])) return false;
+  }
+  return true;
+}
+
+TEST(FaultCampaign, PlanPlusSeedReplaysByteIdentically) {
+  const auto a = run_vp1_with_plan(all_categories_plan(), 11, 42);
+  const auto b = run_vp1_with_plan(all_categories_plan(), 11, 42);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.probes_suppressed, b.probes_suppressed);
+  EXPECT_EQ(a.outage_rounds, b.outage_rounds);
+  EXPECT_EQ(a.stale_relearns, b.stale_relearns);
+  EXPECT_EQ(a.loss_relearns, b.loss_relearns);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].key, b.series[i].key);
+    EXPECT_TRUE(bitwise_equal(a.series[i].near_rtt.ms, b.series[i].near_rtt.ms))
+        << a.series[i].key;
+    EXPECT_TRUE(bitwise_equal(a.series[i].far_rtt.ms, b.series[i].far_rtt.ms))
+        << a.series[i].key;
+  }
+}
+
+TEST(FaultCampaign, RerouteGoesStaleThenRecovers) {
+  FaultPlan p;
+  p.name = "test-reroute";
+  RerouteFault r;
+  r.nth_link = 0;  // first eligible clean member (GHMEM03 for VP1)
+  r.windows.fixed = {{kDay * 10, kDay * 3}};
+  p.reroutes = {r};
+  const auto result = run_vp1_with_plan(p, 5, 30);
+  EXPECT_EQ(result.fault_events, 2u);   // detour installed + withdrawn
+  EXPECT_GE(result.stale_relearns, 1u); // responder change detected
+  // The targeted member's series must stay usable: probes resume on the
+  // direct path after the detour is withdrawn (day 13 of 30).
+  bool checked = false;
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const auto& ls = result.series[i];
+    if (ls.far_asn != 65103u) continue;
+    checked = true;
+    const std::size_t per_day = 48;  // 30-minute rounds
+    ASSERT_GE(ls.far_rtt.ms.size(), per_day * 30);
+    std::size_t finite_tail = 0;
+    for (std::size_t k = per_day * 20; k < per_day * 30; ++k) {
+      if (!std::isnan(ls.far_rtt.ms[k])) ++finite_tail;
+    }
+    EXPECT_GT(finite_tail, per_day * 5) << ls.key;  // >half of the last 10 days
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(FaultCampaign, VpOutagePunchesAllNanGap) {
+  FaultPlan p;
+  p.name = "test-outage";
+  VpOutageFault o;
+  o.windows.fixed = {{kDay * 3, kDay * 2}};
+  p.vp_outages = {o};
+  const auto result = run_vp1_with_plan(p, 9, 10);
+  EXPECT_EQ(result.outage_rounds, 96u);  // 2 days of 30-minute rounds
+  EXPECT_EQ(result.fault_events, 0u);    // outages never touch the topology
+  const std::size_t per_day = 48;
+  for (const auto& ls : result.series) {
+    if (ls.far_rtt.ms.size() < per_day * 10) continue;
+    for (std::size_t k = per_day * 3; k < per_day * 5; ++k) {
+      ASSERT_TRUE(std::isnan(ls.far_rtt.ms[k])) << ls.key << " sample " << k;
+      ASSERT_TRUE(std::isnan(ls.near_rtt.ms[k])) << ls.key << " sample " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ixp

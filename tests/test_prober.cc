@@ -9,6 +9,7 @@
 #include "bdrmap/bdrmap.h"
 #include "prober/warts_lite.h"
 #include "registry/registry.h"
+#include "util/rng.h"
 
 namespace ixp::prober {
 namespace {
@@ -462,6 +463,86 @@ TEST(WartsLite, MixedRecordTypes) {
   EXPECT_EQ(read->links.size(), 1u);
   EXPECT_EQ(read->losses.size(), 1u);
   EXPECT_EQ(read->traces.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// warts-lite fuzz: every prefix truncation and every single-byte corruption
+// of a valid capture must produce a clean parse result (nullopt, or a valid
+// smaller file) -- never a crash, hang, or out-of-bounds access.  The
+// sanitizer sweep (tools/check_sanitize.sh) runs this under ASan/UBSan,
+// which is where OOB reads would actually trip.
+
+std::string valid_capture_bytes() {
+  WartsLiteFile file;
+  for (int i = 0; i < 2; ++i) {
+    tslp::LinkSeries ls;
+    ls.key = "AS30997-AS2961" + std::to_string(4 + i);
+    ls.near_ip = net::Ipv4Address(196, 49, 0, 1);
+    ls.far_ip = net::Ipv4Address(196, 49, 0, static_cast<std::uint8_t>(7 + i));
+    ls.near_asn = 30997;
+    ls.far_asn = 29614;
+    ls.at_ixp = true;
+    ls.near_rtt.start = TimePoint(kHour);
+    ls.near_rtt.interval = kMinute * 5;
+    ls.near_rtt.ms = {1.0, tslp::kMissing, 1.2, 0.9};
+    ls.far_rtt = ls.near_rtt;
+    ls.far_rtt.ms = {20.0, 47.9, tslp::kMissing, 21.5};
+    file.links.push_back(std::move(ls));
+  }
+  tslp::LossSeries loss;
+  loss.target = net::Ipv4Address(196, 49, 0, 7);
+  loss.batches = {{TimePoint(kHour), 100, 25}, {TimePoint(kHour * 2), 100, 0}};
+  file.losses.push_back(std::move(loss));
+  TraceRecord t;
+  t.dst = net::Ipv4Address(196, 49, 0, 7);
+  t.at = TimePoint(kDay + kHour);
+  t.hops = {{1, net::Ipv4Address(41, 0, 0, 1), milliseconds(0.5)},
+            {2, net::Ipv4Address(), Duration(0)},
+            {3, net::Ipv4Address(196, 49, 0, 7), milliseconds(1.4)}};
+  file.traces.push_back(std::move(t));
+  std::stringstream buf;
+  EXPECT_TRUE(write_warts_lite(buf, file));
+  return buf.str();
+}
+
+TEST(WartsLiteFuzz, EveryPrefixTruncationParsesCleanly) {
+  const std::string data = valid_capture_bytes();
+  ASSERT_GT(data.size(), 6u);
+  std::size_t accepted = 0;
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    std::istringstream cut(data.substr(0, n));
+    const auto read = read_warts_lite(cut);
+    if (!read.has_value()) continue;
+    // A cut at a record boundary is a valid shorter capture; anything it
+    // reports must be a subset of the original.
+    ++accepted;
+    EXPECT_LE(read->links.size(), 2u) << "prefix " << n;
+    EXPECT_LE(read->losses.size(), 1u) << "prefix " << n;
+    EXPECT_LE(read->traces.size(), 1u) << "prefix " << n;
+  }
+  // Only the header and the 4 record boundaries can be accepted; mid-record
+  // cuts must all be rejected.
+  EXPECT_LE(accepted, 5u);
+  EXPECT_GE(accepted, 1u);  // the bare header parses as an empty capture
+}
+
+TEST(WartsLiteFuzz, EverySingleByteCorruptionParsesCleanly) {
+  const std::string data = valid_capture_bytes();
+  Rng rng(0xf022);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(~flipped[i]);
+    std::istringstream in(flipped);
+    const auto read = read_warts_lite(in);  // any result is fine; no crash
+    if (read.has_value()) {
+      EXPECT_LE(read->links.size(), 2u) << "byte " << i;
+    }
+    // A second, random corruption value (not just bit-complement).
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(rng.uniform_int(0, 255));
+    std::istringstream in2(mutated);
+    (void)read_warts_lite(in2);
+  }
 }
 
 // Property sweep: fast-path and event-mode probing agree for every

@@ -701,6 +701,78 @@ struct AsymmetricNet {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Route-memo invalidation (regression for the memoized FIB lookup: a route
+// change mid-campaign -- e.g. the reroute fault in sim/faults.h -- must never
+// forward on a stale cached next hop).
+
+TEST(Router, RouteMemoInvalidatedByRouteChange) {
+  Network net;
+  auto& r = net.add_router("r", {});
+  const auto dst = net::Ipv4Address(10, 9, 0, 1);
+  r.add_route(*net::Ipv4Prefix::parse("10.9.0.0/16"), {1, net::Ipv4Address(10, 0, 0, 1)});
+  const FibEntry* e1 = r.route_lookup(dst);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->ifindex, 1);
+  // Warm both the per-destination cache and the one-entry memo.
+  ASSERT_EQ(r.route_lookup(dst), e1);
+  // A more-specific route must take effect on the very next lookup.
+  r.add_route(*net::Ipv4Prefix::parse("10.9.0.1/32"), {2, net::Ipv4Address(10, 0, 1, 1)});
+  const FibEntry* e2 = r.route_lookup(dst);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->ifindex, 2);
+  EXPECT_EQ(r.route_lookup(dst), e2);
+  // clear_fib drops the routes *and* the memo.
+  r.clear_fib();
+  EXPECT_EQ(r.route_lookup(dst), nullptr);
+}
+
+TEST(Network, ProbeFollowsRouteChangeNotStaleMemo) {
+  // End-to-end variant: after probes memoized the path through b, installing
+  // a more-specific detour through c must redirect the very next probe.
+  Network net;
+  auto& h = net.add_host("vp");
+  auto& a = net.add_router("a", {});
+  auto& sw = net.add_switch("fabric");
+  auto& b = net.add_router("b", {});
+  auto& c = net.add_router("c", {});
+  auto& dsth = net.add_host("dst");
+
+  LinkConfig lan;
+  const auto host_net = *net::Ipv4Prefix::parse("10.0.0.0/30");
+  net.connect(h.id(), net::Ipv4Address(10, 0, 0, 2), a.id(), net::Ipv4Address(10, 0, 0, 1), lan,
+              host_net);
+  h.set_gateway(0, net::Ipv4Address(10, 0, 0, 1));
+  const auto peering = *net::Ipv4Prefix::parse("196.49.0.0/24");
+  net.connect(a.id(), net::Ipv4Address(196, 49, 0, 1), sw.id(), {}, lan, peering);
+  net.connect(b.id(), net::Ipv4Address(196, 49, 0, 2), sw.id(), {}, lan, peering);
+  net.connect(c.id(), net::Ipv4Address(196, 49, 0, 3), sw.id(), {}, lan, peering);
+  net.connect(b.id(), net::Ipv4Address(10, 0, 3, 1), dsth.id(), net::Ipv4Address(10, 0, 3, 2), lan,
+              *net::Ipv4Prefix::parse("10.0.3.0/30"));
+  dsth.set_gateway(0, net::Ipv4Address(10, 0, 3, 1));
+  a.add_route(host_net, {0, {}});
+  a.add_route(*net::Ipv4Prefix::parse("10.0.3.0/30"), {1, net::Ipv4Address(196, 49, 0, 2)});
+  b.add_route(host_net, {0, net::Ipv4Address(196, 49, 0, 1)});
+  b.add_route(*net::Ipv4Prefix::parse("10.0.3.0/30"), {1, {}});
+  c.add_route(host_net, {0, net::Ipv4Address(196, 49, 0, 1)});
+
+  net::Packet p;
+  p.src = net::Ipv4Address(10, 0, 0, 2);
+  p.dst = net::Ipv4Address(10, 0, 3, 2);
+  p.icmp_type = net::IcmpType::kEchoRequest;
+  for (int i = 0; i < 3; ++i) {  // warm a's lookup caches toward dst
+    p.ttl = 2;
+    const auto via_b = net.probe(h.id(), p);
+    ASSERT_TRUE(via_b.answered);
+    EXPECT_EQ(via_b.responder, net::Ipv4Address(196, 49, 0, 2));
+  }
+  a.add_route(*net::Ipv4Prefix::parse("10.0.3.2/32"), {1, net::Ipv4Address(196, 49, 0, 3)});
+  p.ttl = 2;
+  const auto via_c = net.probe(h.id(), p);
+  ASSERT_TRUE(via_c.answered);
+  EXPECT_EQ(via_c.responder, net::Ipv4Address(196, 49, 0, 3));
+}
+
 TEST(Network, ReverseTtlExpiryOnLongAsymmetricPath) {
   // Replies start at TTL 64.  A 40-router return chain survives; a 70-router
   // one expires the reply in flight: the probe is lost on the *reverse*

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tslp/classifier.h"
@@ -218,6 +219,159 @@ TEST(LevelShift, MergeWeightsOverlapOnlyOnce) {
   EXPECT_EQ(merged[0].begin, 0u);
   EXPECT_EQ(merged[0].end, 150u);
   EXPECT_NEAR(merged[0].magnitude_ms, (10.0 * 100 + 30.0 * 50) / 150.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Level-shift properties: invariances any reasonable detector must satisfy,
+// checked on noise-free constructions so the expectations are exact.
+
+RttSeries plateau_series(std::size_t n, double base_ms, double magnitude_ms,
+                         std::size_t elevated_begin, std::size_t elevated_end) {
+  RttSeries s;
+  s.start = TimePoint{};
+  s.interval = kMinute * 5;
+  s.ms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool elevated = i >= elevated_begin && i < elevated_end;
+    s.ms.push_back(elevated ? base_ms + magnitude_ms : base_ms);
+  }
+  return s;
+}
+
+TEST(LevelShiftProperty, ConstantSeriesHasNoEpisodes) {
+  const auto s = plateau_series(1152, 10.0, 0.0, 0, 0);
+  LevelShiftDetector det;
+  const auto res = det.detect(s);
+  EXPECT_FALSE(res.any());
+  EXPECT_EQ(res.coverage, 1.0);
+  EXPECT_TRUE(res.gaps.empty());
+  // Holds without the quiet-window fast path too.
+  LevelShiftOptions opt;
+  opt.skip_quiet_windows = false;
+  EXPECT_FALSE(LevelShiftDetector(opt).detect(s).any());
+}
+
+TEST(LevelShiftProperty, ConstantOffsetPreservesEpisodes) {
+  // Adding a constant to every sample permutes nothing: the ranks are
+  // identical, so the episodes must be identical (and the baseline moves by
+  // exactly the offset; 64 is exactly representable).
+  const auto a = plateau_series(1152, 10.0, 30.0, 400, 640);
+  auto b = a;
+  for (auto& v : b.ms) v += 64.0;
+  LevelShiftDetector det;
+  const auto ra = det.detect(a);
+  const auto rb = det.detect(b);
+  ASSERT_TRUE(ra.any());
+  ASSERT_EQ(ra.episodes.size(), rb.episodes.size());
+  for (std::size_t i = 0; i < ra.episodes.size(); ++i) {
+    EXPECT_EQ(ra.episodes[i].begin, rb.episodes[i].begin);
+    EXPECT_EQ(ra.episodes[i].end, rb.episodes[i].end);
+    EXPECT_DOUBLE_EQ(ra.episodes[i].magnitude_ms, rb.episodes[i].magnitude_ms);
+  }
+  EXPECT_DOUBLE_EQ(rb.baseline_ms, ra.baseline_ms + 64.0);
+}
+
+TEST(LevelShiftProperty, TimeReversalMirrorsEpisodes) {
+  const auto a = plateau_series(1152, 10.0, 30.0, 400, 640);
+  auto r = a;
+  std::reverse(r.ms.begin(), r.ms.end());
+  LevelShiftDetector det;
+  const auto ra = det.detect(a);
+  const auto rr = det.detect(r);
+  ASSERT_TRUE(ra.any());
+  ASSERT_EQ(ra.episodes.size(), rr.episodes.size());
+  const std::size_t n = a.ms.size();
+  for (std::size_t i = 0; i < ra.episodes.size(); ++i) {
+    // Episode i of the forward series mirrors episode size-1-i of the
+    // reversed one: [b, e) maps to [n - e, n - b).
+    const auto& fwd = ra.episodes[i];
+    const auto& rev = rr.episodes[rr.episodes.size() - 1 - i];
+    EXPECT_EQ(rev.begin, n - fwd.end);
+    EXPECT_EQ(rev.end, n - fwd.begin);
+    EXPECT_DOUBLE_EQ(rev.magnitude_ms, fwd.magnitude_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gap markers and gap-tolerant detection
+
+TEST(Series, FindGapsMarksMissingRuns) {
+  RttSeries s;
+  s.interval = kMinute * 5;
+  s.ms = {1.0, kMissing, kMissing, 2.0, kMissing, kMissing, kMissing, kMissing};
+  const auto all = find_gaps(s, 1);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].begin, 1u);
+  EXPECT_EQ(all[0].end, 3u);
+  EXPECT_EQ(all[1].begin, 4u);
+  EXPECT_EQ(all[1].end, 8u);  // trailing run is closed off
+  EXPECT_EQ(all[1].samples(), 4u);
+  const auto long_only = find_gaps(s, 3);
+  ASSERT_EQ(long_only.size(), 1u);
+  EXPECT_EQ(long_only[0].begin, 4u);
+  EXPECT_EQ(s.finite_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.coverage(), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(RttSeries{}.coverage(), 1.0);  // empty = nothing missing
+}
+
+TEST(LevelShift, SanitizeBridgesOnlyWhenPredicateHolds) {
+  std::vector<Episode> raw;
+  raw.push_back({100, 200, 20.0});
+  raw.push_back({260, 360, 20.0});  // 60-sample gap, far beyond merge_gap
+  const auto split = sanitize_episodes(raw, 6, nullptr);
+  EXPECT_EQ(split.size(), 2u);
+  const auto bridged =
+      sanitize_episodes(raw, 6, [](std::size_t, std::size_t) { return true; });
+  ASSERT_EQ(bridged.size(), 1u);
+  EXPECT_EQ(bridged[0].begin, 100u);
+  EXPECT_EQ(bridged[0].end, 360u);
+}
+
+TEST(LevelShift, AllMissingGapInsidePlateauKeepsOneEpisode) {
+  // An ICMP-tightening hole in the middle of a plateau carries no evidence
+  // the level ever came back down: the episode must not split around it.
+  auto s = plateau_series(1152, 10.0, 30.0, 400, 648);
+  for (std::size_t i = 500; i < 548; ++i) s.ms[i] = kMissing;
+  LevelShiftDetector det;
+  const auto res = det.detect(s);
+  ASSERT_EQ(res.episodes.size(), 1u);
+  EXPECT_EQ(res.episodes[0].begin, 400u);
+  EXPECT_EQ(res.episodes[0].end, 648u);
+  ASSERT_EQ(res.gaps.size(), 1u);
+  EXPECT_EQ(res.gaps[0].begin, 500u);
+  EXPECT_EQ(res.gaps[0].end, 548u);
+}
+
+TEST(LevelShift, QuietEvidenceSplitsWhereMissingnessDoesNot) {
+  // The same two plateaus, separated once by an *observed* return to
+  // baseline and once by pure missingness.  Only the former is evidence
+  // that the level came down, so only the former splits the episodes.
+  auto observed = plateau_series(1152, 10.0, 30.0, 400, 720);
+  auto missing = observed;
+  for (std::size_t i = 500; i < 620; ++i) {
+    observed.ms[i] = 10.0;      // back at baseline, measured
+    missing.ms[i] = kMissing;   // unmeasured
+  }
+  LevelShiftDetector det;
+  EXPECT_EQ(det.detect(observed).episodes.size(), 2u);
+  const auto bridged = det.detect(missing);
+  ASSERT_EQ(bridged.episodes.size(), 1u);
+  EXPECT_EQ(bridged.episodes[0].begin, 400u);
+  EXPECT_EQ(bridged.episodes[0].end, 720u);
+}
+
+TEST(LevelShift, UnjudgeableSeriesReportsCoverageOnly) {
+  // 1152 rounds with only 8 survivors: below min_coverage the detector
+  // must refuse to produce episodes, however elevated the survivors look.
+  RttSeries s;
+  s.interval = kMinute * 5;
+  s.ms.assign(1152, kMissing);
+  for (std::size_t i = 0; i < 8; ++i) s.ms[i * 16] = i % 2 == 0 ? 10.0 : 40.0;
+  LevelShiftDetector det;
+  const auto res = det.detect(s);
+  EXPECT_FALSE(res.any());
+  EXPECT_NEAR(res.coverage, 8.0 / 1152.0, 1e-12);
+  EXPECT_FALSE(res.gaps.empty());
 }
 
 TEST(Classifier, SamplesPerDayRoundsToNearest) {

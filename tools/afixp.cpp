@@ -16,8 +16,14 @@
 //   afixp bench     [--smoke] [--out BENCH_sim.json] [--only <name>]
 //       probe hot-path benchmark harness; emits the BENCH_sim.json perf
 //       record compared across PRs (see README "Benchmark harness").
+//   afixp chaos     [--plan default] [--seed 1] [--fast] [--jobs N]
+//       run the six VP campaigns under a named fault plan and score the
+//       classifier against the engineered ground truth (precision/recall
+//       under measurement pathologies; see EXPERIMENTS.md).
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 
 #include "analysis/africa.h"
 #include "analysis/benchmarks.h"
@@ -29,6 +35,7 @@
 #include "analysis/tables.h"
 #include "prober/warts_lite.h"
 #include "tslp/classifier.h"
+#include "util/fault_plan.h"
 #include "util/flags.h"
 #include "util/strings.h"
 
@@ -49,7 +56,10 @@ constexpr const char* kEnvHelp =
     "                     clamped to the number of campaigns)\n"
     "  IXP_PARANOID       when set (and not 0), enable the runtime invariant\n"
     "                     checks (episode ordering, fluid-queue backlog\n"
-    "                     bounds, series indexing) in every component\n";
+    "                     bounds, series indexing) in every component\n"
+    "  IXP_FAULT_PLAN     default fault plan name for `afixp chaos` when\n"
+    "                     --plan is absent (else 'default'); see\n"
+    "                     `afixp chaos --list-plans`\n";
 
 int cmd_campaign(int argc, const char* const* argv) {
   Flags flags("afixp campaign", "run one of the paper's six VP campaigns");
@@ -255,6 +265,158 @@ int cmd_bench(int argc, const char* const* argv) {
   return 0;
 }
 
+// One neighbor's ground-truth-vs-classified outcome in a chaos run.
+struct ChaosRow {
+  std::size_t vp = 0;          ///< spec index
+  topo::Asn asn = 0;
+  std::string name;
+  bool truth = false;          ///< engineered to be classified congested
+  bool classified = false;     ///< some monitored link to it came back congested
+};
+
+int cmd_chaos(int argc, const char* const* argv) {
+  Flags flags("afixp chaos",
+              "run the six VP campaigns under a fault plan and score the classifier");
+  flags.add_string("plan", "",
+                   "fault plan name (empty = IXP_FAULT_PLAN, else 'default')");
+  flags.add_int("seed", 1, "fault seed; same plan+seed replays byte-identically");
+  flags.add_bool("fast", false, "6-week campaigns instead of the full calendar");
+  flags.add_int("days", 0, "campaign length in days (0 = full; overrides --fast)");
+  flags.add_int("round-minutes", 30, "TSLP probing cadence");
+  flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
+  flags.add_bool("list-plans", false, "list the built-in fault plans and exit");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text() << "\n" << kEnvHelp;
+    return 0;
+  }
+  if (flags.get_bool("list-plans")) {
+    for (const auto& name : known_fault_plan_names()) {
+      const FaultPlan* p = fault_plan_by_name(name);
+      std::cout << name << "\n" << describe_fault_plan(*p);
+    }
+    return 0;
+  }
+  std::string plan_name = flags.get_string("plan");
+  if (plan_name.empty()) {
+    const char* env = std::getenv("IXP_FAULT_PLAN");
+    plan_name = (env != nullptr && *env != '\0') ? env : "default";
+  }
+  const FaultPlan* plan = fault_plan_by_name(plan_name);
+  if (plan == nullptr) {
+    std::cerr << "unknown fault plan '" << plan_name << "'; known plans:";
+    for (const auto& name : known_fault_plan_names()) std::cerr << " " << name;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const auto specs = analysis::make_all_vps();
+  analysis::FleetOptions fopt;
+  fopt.campaign.round_interval = kMinute * flags.get_int("round-minutes");
+  if (flags.get_int("days") > 0) {
+    fopt.campaign.duration_override = kDay * flags.get_int("days");
+  } else if (flags.get_bool("fast")) {
+    fopt.campaign.duration_override = kDay * 42;
+  }
+  fopt.jobs = static_cast<int>(flags.get_int("jobs"));
+  fopt.fault_plan = plan;
+  fopt.fault_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  analysis::FleetStatusPrinter status(std::cerr, specs);
+  fopt.on_progress = [&status](const analysis::CampaignMetrics& m) { status(m); };
+  auto fleet = analysis::run_fleet(specs, fopt);
+  status.finish();
+  analysis::print_fleet_metrics(std::cerr, fleet);
+
+  // ---- Score against the engineered ground truth --------------------------
+  // Truth: a neighbor is a positive when the spec scripts behaviour the
+  // classifier is *supposed* to flag inside the measured window -- diurnal
+  // congestion on a monitored link, or slow-ICMP (which TSLP cannot tell
+  // apart from congestion; the paper's KNET case study).  Route-change
+  // noise is "potentially congested, no diurnal" by design: a negative.
+  std::cout << "chaos report\n";
+  std::cout << "plan: " << plan_name << " (seed " << flags.get_int("seed") << ")\n";
+  std::cout << describe_fault_plan(*plan);
+  std::cout << "cadence: " << flags.get_int("round-minutes") << " min rounds";
+  if (fopt.campaign.duration_override.count() > 0) {
+    std::cout << "; window: " << fopt.campaign.duration_override.count() / kDay.count()
+              << " days\n";
+  } else {
+    std::cout << "; window: full calendar\n";
+  }
+
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  std::vector<ChaosRow> interesting;  // every non-TN outcome
+  auto outcome = [](const ChaosRow& r) {
+    return r.truth ? (r.classified ? "TP" : "FN") : (r.classified ? "FP" : "TN");
+  };
+  std::vector<ChaosRow> case_studies;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& result = fleet.results[i];
+    const TimePoint start = spec.campaign_start;
+    const TimePoint end = fopt.campaign.duration_override.count() > 0
+                              ? start + fopt.campaign.duration_override
+                              : spec.campaign_end;
+    std::set<topo::Asn> congested_asns;
+    for (std::size_t k = 0; k < result.reports.size(); ++k) {
+      if (result.reports[k].congested()) congested_asns.insert(result.series[k].far_asn);
+    }
+    const auto overlaps = [&](TimePoint b, TimePoint e) { return b < end && e > start; };
+    std::size_t vtp = 0, vfp = 0, vfn = 0, vtn = 0;
+    for (const auto& n : spec.neighbors) {
+      if (n.silent) continue;  // invisible to the prober by design
+      ChaosRow row;
+      row.vp = i;
+      row.asn = n.asn;
+      row.name = n.name;
+      for (const auto& c : n.congestion) row.truth |= overlaps(c.begin, c.end);
+      for (const auto& c : n.congestion_ptp) row.truth |= overlaps(c.begin, c.end);
+      if (n.slow_icmp) row.truth |= overlaps(n.slow_icmp->begin, n.slow_icmp->end);
+      row.classified = congested_asns.count(n.asn) > 0;
+      (row.truth ? (row.classified ? vtp : vfn) : (row.classified ? vfp : vtn)) += 1;
+      if (row.truth || row.classified) interesting.push_back(row);
+      if (spec.vp_name == "VP1" && (n.asn == 29614 || n.asn == 33786)) {
+        case_studies.push_back(row);
+      }
+    }
+    tp += vtp; fp += vfp; fn += vfn; tn += vtn;
+    const auto& m = fleet.metrics[i];
+    std::cout << strformat(
+        "%s (%s): links=%zu TP=%zu FP=%zu FN=%zu TN=%zu | faults=%llu suppressed=%llu "
+        "outage_rounds=%llu stale_relearns=%llu loss_relearns=%llu\n",
+        spec.vp_name.c_str(), spec.ixp.name.c_str(), result.series.size(), vtp, vfp, vfn,
+        vtn, static_cast<unsigned long long>(m.fault_events),
+        static_cast<unsigned long long>(m.probes_suppressed),
+        static_cast<unsigned long long>(m.outage_rounds),
+        static_cast<unsigned long long>(m.stale_relearns),
+        static_cast<unsigned long long>(m.loss_relearns));
+  }
+  std::cout << "\n";
+  for (const auto& r : interesting) {
+    std::cout << strformat("  %s AS%-6u %-12s truth=%-3s classified=%-3s %s\n",
+                           specs[r.vp].vp_name.c_str(), r.asn, r.name.c_str(),
+                           r.truth ? "yes" : "no", r.classified ? "yes" : "no",
+                           outcome(r));
+  }
+  const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
+  const double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0;
+  std::cout << strformat("\noverall: TP=%zu FP=%zu FN=%zu TN=%zu precision=%.3f recall=%.3f\n",
+                         tp, fp, fn, tn, precision, recall);
+  bool case_ok = true;
+  for (const auto& r : case_studies) {
+    const bool ok = r.truth == r.classified;
+    case_ok = case_ok && ok;
+    std::cout << strformat("case study GIXA-%s (AS%u): truth=%s classified=%s %s\n",
+                           r.name.c_str(), r.asn, r.truth ? "congested" : "clean",
+                           r.classified ? "congested" : "clean",
+                           ok ? "ok" : "MISMATCH");
+  }
+  return case_ok ? 0 : 1;
+}
+
 int cmd_casebook() {
   for (const auto& cs : analysis::casebook()) {
     std::cout << cs.id << " (" << cs.vp << ")\n";
@@ -270,7 +432,7 @@ int cmd_casebook() {
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: afixp <campaign|analyze|tables|casebook|selftest|bench> [flags]\n"
+      "usage: afixp <campaign|analyze|tables|casebook|selftest|bench|chaos> [flags]\n"
       "run 'afixp <command> --help' for the command's flags\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -283,6 +445,7 @@ int main(int argc, char** argv) {
   if (cmd == "casebook") return cmd_casebook();
   if (cmd == "selftest") return cmd_selftest(argc - 1, argv + 1);
   if (cmd == "bench") return cmd_bench(argc - 1, argv + 1);
+  if (cmd == "chaos") return cmd_chaos(argc - 1, argv + 1);
   std::cerr << "unknown command '" << cmd << "'\n" << usage;
   return 2;
 }

@@ -45,20 +45,23 @@ grep -oE 'afixp [a-z]+[^)`|]*' "$readme" | while read -r line; do
     done
 done
 
-# --- 4. IXP_* knobs: README <-> sources/CMake must agree ------------------
+# --- 4. IXP_* knobs: README <-> sources/CMake/scripts must agree ----------
 # Env knobs are read via getenv() in the sources; build knobs (IXP_PARANOID
-# as a forced-on option, IXP_SANITIZE) live in the top-level CMakeLists.
-# README must document both kinds, and must not document ghosts.  Only env
-# knobs are required in `afixp tables --help` (build knobs are not visible
-# to a compiled binary).
+# as a forced-on option, IXP_SANITIZE, IXP_COVERAGE) live in the top-level
+# CMakeLists; the CI scripts under tools/ read their own ${IXP_*} knobs.
+# README must document all three kinds, and must not document ghosts.  Only
+# source env knobs are required in `afixp tables --help` (build and script
+# knobs are not visible to a compiled binary).
 src_knobs=$(grep -rhoE 'getenv\("IXP_[A-Z_]+"\)' \
     "$src/src" "$src/bench" "$src/tools" "$src/examples" 2>/dev/null |
     grep -oE 'IXP_[A-Z_]+' | sort -u)
 cmake_knobs=$(grep -hoE 'IXP_[A-Z_]+' "$src/CMakeLists.txt" 2>/dev/null | sort -u)
+script_knobs=$(grep -hoE '\$\{IXP_[A-Z_]+' "$src"/tools/*.sh 2>/dev/null |
+    grep -oE 'IXP_[A-Z_]+' | sort -u)
 readme_knobs=$(grep -oE 'IXP_[A-Z_]+' "$readme" | sort -u)
 for k in $readme_knobs; do
-    { echo "$src_knobs"; echo "$cmake_knobs"; } | grep -qx "$k" ||
-        err "README documents knob '$k' but neither the sources nor CMakeLists use it"
+    { echo "$src_knobs"; echo "$cmake_knobs"; echo "$script_knobs"; } | grep -qx "$k" ||
+        err "README documents knob '$k' but no source, CMakeLists, or tools/ script uses it"
 done
 for k in $src_knobs; do
     echo "$readme_knobs" | grep -qx "$k" || err "sources read env knob '$k' but README does not document it"
@@ -68,6 +71,10 @@ done
 for k in $cmake_knobs; do
     echo "$readme_knobs" | grep -qx "$k" ||
         err "CMakeLists defines build knob '$k' but README does not document it"
+done
+for k in $script_knobs; do
+    echo "$readme_knobs" | grep -qx "$k" ||
+        err "tools/ script reads knob '$k' but README does not document it"
 done
 
 # --- 5. Benchmark harness flags: README documents every one ----------------
