@@ -10,7 +10,6 @@
 //                      (default: hardware concurrency, clamped to VP count)
 #pragma once
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -21,22 +20,18 @@
 #include "tslp/series.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace ixp::bench {
 
 inline Duration round_interval_from_env() {
-  const char* v = std::getenv("IXP_ROUND_MINUTES");
-  if (!v) return kMinute * 30;
-  double minutes = 30;
-  if (!parse_double(v, minutes) || minutes <= 0) minutes = 30;
+  double minutes = env::double_value("IXP_ROUND_MINUTES").value_or(30);
+  if (minutes <= 0) minutes = 30;
   return Duration(static_cast<std::int64_t>(minutes * 60e9));
 }
 
-inline bool fast_mode() {
-  const char* v = std::getenv("IXP_FAST");
-  return v != nullptr && std::string(v) != "0";
-}
+inline bool fast_mode() { return env::flag("IXP_FAST"); }
 
 /// Runs one VP's campaign with bench-standard options.  Case-study benches
 /// pass `round_override` to probe at a finer cadence than the table

@@ -8,6 +8,7 @@
 // tools/check_bench.sh runs the smoke size from CTest.
 //
 //   bench_probe [--smoke] [--out BENCH_sim.json] [--only <name>] [--repeats N]
+//               [--metrics]
 #include <fstream>
 #include <iostream>
 
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
   flags.add_string("out", "BENCH_sim.json", "output JSON path (empty = stdout)");
   flags.add_string("only", "", "run only the named benchmark");
   flags.add_int("repeats", 3, "warm passes per micro-benchmark");
+  flags.add_bool("metrics", false,
+                 "collect campaign metrics during campaign_six_vp (measures "
+                 "the observability overhead; default measures the disabled path)");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
   opt.smoke = flags.get_bool("smoke");
   opt.only = flags.get_string("only");
   opt.repeats = static_cast<int>(flags.get_int("repeats"));
+  opt.metrics = flags.get_bool("metrics");
   const auto report = analysis::run_sim_benchmarks(opt, &std::cerr);
 
   const auto out_path = flags.get_string("out");

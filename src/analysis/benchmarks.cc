@@ -206,13 +206,16 @@ BenchMeasurement bench_campaign(const BenchOptions& opt, std::ostream* log) {
   fopt.jobs = 1;
   fopt.campaign.round_interval = kMinute * 5;
   fopt.campaign.duration_override = opt.smoke ? kDay : kDay * 7;
+  fopt.collect_metrics = opt.metrics;
   const auto fleet = run_fleet(specs, fopt);
 
+  // Summed from the campaign results, not the metrics views: with
+  // collect_metrics off the registries are empty by design.
   std::uint64_t probes = 0;
   std::uint64_t rounds = 0;
-  for (const auto& cm : fleet.metrics) {
-    probes += cm.probes_sent;
-    rounds += cm.rounds_completed;
+  for (const auto& r : fleet.results) {
+    probes += r.probes_sent;
+    rounds += r.rounds_completed;
   }
   BenchMeasurement m;
   m.name = "campaign_six_vp";

@@ -34,6 +34,11 @@ struct BenchOptions {
   int repeats = 3;
   /// Run only the benchmark with this name (empty = all).
   std::string only;
+  /// Collect per-campaign observability registries during campaign_six_vp.
+  /// Off by default so the reference numbers (BENCH_sim.json) measure the
+  /// instrumentation-free path; check_bench.sh compares both settings to
+  /// gate the metrics overhead.
+  bool metrics = false;
 };
 
 /// One benchmark's numbers.  `items` are probes (probe benches) or events

@@ -68,8 +68,16 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
                             : spec.campaign_end;
 
   prober::Prober prober(rt.topology.net(), rt.vp_host, 100.0);
-  rt.topology.net().simulator().advance_to(start);
+  sim::Simulator& simulator = rt.topology.net().simulator();
+  simulator.advance_to(start);
   rt.apply_timeline_until(start);
+
+  // Covers the whole campaign window in simulated time; records on scope
+  // exit, so the span lands in the registry before the caller reads it.  A
+  // null registry disarms the scope entirely.
+  obs::ScopedSpan window_span(
+      opt.metrics != nullptr ? opt.metrics->span(metric::kWindowSpan) : nullptr,
+      [&simulator] { return simulator.now(); });
 
   // ---- Discovery: initial bdrmap run --------------------------------------
   auto run_bdrmap = [&]() {
@@ -169,22 +177,34 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     result.snapshots.push_back(std::move(snap));
   };
 
-  auto report_progress = [&](TimePoint at, bool finished) {
-    if (!opt.on_progress) return;
-    CampaignProgress p;
-    p.at = at;
-    p.rounds = result.rounds_completed;
-    p.probes = prober.probes_sent();
-    p.bdrmap_runs = result.bdrmap_runs;
-    p.monitored_links = targets.size();
+  // Mirrors the running totals into the registry.  Everything here is a
+  // set(), not an add(): the sources (prober, driver accumulators, fault
+  // counters) are themselves monotone, so re-publishing at every boundary
+  // is idempotent and observers see consistent values mid-run.
+  auto publish = [&] {
+    obs::Registry* reg = opt.metrics;
+    if (reg == nullptr) return;
+    reg->counter(metric::kRounds)->set(result.rounds_completed);
+    reg->counter(metric::kProbesSent)->set(prober.probes_sent());
+    reg->counter(metric::kProbesLost)->set(result.probes_lost);
+    reg->counter(metric::kBdrmapRuns)->set(result.bdrmap_runs);
+    reg->gauge(metric::kMonitoredLinks)->set(static_cast<double>(targets.size()));
+    reg->counter(metric::kRecordRoutes)->set(result.record_routes);
+    reg->counter(metric::kRecordRoutesSymmetric)->set(result.record_routes_symmetric);
+    reg->counter(metric::kRelearns, "cause=\"stale\"")->set(result.stale_relearns);
+    reg->counter(metric::kRelearns, "cause=\"loss\"")->set(result.loss_relearns);
     if (opt.faults != nullptr) {
-      p.fault_events = opt.faults->counters().timeline_faults;
-      p.outage_rounds = opt.faults->counters().outage_rounds;
+      reg->counter(metric::kFaultEvents)->set(opt.faults->counters().timeline_faults);
+      reg->counter(metric::kProbesSuppressed)
+          ->set(opt.faults->counters().probes_suppressed);
+      reg->counter(metric::kOutageRounds)->set(opt.faults->counters().outage_rounds);
     }
-    p.stale_relearns = result.stale_relearns;
-    p.loss_relearns = result.loss_relearns;
-    p.finished = finished;
-    opt.on_progress(p);
+  };
+
+  auto report_progress = [&](TimePoint at, bool finished) {
+    publish();
+    if (!opt.on_progress) return;
+    opt.on_progress(CampaignProgress{at, finished});
   };
 
   // ---- Main loop ------------------------------------------------------------
@@ -205,6 +225,10 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       result.record_routes_symmetric += driver.record_routes_symmetric();
       result.stale_relearns += driver.stale_relearns();
       result.loss_relearns += driver.loss_relearns();
+      result.probes_lost += driver.probes_lost();
+      if (opt.metrics != nullptr) {
+        opt.metrics->span(metric::kSegmentSpan)->record(b - t);
+      }
       for (std::size_t i = 0; i < segment.size(); ++i) {
         auto& acc = series[i];
         acc.near_rtt.ms.insert(acc.near_rtt.ms.end(), segment[i].near_rtt.ms.begin(),
@@ -259,6 +283,42 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     result.probes_suppressed = opt.faults->counters().probes_suppressed;
     result.outage_rounds = opt.faults->counters().outage_rounds;
   }
+
+  // Completion-time scrape: runtime internals (event loop, fluid queues,
+  // packet transport), detector outcomes, and the far-RTT distribution.
+  // These are not re-published mid-run -- they are either cumulative
+  // runtime totals or only meaningful once classification has run.
+  if (opt.metrics != nullptr) {
+    obs::Registry* reg = opt.metrics;
+    const sim::Network& net = rt.topology.net();
+    reg->counter(metric::kSimEventsExecuted)->set(simulator.executed());
+    reg->counter(metric::kSimEventsScheduled)->set(simulator.scheduled());
+    const sim::FluidQueue::Stats qs = net.queue_stats();
+    reg->counter(metric::kQueueHeadroomSkips)->set(qs.headroom_skips);
+    reg->counter(metric::kQueueIntegrationSteps)->set(qs.integration_steps);
+    reg->counter(metric::kQueueTailDrops)->set(qs.tail_drops);
+    reg->counter(metric::kNetForwarded)->set(net.packets_forwarded);
+    reg->counter(metric::kNetDropped)->set(net.packets_dropped);
+    reg->counter(metric::kNetIcmp)->set(net.icmp_generated);
+    reg->counter(metric::kNetHops)->set(net.hops_walked);
+    std::uint64_t episodes = 0, raw_episodes = 0, refused = 0;
+    for (const auto& r : result.reports) {
+      for (const tslp::LevelShiftResult* ls : {&r.far_shifts, &r.near_shifts}) {
+        episodes += ls->episodes.size();
+        raw_episodes += ls->raw_episode_count;
+        refused += ls->refused_low_coverage ? 1 : 0;
+      }
+    }
+    reg->counter(metric::kDetectorEpisodes)->set(episodes);
+    reg->counter(metric::kDetectorRawEpisodes)->set(raw_episodes);
+    reg->counter(metric::kDetectorRefused)->set(refused);
+    obs::Histogram* rtt =
+        reg->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000});
+    for (const auto& ls : result.series) {
+      for (const double ms : ls.far_rtt.ms) rtt->observe(ms);  // NaN = missing round
+    }
+  }
+
   report_progress(end, true);
   return result;
 }

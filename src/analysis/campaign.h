@@ -18,23 +18,53 @@
 
 #include "analysis/scenario.h"
 #include "bdrmap/bdrmap.h"
+#include "obs/metrics.h"
 #include "prober/tslp_driver.h"
 #include "tslp/classifier.h"
 
 namespace ixp::analysis {
 
-/// Cumulative progress of a running campaign, reported at segment
-/// boundaries (membership changes, Table 2 snapshots) and at completion.
+/// Canonical metric names the campaign driver publishes (obs/metrics.h
+/// naming convention).  Consumers -- the fleet metrics table, the chaos
+/// report, tests -- read these instead of carrying parallel counters.
+namespace metric {
+inline constexpr char kRounds[] = "afixp_campaign_rounds_total";
+inline constexpr char kProbesSent[] = "afixp_campaign_probes_sent_total";
+inline constexpr char kProbesLost[] = "afixp_campaign_probes_lost_total";
+inline constexpr char kBdrmapRuns[] = "afixp_campaign_bdrmap_runs_total";
+inline constexpr char kMonitoredLinks[] = "afixp_campaign_monitored_links";
+inline constexpr char kRecordRoutes[] = "afixp_campaign_record_routes_total";
+inline constexpr char kRecordRoutesSymmetric[] =
+    "afixp_campaign_record_routes_symmetric_total";
+inline constexpr char kRelearns[] = "afixp_tslp_relearns_total";  ///< cause="stale"|"loss"
+inline constexpr char kFaultEvents[] = "afixp_faults_events_total";
+inline constexpr char kProbesSuppressed[] = "afixp_faults_probes_suppressed_total";
+inline constexpr char kOutageRounds[] = "afixp_faults_outage_rounds_total";
+inline constexpr char kSimEventsExecuted[] = "afixp_sim_events_executed_total";
+inline constexpr char kSimEventsScheduled[] = "afixp_sim_events_scheduled_total";
+inline constexpr char kQueueHeadroomSkips[] = "afixp_queue_headroom_skips_total";
+inline constexpr char kQueueIntegrationSteps[] = "afixp_queue_integration_steps_total";
+inline constexpr char kQueueTailDrops[] = "afixp_queue_tail_drops_total";
+inline constexpr char kNetForwarded[] = "afixp_net_packets_forwarded_total";
+inline constexpr char kNetDropped[] = "afixp_net_packets_dropped_total";
+inline constexpr char kNetIcmp[] = "afixp_net_icmp_generated_total";
+inline constexpr char kNetHops[] = "afixp_net_hops_walked_total";
+inline constexpr char kDetectorEpisodes[] = "afixp_detector_episodes_total";
+inline constexpr char kDetectorRawEpisodes[] = "afixp_detector_raw_episodes_total";
+inline constexpr char kDetectorRefused[] =
+    "afixp_detector_refused_low_coverage_total";
+inline constexpr char kFarRttMs[] = "afixp_tslp_far_rtt_ms";
+inline constexpr char kSegmentSpan[] = "afixp_campaign_segment_simtime";
+inline constexpr char kWindowSpan[] = "afixp_campaign_window_simtime";
+}  // namespace metric
+
+/// Progress of a running campaign, reported at segment boundaries
+/// (membership changes, Table 2 snapshots) and once with finished=true.
+/// Counts no longer travel in this struct: the campaign publishes them to
+/// CampaignOptions::metrics *before* each callback, so observers read the
+/// registry (see the metric:: names above) for everything quantitative.
 struct CampaignProgress {
-  TimePoint at{};                  ///< simulated time reached
-  std::uint64_t rounds = 0;        ///< TSLP rounds completed so far
-  std::uint64_t probes = 0;        ///< probes sent so far
-  std::uint64_t bdrmap_runs = 0;   ///< border-mapping (re-)discoveries so far
-  std::size_t monitored_links = 0;
-  std::uint64_t fault_events = 0;  ///< topology faults fired so far
-  std::uint64_t outage_rounds = 0; ///< rounds lost to VP outages so far
-  std::uint64_t stale_relearns = 0;  ///< responder-change re-learns so far
-  std::uint64_t loss_relearns = 0;   ///< consecutive-loss re-learns so far
+  TimePoint at{};        ///< simulated time reached
   bool finished = false;
 };
 
@@ -46,9 +76,15 @@ struct CampaignOptions {
   Duration duration_override = Duration(0);
   tslp::ClassifierOptions classifier;
   bool verbose = false;
+  /// Destination registry for the campaign's metrics (not owned; may be
+  /// null to disable all recording).  The campaign is the only writer for
+  /// the duration of the run; counters mirrored from component stats use
+  /// Counter::set(), so values are consistent at every progress callback.
+  obs::Registry* metrics = nullptr;
   /// Invoked on the campaign's own thread at every segment boundary and
-  /// once with finished=true.  The fleet driver (fleet.h) hooks this to
-  /// render live per-VP status; must not touch the runtime.
+  /// once with finished=true, after the registry has been refreshed.  The
+  /// fleet driver (fleet.h) hooks this to render live per-VP status; must
+  /// not touch the runtime.
   std::function<void(const CampaignProgress&)> on_progress;
   /// Optional fault injector (not owned; keep it alive for the run).
   /// Obtain one from attach_fault_plan() so the timeline faults and the
@@ -76,6 +112,7 @@ struct VpCampaignResult {
   std::vector<tslp::LinkSeries> series;   ///< one per monitored link
   std::vector<tslp::LinkReport> reports;  ///< classification of each series
   std::uint64_t probes_sent = 0;          ///< Table 2's "total # traceroutes" role
+  std::uint64_t probes_lost = 0;          ///< round probes sent but unanswered
   std::uint64_t record_routes = 0;        ///< Table 2's "total # record routes"
   std::uint64_t record_routes_symmetric = 0;
   std::uint64_t rounds_completed = 0;     ///< TSLP rounds over the whole campaign

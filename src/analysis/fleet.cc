@@ -54,20 +54,22 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
     opt.on_progress(m);
   };
 
+  // One registry shard per campaign: the owning worker is its only writer,
+  // and the merge below runs after the pool drains, in spec order, so the
+  // merged registry never depends on worker scheduling.
+  std::vector<obs::Registry> shards(specs.size());
+
   ThreadPool pool(out.jobs_used);
   pool.parallel_for(specs.size(), [&](std::size_t i) {
     CampaignMetrics& m = out.metrics[i];  // written only by this worker
     const auto t0 = WallClock::now();
     CampaignOptions copt = opt.campaign;
+    // The shard replaces any caller-supplied registry: a single registry
+    // shared across workers would race, and the fleet merge already
+    // reassembles the whole picture in FleetResult::registry.
+    copt.metrics = opt.collect_metrics ? &shards[i] : nullptr;
     copt.on_progress = [&](const CampaignProgress& p) {
-      m.rounds_completed = p.rounds;
-      m.probes_sent = p.probes;
-      m.bdrmap_runs = p.bdrmap_runs;
-      m.monitored_links = p.monitored_links;
-      m.fault_events = p.fault_events;
-      m.outage_rounds = p.outage_rounds;
-      m.stale_relearns = p.stale_relearns;
-      m.loss_relearns = p.loss_relearns;
+      if (copt.metrics != nullptr) m.counters = *copt.metrics;  // snapshot
       m.wall_seconds = seconds_since(t0);
       if (!p.finished) emit(m);  // the finished event fires below, with RSS
     };
@@ -85,22 +87,22 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
       copt.faults = faults.get();
     }
     auto result = run_campaign(*rt, specs[i], copt);
-    m.rounds_completed = result.rounds_completed;
-    m.probes_sent = result.probes_sent;
-    m.bdrmap_runs = result.bdrmap_runs;
-    m.monitored_links = result.series.size();
-    m.fault_events = result.fault_events;
-    m.probes_suppressed = result.probes_suppressed;
-    m.outage_rounds = result.outage_rounds;
-    m.stale_relearns = result.stale_relearns;
-    m.loss_relearns = result.loss_relearns;
+    if (copt.metrics != nullptr) m.counters = *copt.metrics;  // final snapshot
     m.wall_seconds = seconds_since(t0);
-    m.probes_per_sec = m.wall_seconds > 0 ? static_cast<double>(m.probes_sent) / m.wall_seconds : 0;
+    m.probes_per_sec =
+        m.wall_seconds > 0 ? static_cast<double>(m.probes_sent()) / m.wall_seconds : 0;
     m.peak_rss_kb = peak_rss_kb_now();
     m.finished = true;
     out.results[i] = std::move(result);
     emit(m);
   });
+
+  // Merge in spec order: labelled per-VP copies first, then the unlabelled
+  // fleet-wide sums.  Deterministic for any job count by construction.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out.registry.merge_from(shards[i], specs[i].vp_name);
+    out.registry.merge_from(shards[i]);
+  }
 
   out.wall_seconds = seconds_since(fleet_t0);
   return out;
@@ -121,8 +123,8 @@ void FleetStatusPrinter::operator()(const CampaignMetrics& m) {
       m.finished
           ? strformat("[%s ok %.1fs]", m.vp_name.c_str(), m.wall_seconds)
           : strformat("[%s %llur %sp]", m.vp_name.c_str(),
-                      static_cast<unsigned long long>(m.rounds_completed),
-                      human_count(static_cast<double>(m.probes_sent)).c_str());
+                      static_cast<unsigned long long>(m.rounds_completed()),
+                      human_count(static_cast<double>(m.probes_sent())).c_str());
   render();
 }
 
@@ -151,13 +153,13 @@ void print_fleet_metrics(std::ostream& out, const FleetResult& fleet) {
   for (const auto& m : fleet.metrics) {
     out << strformat("%-5s %9llu %10s %10s %7llu %6zu %7llu %7s %8llu %7.1fs %7ldMB\n",
                      m.vp_name.c_str(),
-                     static_cast<unsigned long long>(m.rounds_completed),
-                     human_count(static_cast<double>(m.probes_sent)).c_str(),
+                     static_cast<unsigned long long>(m.rounds_completed()),
+                     human_count(static_cast<double>(m.probes_sent())).c_str(),
                      human_count(m.probes_per_sec).c_str(),
-                     static_cast<unsigned long long>(m.bdrmap_runs), m.monitored_links,
-                     static_cast<unsigned long long>(m.fault_events),
-                     human_count(static_cast<double>(m.probes_suppressed)).c_str(),
-                     static_cast<unsigned long long>(m.stale_relearns + m.loss_relearns),
+                     static_cast<unsigned long long>(m.bdrmap_runs()), m.monitored_links(),
+                     static_cast<unsigned long long>(m.fault_events()),
+                     human_count(static_cast<double>(m.probes_suppressed())).c_str(),
+                     static_cast<unsigned long long>(m.stale_relearns() + m.loss_relearns()),
                      m.wall_seconds, m.peak_rss_kb / 1024);
   }
   out << strformat("fleet: %d job%s, %.1fs wall\n", fleet.jobs_used,

@@ -23,26 +23,49 @@
 
 namespace ixp::analysis {
 
-/// Per-campaign run metrics, updated while the campaign progresses and
-/// finalized when it completes.  Host-side observability only: nothing in
-/// here feeds back into the (deterministic) simulation.
+/// Per-campaign run metrics: a snapshot of the campaign's obs::Registry
+/// shard plus the host-side values no deterministic registry may carry
+/// (wall clock, RSS).  The quantitative accessors are views over the
+/// snapshot -- one source of truth, shared with `--metrics-out` exports.
+/// Host-side observability only: nothing in here feeds back into the
+/// (deterministic) simulation.
 struct CampaignMetrics {
   std::string vp_name;
-  std::size_t vp_index = 0;           ///< position in the spec list
-  std::uint64_t rounds_completed = 0; ///< TSLP rounds so far
-  std::uint64_t probes_sent = 0;
-  std::uint64_t bdrmap_runs = 0;      ///< discovery + membership re-runs
-  std::size_t monitored_links = 0;
-  double wall_seconds = 0.0;          ///< host wall-clock of this campaign
-  double probes_per_sec = 0.0;        ///< probes_sent / wall_seconds
-  long peak_rss_kb = 0;               ///< process peak RSS, sampled at completion
-  // Fault/retry accounting (zero unless a fault plan was attached).
-  std::uint64_t fault_events = 0;       ///< topology fault events fired
-  std::uint64_t probes_suppressed = 0;  ///< probes not sent (outages/bursts)
-  std::uint64_t outage_rounds = 0;      ///< whole rounds lost to VP outages
-  std::uint64_t stale_relearns = 0;     ///< responder-change re-learns
-  std::uint64_t loss_relearns = 0;      ///< consecutive-loss re-learns
+  std::size_t vp_index = 0;      ///< position in the spec list
+  obs::Registry counters;        ///< snapshot of the campaign's registry shard
+  double wall_seconds = 0.0;     ///< host wall-clock of this campaign
+  double probes_per_sec = 0.0;   ///< probes_sent() / wall_seconds
+  long peak_rss_kb = 0;          ///< process peak RSS, sampled at completion
   bool finished = false;
+
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return counters.counter_value(metric::kRounds);
+  }
+  [[nodiscard]] std::uint64_t probes_sent() const {
+    return counters.counter_value(metric::kProbesSent);
+  }
+  [[nodiscard]] std::uint64_t bdrmap_runs() const {
+    return counters.counter_value(metric::kBdrmapRuns);
+  }
+  [[nodiscard]] std::size_t monitored_links() const {
+    return static_cast<std::size_t>(counters.gauge_value(metric::kMonitoredLinks));
+  }
+  // Fault/retry accounting (zero unless a fault plan was attached).
+  [[nodiscard]] std::uint64_t fault_events() const {
+    return counters.counter_value(metric::kFaultEvents);
+  }
+  [[nodiscard]] std::uint64_t probes_suppressed() const {
+    return counters.counter_value(metric::kProbesSuppressed);
+  }
+  [[nodiscard]] std::uint64_t outage_rounds() const {
+    return counters.counter_value(metric::kOutageRounds);
+  }
+  [[nodiscard]] std::uint64_t stale_relearns() const {
+    return counters.counter_value(metric::kRelearns, "cause=\"stale\"");
+  }
+  [[nodiscard]] std::uint64_t loss_relearns() const {
+    return counters.counter_value(metric::kRelearns, "cause=\"loss\"");
+  }
 };
 
 /// Receives a snapshot of one campaign's metrics whenever it progresses.
@@ -56,6 +79,11 @@ struct FleetOptions {
   /// else hardware concurrency; always clamped to the fleet size.
   int jobs = 0;
   FleetProgressFn on_progress;
+  /// Give each campaign its own obs::Registry shard and merge them into
+  /// FleetResult::registry.  On by default; benches that measure the
+  /// instrumentation-free hot path turn it off, which leaves every
+  /// CampaignMetrics accessor reading zero.
+  bool collect_metrics = true;
   /// When set (and non-empty), every campaign runs under this fault plan:
   /// each worker expands it with a per-VP seed derived from `fault_seed`
   /// and the spec index, so results stay independent of the job count.
@@ -66,6 +94,11 @@ struct FleetOptions {
 struct FleetResult {
   std::vector<VpCampaignResult> results;  ///< spec order
   std::vector<CampaignMetrics> metrics;   ///< spec order
+  /// Fleet-wide registry: per-VP shards merged in *spec order* after the
+  /// pool drains -- once as `vp="<name>"`-labelled copies and once into the
+  /// unlabelled fleet totals -- so the merged contents (and any
+  /// `--metrics-out` export of them) are byte-identical for any --jobs.
+  obs::Registry registry;
   int jobs_used = 1;
   double wall_seconds = 0.0;              ///< whole-fleet wall clock
 };

@@ -1,0 +1,45 @@
+// Registry exporters: the `afixp-obs/1` JSON document and the Prometheus
+// text exposition format.
+//
+// Both walk the registry in (name, labels) order and format every value
+// with a fixed printf conversion, so the bytes they emit are a pure
+// function of the registry contents -- `afixp tables --jobs 8
+// --metrics-out=m.json` writes the same file as `--jobs 1` (pinned by
+// tests/test_fleet.cc and tools/check_metrics.sh).
+//
+// JSON shape:
+//
+//   {
+//     "schema": "afixp-obs/1",
+//     "counters":   [{"name": ..., "labels": ..., "value": N}, ...],
+//     "gauges":     [{"name": ..., "labels": ..., "value": X}, ...],
+//     "histograms": [{"name": ..., "labels": ..., "bounds": [...],
+//                     "counts": [...], "count": N, "sum": X}, ...],
+//     "spans":      [{"name": ..., "labels": ..., "count": N,
+//                     "simtime_ns": N}, ...]
+//   }
+//
+// The Prometheus writer renders counters/gauges natively, histograms as
+// cumulative `_bucket{le=...}` series plus `_sum`/`_count`, and spans as a
+// `_count` counter plus a `_simtime_seconds_total` counter (simulated
+// seconds, not wall time).
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+
+namespace ixp::obs {
+
+/// Writes the `afixp-obs/1` JSON document.
+void write_json(std::ostream& out, const Registry& reg);
+
+/// Writes the Prometheus text exposition format.
+void write_prometheus(std::ostream& out, const Registry& reg);
+
+/// Dispatches on the path suffix: `.prom` / `.txt` get the Prometheus text
+/// format, everything else the JSON document.  Returns false when the file
+/// cannot be written.
+bool write_to_file(const std::string& path, const Registry& reg);
+
+}  // namespace ixp::obs

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ixp::obs {
+
+namespace {
+
+// Mismatched bucket boundaries in a merge mean two shards registered the
+// "same" histogram differently; summing their buckets would be silently
+// meaningless, so this is checked unconditionally at merge time.
+void require_same_bounds(const MetricId& id, const Histogram& into, const Histogram& from) {
+  if (into.bounds() == from.bounds()) return;
+  ixp::detail::check_failed(
+      __FILE__, __LINE__, "into.bounds() == from.bounds()",
+      strformat("histogram '%s' merged with mismatched bucket bounds (%zu vs %zu edges)",
+                id.full().c_str(), into.bounds().size(), from.bounds().size()));
+}
+
+MetricId with_vp(const MetricId& id, const std::string* vp) {
+  if (vp == nullptr) return id;
+  MetricId out;
+  out.name = id.name;
+  const std::string tag = strformat("vp=\"%s\"", vp->c_str());
+  out.labels = id.labels.empty() ? tag : tag + "," + id.labels;
+  return out;
+}
+
+}  // namespace
+
+std::string MetricId::full() const {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  IXP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+            "histogram bucket bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  if (std::isnan(x)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& labels) {
+  return &counters_[MetricId{name, labels}];
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& labels) {
+  return &gauges_[MetricId{name, labels}];
+}
+
+Histogram* Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const std::string& labels) {
+  const MetricId id{name, labels};
+  auto it = histograms_.find(id);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(id, Histogram(std::move(bounds))).first;
+  }
+  return &it->second;
+}
+
+Span* Registry::span(const std::string& name, const std::string& labels) {
+  return &spans_[MetricId{name, labels}];
+}
+
+std::uint64_t Registry::counter_value(const std::string& name, const std::string& labels) const {
+  const auto it = counters_.find(MetricId{name, labels});
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double Registry::gauge_value(const std::string& name, const std::string& labels) const {
+  const auto it = gauges_.find(MetricId{name, labels});
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+void Registry::merge_from(const Registry& other) { merge_labeled(other, nullptr); }
+
+void Registry::merge_from(const Registry& other, const std::string& vp) {
+  merge_labeled(other, &vp);
+}
+
+void Registry::merge_labeled(const Registry& other, const std::string* vp) {
+  for (const auto& [id, c] : other.counters_) {
+    counters_[with_vp(id, vp)].add(c.value());
+  }
+  for (const auto& [id, g] : other.gauges_) {
+    gauges_[with_vp(id, vp)].set(g.value());
+  }
+  for (const auto& [id, h] : other.histograms_) {
+    const MetricId key = with_vp(id, vp);
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      histograms_.emplace(key, h);
+      continue;
+    }
+    Histogram& into = it->second;
+    require_same_bounds(key, into, h);
+    for (std::size_t i = 0; i < h.counts_.size(); ++i) into.counts_[i] += h.counts_[i];
+    into.count_ += h.count_;
+    into.sum_ += h.sum_;
+  }
+  for (const auto& [id, s] : other.spans_) {
+    spans_[with_vp(id, vp)].record(s.total(), s.count());
+  }
+}
+
+}  // namespace ixp::obs

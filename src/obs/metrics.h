@@ -1,0 +1,191 @@
+// Observability layer: a deterministic metrics registry plus trace spans.
+//
+// The registry holds four metric kinds, all with exact, replayable values:
+//
+//   * Counter   -- monotone uint64 (probes sent, relearns, tail drops);
+//   * Gauge     -- a point-in-time double (monitored links right now);
+//   * Histogram -- fixed-bucket distribution (far-side RTT in ms): bucket
+//     boundaries are decided at registration, so two runs of the same
+//     workload always fill the same buckets;
+//   * Span      -- an aggregated timer: per span *name*, the number of
+//     times the span ran and the total *simulated* time it covered.  No
+//     wall-clock value ever enters a span, so registry contents are a pure
+//     function of (seed, plan, workload) and byte-identical across hosts
+//     and job counts.
+//
+// Instrumentation contract (see docs/ARCHITECTURE.md "Observability"):
+// hot paths never talk to a registry.  They bump plain struct counters
+// (sim::FluidQueue, sim::Simulator, prober::TslpDriver) that cost one add;
+// the campaign driver *scrapes* those into its per-VP registry at segment
+// boundaries.  A null registry pointer disables recording entirely, so the
+// disabled path is one pointer test at scrape sites and nothing at all on
+// the per-probe path.
+//
+// Naming convention: `afixp_<subsystem>_<quantity>[_total]` -- counters end
+// in `_total`, histograms carry their unit (`_ms`), spans end in
+// `_simtime`.  Labels are a single `key="value"` list; the fleet merge uses
+// `vp="<name>"` to shard per-campaign copies next to the fleet-wide sums.
+//
+// Exporters live in obs/export.h (JSON schema `afixp-obs/1`, Prometheus
+// text format); both emit metrics sorted by (name, labels), so output is
+// deterministic regardless of registration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ixp::obs {
+
+/// Sort key of one metric: name plus an optional Prometheus-style label
+/// list (e.g. `cause="stale"`), kept separate so exporters can re-assemble
+/// `name{labels}` and group TYPE lines by bare name.
+struct MetricId {
+  std::string name;
+  std::string labels;
+
+  bool operator<(const MetricId& o) const {
+    if (name != o.name) return name < o.name;
+    return labels < o.labels;
+  }
+  bool operator==(const MetricId& o) const { return name == o.name && labels == o.labels; }
+  /// `name` or `name{labels}`.
+  [[nodiscard]] std::string full() const;
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  /// Scrape-style update: components that keep their own monotone counters
+  /// (sim stats, prober totals) are mirrored with set(), not add(), so
+  /// re-scraping at every boundary stays idempotent.
+  void set(std::uint64_t v) { v_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Fixed-bucket histogram.  `bounds` are upper bucket edges (a sample lands
+/// in the first bucket whose bound is >= the sample); one implicit +Inf
+/// bucket catches the rest, so counts().size() == bounds().size() + 1.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  /// NaN observations are ignored (missing TSLP rounds are not samples).
+  void observe(double x);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  friend class Registry;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Aggregated timer over *simulated* time: how many times a named region
+/// ran, and how much simulated time it covered in total.
+class Span {
+ public:
+  void record(Duration sim_elapsed, std::uint64_t n = 1) {
+    total_ += sim_elapsed;
+    count_ += n;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] Duration total() const { return total_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  Duration total_{};
+};
+
+/// RAII helper: measures one region against a caller-supplied simulated
+/// clock (any callable returning TimePoint).  A null span disarms it -- the
+/// disabled path is one pointer test per scope.
+template <typename ClockFn>
+class ScopedSpan {
+ public:
+  ScopedSpan(Span* span, ClockFn clock)
+      : span_(span), clock_(std::move(clock)), t0_(span_ != nullptr ? clock_() : TimePoint{}) {}
+  ~ScopedSpan() {
+    if (span_ != nullptr) span_->record(clock_() - t0_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Span* span_;
+  ClockFn clock_;
+  TimePoint t0_;
+};
+
+/// The metrics registry.  Find-or-create accessors return stable pointers
+/// (storage is node-based); handles are only invalidated by copying the
+/// registry, which is reserved for snapshots handed across threads.
+///
+/// Registries are single-writer: each campaign owns one and writes from its
+/// own worker thread; the fleet merges the shards in spec order afterwards,
+/// which keeps every merged value (including floating-point histogram sums)
+/// byte-identical for any --jobs count.
+class Registry {
+ public:
+  Counter* counter(const std::string& name, const std::string& labels = {});
+  Gauge* gauge(const std::string& name, const std::string& labels = {});
+  /// `bounds` must be strictly increasing; they are fixed at first
+  /// registration (later calls with the same id ignore `bounds`).
+  Histogram* histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& labels = {});
+  Span* span(const std::string& name, const std::string& labels = {});
+
+  /// Read-side lookups for views (fleet metrics table): absent ids read as
+  /// zero, so views never create metrics.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name,
+                                            const std::string& labels = {}) const;
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   const std::string& labels = {}) const;
+
+  /// Combines `other` into this registry: counters and spans add, histogram
+  /// buckets add (bounds must match), gauges take the other side's value.
+  void merge_from(const Registry& other);
+  /// Same, but every incoming metric gains a leading `vp="<vp>"` label --
+  /// the fleet's per-campaign shard copies.
+  void merge_from(const Registry& other, const std::string& vp);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() && spans_.empty();
+  }
+
+  [[nodiscard]] const std::map<MetricId, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<MetricId, Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<MetricId, Histogram>& histograms() const { return histograms_; }
+  [[nodiscard]] const std::map<MetricId, Span>& spans() const { return spans_; }
+
+ private:
+  void merge_labeled(const Registry& other, const std::string* vp);
+
+  std::map<MetricId, Counter> counters_;
+  std::map<MetricId, Gauge> gauges_;
+  std::map<MetricId, Histogram> histograms_;
+  std::map<MetricId, Span> spans_;
+};
+
+}  // namespace ixp::obs

@@ -100,6 +100,7 @@ std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& 
           fo.ttl = static_cast<std::uint8_t>(s.far_ttl);
           fo.event_mode = cfg_.event_mode;
           const ProbeOutcome far = prober_->probe(s.target.far_ip, fo);
+          if (!far.answered) ++probes_lost_;
           if (far.answered) {
             // A response from a different address means the path moved and
             // the configured TTL now expires at some other router: the
@@ -119,6 +120,7 @@ std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& 
           no.ttl = static_cast<std::uint8_t>(s.far_ttl - 1);
           no.event_mode = cfg_.event_mode;
           const ProbeOutcome near = prober_->probe(s.target.far_ip, no);
+          if (!near.answered) ++probes_lost_;
           if (near.answered) {
             near_answered = true;
             // The near probe normally expires at the near router but on a

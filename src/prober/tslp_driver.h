@@ -75,6 +75,9 @@ class TslpDriver {
   /// probe was answered, but by the wrong router — the route moved under
   /// the monitor, so the configured TTL no longer lands on this link.
   [[nodiscard]] std::uint64_t stale_relearns() const { return stale_relearns_; }
+  /// Round probes (near or far) that were sent but never answered.  Fault
+  /// suppressions are not counted: those probes were never on the wire.
+  [[nodiscard]] std::uint64_t probes_lost() const { return probes_lost_; }
 
  private:
   Prober* prober_;
@@ -83,6 +86,7 @@ class TslpDriver {
   std::uint64_t rr_symmetric_ = 0;
   std::uint64_t loss_relearns_ = 0;
   std::uint64_t stale_relearns_ = 0;
+  std::uint64_t probes_lost_ = 0;
 };
 
 struct LossConfig {

@@ -45,6 +45,7 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t scheduled() const { return next_seq_; }
 
  private:
   struct Entry {

@@ -58,6 +58,11 @@ class DuplexLink {
 
   /// Queue for the direction leaving node `from`.
   FluidQueue& queue_from(NodeId from) { return from == a_ ? ab_ : ba_; }
+  [[nodiscard]] const FluidQueue& queue_from(NodeId from) const {
+    return from == a_ ? ab_ : ba_;
+  }
+  [[nodiscard]] const FluidQueue& queue_ab() const { return ab_; }
+  [[nodiscard]] const FluidQueue& queue_ba() const { return ba_; }
 
   [[nodiscard]] bool is_up() const { return up_; }
   void set_up(bool up) { up_ = up; }

@@ -323,4 +323,16 @@ ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
   return res;
 }
 
+FluidQueue::Stats Network::queue_stats() const {
+  FluidQueue::Stats total;
+  for (const auto& l : links_) {
+    for (const FluidQueue* q : {&l->queue_ab(), &l->queue_ba()}) {
+      total.headroom_skips += q->stats().headroom_skips;
+      total.integration_steps += q->stats().integration_steps;
+      total.tail_drops += q->stats().tail_drops;
+    }
+  }
+  return total;
+}
+
 }  // namespace ixp::sim

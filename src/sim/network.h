@@ -108,6 +108,10 @@ class Network {
   std::uint64_t icmp_generated = 0;
   std::uint64_t hops_walked = 0;  ///< link crossings, event-mode and analytic
 
+  /// Sum of FluidQueue::Stats over every queue (both directions of every
+  /// link).  Scraped into the observability registry at campaign end.
+  [[nodiscard]] FluidQueue::Stats queue_stats() const;
+
  private:
   friend class Router;
   friend class Host;

@@ -26,6 +26,7 @@ void FluidQueue::advance(TimePoint t) {
     // compute dq <= 0 and clamp straight back to 0.0, so the whole
     // integration is a no-op.  Jump the clock instead of evaluating the
     // profile -- the resulting state is bit-identical.
+    ++stats_.headroom_skips;
     last_ = t;
     return;
   }
@@ -44,6 +45,7 @@ void FluidQueue::advance(TimePoint t) {
   std::int64_t step_ns = max_step_ns;
   if (remaining / step_ns > steps_cap) step_ns = remaining / steps_cap;
   while (remaining > 0) {
+    ++stats_.integration_steps;
     const std::int64_t dt_ns = std::min(remaining, step_ns);
     const TimePoint mid = last_ + Duration(dt_ns / 2);
     const double lambda = cfg_.cross_traffic->bps(mid);
@@ -87,7 +89,10 @@ double FluidQueue::drop_probability(TimePoint t) {
 
 bool FluidQueue::enqueue(TimePoint t, std::uint32_t size_bytes) {
   advance(t);
-  if (backlog_ + size_bytes > cfg_.buffer_bytes) return false;
+  if (backlog_ + size_bytes > cfg_.buffer_bytes) {
+    ++stats_.tail_drops;
+    return false;
+  }
   backlog_ += size_bytes;
   check_backlog(backlog_, cfg_.buffer_bytes);
   return true;

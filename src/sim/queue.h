@@ -66,11 +66,23 @@ class FluidQueue {
   /// (possibly new) buffer.
   void set_capacity(TimePoint t, double capacity_bps, double buffer_bytes);
 
+  /// Always-on observability counters (a single add per event, no registry
+  /// dependency on this hot path; the analysis layer scrapes them into its
+  /// obs::Registry at segment boundaries -- see src/obs/metrics.h).
+  struct Stats {
+    std::uint64_t headroom_skips = 0;     ///< advance() calls short-circuited
+                                          ///< by the never_congests_ proof
+    std::uint64_t integration_steps = 0;  ///< fluid sub-steps actually run
+    std::uint64_t tail_drops = 0;         ///< enqueue() rejections
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
  private:
   void advance(TimePoint t);
   void refresh_headroom();
 
   Config cfg_;
+  Stats stats_;
   TimePoint last_{};
   double backlog_ = 0.0;  ///< bytes
   /// True when the profile's max_bps() bound proves lambda(t) can never

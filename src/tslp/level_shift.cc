@@ -109,7 +109,10 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
   // most of the window) cannot support any verdict.
   out.coverage = series.coverage();
   out.gaps = find_gaps(series, std::max<std::size_t>(1, opts_.gap_min_run));
-  if (out.coverage < opts_.min_coverage) return out;
+  if (out.coverage < opts_.min_coverage) {
+    out.refused_low_coverage = true;
+    return out;
+  }
 
   // Baseline: the 10th percentile of the whole series is a robust estimate
   // of the uncongested RTT floor.
@@ -193,6 +196,7 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
     }
     return true;
   };
+  out.raw_episode_count = raw.size();
   const std::vector<Episode> merged = sanitize_episodes(
       std::move(raw), gap_samples,
       opts_.bridge_gaps

@@ -89,6 +89,12 @@ struct LevelShiftResult {
   std::vector<SeriesGap> gaps;        ///< missing runs >= gap_min_run
   std::vector<stats::Segment> segments;
   std::vector<Episode> episodes;      ///< sanitized, duration-filtered
+  /// Elevated segments that qualified as episodes before sanitization
+  /// merged them; episodes.size() <= raw_episode_count always holds.
+  std::size_t raw_episode_count = 0;
+  /// True when the series was too dark to judge (coverage < min_coverage)
+  /// and the detector refused to emit any verdict.
+  bool refused_low_coverage = false;
 
   [[nodiscard]] bool any() const { return !episodes.empty(); }
   /// Average episode magnitude (the paper's A_w); NaN if no episodes.

@@ -2,14 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+
+#include "util/env.h"
 
 namespace ixp::detail {
 
-bool paranoid_env_enabled() {
-  const char* v = std::getenv("IXP_PARANOID");
-  return v != nullptr && std::strcmp(v, "0") != 0;
-}
+bool paranoid_env_enabled() { return env::flag("IXP_PARANOID"); }
 
 void check_failed(const char* file, int line, const char* expr, const std::string& msg) {
   std::fprintf(stderr, "%s:%d: IXP_CHECK(%s) failed: %s\n", file, line, expr, msg.c_str());

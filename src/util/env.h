@@ -1,0 +1,49 @@
+// Consolidated IXP_* environment-knob access.
+//
+// Every environment variable a compiled binary reads goes through this
+// module: each knob is declared once in the registry table in env.cc
+// (tools/check_docs.sh lints that table against README's env-knob table,
+// and rejects any getenv("IXP_...") call outside this file), and its value
+// is read from the process environment exactly once -- the first access
+// caches, later setenv() calls are invisible.  Tests that mutate the
+// environment call refresh_for_tests() to drop the cache.
+//
+// Accessing a knob that is not in the registry aborts: an undeclared knob
+// is an undocumented knob, and the point of the registry is that the two
+// cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ixp::env {
+
+/// One declared knob; `summary` feeds --help text and the docs lint.
+struct Knob {
+  const char* name;
+  const char* summary;
+};
+
+/// The full registry, in declaration order.
+const std::vector<Knob>& known_knobs();
+
+/// Raw value of a declared knob; nullopt when unset.
+std::optional<std::string> string_value(const char* name);
+
+/// True when the knob is set to anything other than "0" (the repo-wide
+/// convention for boolean knobs: IXP_FAST, IXP_PARANOID).
+bool flag(const char* name);
+
+/// Parsed numeric value; nullopt when unset or unparsable (callers fall
+/// back to their defaults, matching the pre-consolidation behaviour).
+std::optional<std::int64_t> int_value(const char* name);
+std::optional<double> double_value(const char* name);
+
+/// Drops the cache so the next access re-reads the process environment.
+/// For tests that setenv()/unsetenv() around assertions; production code
+/// relies on the one-time parse.
+void refresh_for_tests();
+
+}  // namespace ixp::env

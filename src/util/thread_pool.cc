@@ -1,8 +1,6 @@
 #include "util/thread_pool.h"
 
-#include <cstdlib>
-
-#include "util/strings.h"
+#include "util/env.h"
 
 namespace ixp {
 
@@ -101,10 +99,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 int ThreadPool::resolve_jobs(int requested, std::size_t fleet_size) {
   int jobs = requested;
   if (jobs <= 0) {
-    if (const char* env = std::getenv("IXP_JOBS")) {
-      double v = 0;
-      if (parse_double(env, v)) jobs = static_cast<int>(v);
-    }
+    if (const auto v = env::int_value("IXP_JOBS")) jobs = static_cast<int>(*v);
   }
   if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
   if (jobs <= 0) jobs = 1;

@@ -13,6 +13,8 @@
 #include "analysis/africa.h"
 #include "analysis/fleet.h"
 #include "analysis/tables.h"
+#include "obs/export.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace ixp::analysis {
@@ -91,17 +93,23 @@ TEST(ThreadPool, MoreThreadsThanTasks) {
 }
 
 TEST(ThreadPool, ResolveJobsClampsAndReadsEnv) {
+  // env:: caches its first read, so every setenv/unsetenv must be followed
+  // by a refresh before resolve_jobs can see the new value.
   unsetenv("IXP_JOBS");
+  env::refresh_for_tests();
   EXPECT_EQ(ThreadPool::resolve_jobs(4, 6), 4);
   EXPECT_EQ(ThreadPool::resolve_jobs(16, 6), 6);   // clamp to fleet size
   EXPECT_GE(ThreadPool::resolve_jobs(0, 6), 1);    // auto is at least 1
   setenv("IXP_JOBS", "3", 1);
+  env::refresh_for_tests();
   EXPECT_EQ(ThreadPool::resolve_jobs(0, 6), 3);    // env fills in auto
   EXPECT_EQ(ThreadPool::resolve_jobs(0, 2), 2);    // still clamped
   EXPECT_EQ(ThreadPool::resolve_jobs(5, 6), 5);    // explicit beats env
   setenv("IXP_JOBS", "garbage", 1);
+  env::refresh_for_tests();
   EXPECT_GE(ThreadPool::resolve_jobs(0, 6), 1);    // unparsable -> hardware
   unsetenv("IXP_JOBS");
+  env::refresh_for_tests();
 }
 
 // ---------------------------------------------------------------------------
@@ -166,18 +174,56 @@ TEST(Fleet, MetricsArePopulatedInSpecOrder) {
     EXPECT_EQ(m.vp_name, specs[i].vp_name);
     EXPECT_EQ(m.vp_index, i);
     EXPECT_TRUE(m.finished);
-    EXPECT_GT(m.rounds_completed, 0u);
-    EXPECT_GT(m.probes_sent, 0u);
-    EXPECT_GE(m.bdrmap_runs, 1u);
-    EXPECT_GT(m.monitored_links, 0u);
+    EXPECT_GT(m.rounds_completed(), 0u);
+    EXPECT_GT(m.probes_sent(), 0u);
+    EXPECT_GE(m.bdrmap_runs(), 1u);
+    EXPECT_GT(m.monitored_links(), 0u);
     EXPECT_GT(m.peak_rss_kb, 0);
-    EXPECT_EQ(m.probes_sent, fleet.results[i].probes_sent);
-    EXPECT_EQ(m.rounds_completed, fleet.results[i].rounds_completed);
-    EXPECT_EQ(m.bdrmap_runs, fleet.results[i].bdrmap_runs);
+    EXPECT_EQ(m.probes_sent(), fleet.results[i].probes_sent);
+    EXPECT_EQ(m.rounds_completed(), fleet.results[i].rounds_completed);
+    EXPECT_EQ(m.bdrmap_runs(), fleet.results[i].bdrmap_runs);
   }
   // At minimum the six finished events fired; boundary events add more.
   EXPECT_GE(progress_events.load(), static_cast<int>(specs.size()));
   EXPECT_GT(fleet.wall_seconds, 0.0);
+}
+
+TEST(Fleet, RegistryExportIsByteIdenticalAcrossJobCounts) {
+  // The determinism guarantee behind `--metrics-out`: the merged fleet
+  // registry, rendered by either exporter, is a pure function of the
+  // workload -- the job count must never leak into the bytes.
+  const auto specs = make_all_vps();
+  std::string want;
+  for (const int jobs : {1, 3}) {
+    FleetOptions fopt;
+    fopt.campaign.round_interval = kMinute * 60;
+    fopt.campaign.duration_override = kDay * 7;
+    fopt.jobs = jobs;
+    const auto fleet = run_fleet(specs, fopt);
+
+    // The fleet-wide sums must agree with the per-VP results.
+    std::uint64_t probes = 0;
+    for (const auto& r : fleet.results) probes += r.probes_sent;
+    EXPECT_EQ(fleet.registry.counter_value(metric::kProbesSent), probes);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::string vp_label = "vp=\"" + specs[i].vp_name + "\"";
+      EXPECT_EQ(fleet.registry.counter_value(metric::kProbesSent, vp_label),
+                fleet.results[i].probes_sent)
+          << specs[i].vp_name;
+    }
+
+    std::ostringstream json, prom;
+    obs::write_json(json, fleet.registry);
+    obs::write_prometheus(prom, fleet.registry);
+    ASSERT_FALSE(json.str().empty());
+    ASSERT_FALSE(prom.str().empty());
+    const std::string both = json.str() + "\n---\n" + prom.str();
+    if (want.empty()) {
+      want = both;
+    } else {
+      EXPECT_EQ(both, want) << "jobs=" << jobs;
+    }
+  }
 }
 
 }  // namespace

@@ -20,7 +20,6 @@
 //       run the six VP campaigns under a named fault plan and score the
 //       classifier against the engineered ground truth (precision/recall
 //       under measurement pathologies; see EXPERIMENTS.md).
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -33,8 +32,10 @@
 #include "analysis/report.h"
 #include "analysis/selftest.h"
 #include "analysis/tables.h"
+#include "obs/export.h"
 #include "prober/warts_lite.h"
 #include "tslp/classifier.h"
+#include "util/env.h"
 #include "util/fault_plan.h"
 #include "util/flags.h"
 #include "util/strings.h"
@@ -43,8 +44,8 @@ namespace {
 
 using namespace ixp;
 
-// Keep this list in sync with README "Environment knobs" (tools/check_docs.sh
-// cross-checks the two).
+// Keep this list in sync with README "Environment knobs" and the knob
+// registry in src/util/env.cc (tools/check_docs.sh cross-checks them).
 constexpr const char* kEnvHelp =
     "environment knobs:\n"
     "  IXP_ROUND_MINUTES  TSLP probing cadence in minutes for table/bench\n"
@@ -59,7 +60,32 @@ constexpr const char* kEnvHelp =
     "                     bounds, series indexing) in every component\n"
     "  IXP_FAULT_PLAN     default fault plan name for `afixp chaos` when\n"
     "                     --plan is absent (else 'default'); see\n"
-    "                     `afixp chaos --list-plans`\n";
+    "                     `afixp chaos --list-plans`\n"
+    "  IXP_METRICS        default --metrics-out path for campaign/tables/\n"
+    "                     chaos when the flag is absent (.prom/.txt writes\n"
+    "                     Prometheus text, anything else afixp-obs/1 JSON)\n";
+
+/// --metrics-out flag value, falling back to the IXP_METRICS knob.  Empty
+/// means "do not export".
+std::string resolve_metrics_out(const Flags& flags) {
+  const std::string path = flags.get_string("metrics-out");
+  if (!path.empty()) return path;
+  return env::string_value("IXP_METRICS").value_or("");
+}
+
+/// Exports `reg` to `path` if non-empty; reports failures on stderr.
+int export_metrics(const std::string& path, const obs::Registry& reg) {
+  if (path.empty()) return 0;
+  if (!obs::write_to_file(path, reg)) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return 1;
+  }
+  // Status goes to stderr like the fleet progress lines: stdout carries
+  // only the tables/report, which must stay byte-identical regardless of
+  // where (or whether) metrics are written.
+  std::cerr << "metrics: " << path << "\n";
+  return 0;
+}
 
 int cmd_campaign(int argc, const char* const* argv) {
   Flags flags("afixp campaign", "run one of the paper's six VP campaigns");
@@ -68,6 +94,8 @@ int cmd_campaign(int argc, const char* const* argv) {
   flags.add_int("round-minutes", 15, "TSLP probing cadence");
   flags.add_string("out", "", "warts-lite capture path (empty = no capture)");
   flags.add_string("report", "", "Markdown report path (empty = stdout summary only)");
+  flags.add_string("metrics-out", "",
+                   "metrics registry export path (default IXP_METRICS; empty = off)");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -87,6 +115,9 @@ int cmd_campaign(int argc, const char* const* argv) {
   analysis::CampaignOptions opt;
   opt.round_interval = kMinute * flags.get_int("round-minutes");
   if (flags.get_int("days") > 0) opt.duration_override = kDay * flags.get_int("days");
+  obs::Registry metrics_reg;
+  const std::string metrics_out = resolve_metrics_out(flags);
+  if (!metrics_out.empty()) opt.metrics = &metrics_reg;
   const auto result = analysis::run_campaign(*rt, spec, opt);
 
   std::cout << spec.vp_name << " at " << spec.ixp.name << ": " << result.series.size()
@@ -114,7 +145,7 @@ int cmd_campaign(int argc, const char* const* argv) {
     analysis::write_report(f, spec, result, ropt);
     std::cout << "report: " << rep << "\n";
   }
-  return 0;
+  return export_metrics(metrics_out, metrics_reg);
 }
 
 int cmd_analyze(int argc, const char* const* argv) {
@@ -159,6 +190,9 @@ int cmd_tables(int argc, const char* const* argv) {
   flags.add_int("round-minutes", 30, "TSLP probing cadence");
   flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
   flags.add_string("report", "", "write the combined multi-VP Markdown report here");
+  flags.add_string("metrics-out", "",
+                   "fleet metrics registry export path (default IXP_METRICS; empty = off); "
+                   "byte-identical for any --jobs");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -203,7 +237,7 @@ int cmd_tables(int argc, const char* const* argv) {
     analysis::write_combined_report(f, pairs);
     std::cout << "combined report: " << rep << "\n";
   }
-  return 0;
+  return export_metrics(resolve_metrics_out(flags), fleet.registry);
 }
 
 int cmd_selftest(int argc, const char* const* argv) {
@@ -237,6 +271,9 @@ int cmd_bench(int argc, const char* const* argv) {
   flags.add_string("only", "", "run only the named benchmark (probe_fabric, "
                    "event_loop, campaign_six_vp)");
   flags.add_int("repeats", 3, "warm passes per micro-benchmark");
+  flags.add_bool("metrics", false,
+                 "collect observability registries during campaign_six_vp (the "
+                 "reference numbers keep this off; check_bench gates the overhead)");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -249,6 +286,7 @@ int cmd_bench(int argc, const char* const* argv) {
   opt.smoke = flags.get_bool("smoke");
   opt.only = flags.get_string("only");
   opt.repeats = static_cast<int>(flags.get_int("repeats"));
+  opt.metrics = flags.get_bool("metrics");
   const auto report = analysis::run_sim_benchmarks(opt, &std::cerr);
   const auto out_path = flags.get_string("out");
   if (out_path.empty()) {
@@ -285,6 +323,8 @@ int cmd_chaos(int argc, const char* const* argv) {
   flags.add_int("round-minutes", 30, "TSLP probing cadence");
   flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
   flags.add_bool("list-plans", false, "list the built-in fault plans and exit");
+  flags.add_string("metrics-out", "",
+                   "fleet metrics registry export path (default IXP_METRICS; empty = off)");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -302,8 +342,8 @@ int cmd_chaos(int argc, const char* const* argv) {
   }
   std::string plan_name = flags.get_string("plan");
   if (plan_name.empty()) {
-    const char* env = std::getenv("IXP_FAULT_PLAN");
-    plan_name = (env != nullptr && *env != '\0') ? env : "default";
+    plan_name = env::string_value("IXP_FAULT_PLAN").value_or("");
+    if (plan_name.empty()) plan_name = "default";
   }
   const FaultPlan* plan = fault_plan_by_name(plan_name);
   if (plan == nullptr) {
@@ -388,11 +428,11 @@ int cmd_chaos(int argc, const char* const* argv) {
         "%s (%s): links=%zu TP=%zu FP=%zu FN=%zu TN=%zu | faults=%llu suppressed=%llu "
         "outage_rounds=%llu stale_relearns=%llu loss_relearns=%llu\n",
         spec.vp_name.c_str(), spec.ixp.name.c_str(), result.series.size(), vtp, vfp, vfn,
-        vtn, static_cast<unsigned long long>(m.fault_events),
-        static_cast<unsigned long long>(m.probes_suppressed),
-        static_cast<unsigned long long>(m.outage_rounds),
-        static_cast<unsigned long long>(m.stale_relearns),
-        static_cast<unsigned long long>(m.loss_relearns));
+        vtn, static_cast<unsigned long long>(m.fault_events()),
+        static_cast<unsigned long long>(m.probes_suppressed()),
+        static_cast<unsigned long long>(m.outage_rounds()),
+        static_cast<unsigned long long>(m.stale_relearns()),
+        static_cast<unsigned long long>(m.loss_relearns()));
   }
   std::cout << "\n";
   for (const auto& r : interesting) {
@@ -414,10 +454,22 @@ int cmd_chaos(int argc, const char* const* argv) {
                            r.classified ? "congested" : "clean",
                            ok ? "ok" : "MISMATCH");
   }
+  if (const int rc = export_metrics(resolve_metrics_out(flags), fleet.registry); rc != 0) {
+    return rc;
+  }
   return case_ok ? 0 : 1;
 }
 
-int cmd_casebook() {
+int cmd_casebook(int argc, const char* const* argv) {
+  Flags flags("afixp casebook", "print the documented §6.2 case studies");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
   for (const auto& cs : analysis::casebook()) {
     std::cout << cs.id << " (" << cs.vp << ")\n";
     std::cout << "  A_w " << cs.expected_a_w_ms << " ms, dt_UD "
@@ -428,24 +480,52 @@ int cmd_casebook() {
   return 0;
 }
 
+// The full subcommand set, in help order.  main() dispatches from this one
+// table, so the usage text, `afixp help`, and the dispatch can never list
+// different commands (tools/check_cli.sh pins that).
+struct Command {
+  const char* name;
+  const char* summary;
+  int (*fn)(int argc, const char* const* argv);
+};
+
+constexpr Command kCommands[] = {
+    {"campaign", "run one of the paper's six VP campaigns", &cmd_campaign},
+    {"analyze", "re-analyse a warts-lite capture with different detector settings",
+     &cmd_analyze},
+    {"tables", "regenerate the paper's Table 1 and Table 2 across the VP fleet",
+     &cmd_tables},
+    {"casebook", "print the documented §6.2 case studies", &cmd_casebook},
+    {"selftest", "golden-regression checks of the statistics path", &cmd_selftest},
+    {"bench", "probe hot-path benchmark harness (BENCH_sim.json)", &cmd_bench},
+    {"chaos", "run the VP fleet under a fault plan and score the classifier",
+     &cmd_chaos},
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: afixp <command> [flags]\n\ncommands:\n";
+  for (const Command& c : kCommands) {
+    out << strformat("  %-9s %s\n", c.name, c.summary);
+  }
+  out << "\nrun 'afixp <command> --help' for the command's flags\n\n" << kEnvHelp;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string usage =
-      "usage: afixp <campaign|analyze|tables|casebook|selftest|bench|chaos> [flags]\n"
-      "run 'afixp <command> --help' for the command's flags\n";
   if (argc < 2) {
-    std::cerr << usage;
+    print_usage(std::cerr);
     return 2;
   }
   const std::string cmd = argv[1];
-  if (cmd == "campaign") return cmd_campaign(argc - 1, argv + 1);
-  if (cmd == "analyze") return cmd_analyze(argc - 1, argv + 1);
-  if (cmd == "tables") return cmd_tables(argc - 1, argv + 1);
-  if (cmd == "casebook") return cmd_casebook();
-  if (cmd == "selftest") return cmd_selftest(argc - 1, argv + 1);
-  if (cmd == "bench") return cmd_bench(argc - 1, argv + 1);
-  if (cmd == "chaos") return cmd_chaos(argc - 1, argv + 1);
-  std::cerr << "unknown command '" << cmd << "'\n" << usage;
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
+  for (const Command& c : kCommands) {
+    if (cmd == c.name) return c.fn(argc - 1, argv + 1);
+  }
+  std::cerr << "unknown command '" << cmd << "'\n\n";
+  print_usage(std::cerr);
   return 2;
 }

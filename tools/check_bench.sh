@@ -8,6 +8,12 @@
 # performance gate: smoke timings on shared CI boxes are too noisy to assert
 # thresholds on.
 #
+# One exception: the observability overhead gate.  A second campaign_six_vp
+# run with --metrics must stay within a lenient factor of the metrics-off
+# run -- metrics collection scrapes plain counters at segment boundaries,
+# so a big gap means someone put registry work on the per-probe path.  The
+# threshold (0.70x) is deliberately loose to survive CI noise.
+#
 # usage: check_bench.sh <bench_probe_binary>
 set -u
 
@@ -54,4 +60,36 @@ for b in benches:
         if not (isinstance(b[key], (int, float)) and b[key] > 0):
             fail(f"benchmark {b.get('name')!r} has non-positive {key}: {b[key]!r}")
 print("check_bench: OK")
+EOF
+[ $? -eq 0 ] || exit 1
+
+# --- Observability overhead gate ------------------------------------------
+metrics_out=$(mktemp)
+trap 'rm -f "$out" "$metrics_out"' EXIT
+if ! "$bench" --smoke --only campaign_six_vp --metrics --out "$metrics_out"; then
+    echo "check_bench: bench_probe --metrics exited non-zero" >&2
+    exit 1
+fi
+
+python3 - "$out" "$metrics_out" <<'EOF'
+import json
+import sys
+
+def warm(path, name):
+    with open(path) as f:
+        record = json.load(f)
+    for b in record.get("benchmarks", []):
+        if b.get("name") == name:
+            return b["warm_per_sec"]
+    sys.exit(f"check_bench: {path} lacks benchmark {name!r}")
+
+off = warm(sys.argv[1], "campaign_six_vp")
+on = warm(sys.argv[2], "campaign_six_vp")
+ratio = on / off
+print(f"check_bench: campaign_six_vp metrics-on/off warm ratio {ratio:.3f} "
+      f"({on:.0f} vs {off:.0f} probes/s)")
+if ratio < 0.70:
+    sys.exit(f"check_bench: metrics collection costs too much "
+             f"(ratio {ratio:.3f} < 0.70) -- registry work on the hot path?")
+print("check_bench: overhead gate OK")
 EOF

@@ -46,15 +46,27 @@ grep -oE 'afixp [a-z]+[^)`|]*' "$readme" | while read -r line; do
 done
 
 # --- 4. IXP_* knobs: README <-> sources/CMake/scripts must agree ----------
-# Env knobs are read via getenv() in the sources; build knobs (IXP_PARANOID
-# as a forced-on option, IXP_SANITIZE, IXP_COVERAGE) live in the top-level
-# CMakeLists; the CI scripts under tools/ read their own ${IXP_*} knobs.
-# README must document all three kinds, and must not document ghosts.  Only
-# source env knobs are required in `afixp tables --help` (build and script
-# knobs are not visible to a compiled binary).
-src_knobs=$(grep -rhoE 'getenv\("IXP_[A-Z_]+"\)' \
-    "$src/src" "$src/bench" "$src/tools" "$src/examples" 2>/dev/null |
+# Every env knob a compiled binary reads is declared in the kKnobs registry
+# table in src/util/env.cc, so that table IS the source-side knob list.
+# Build knobs (IXP_PARANOID as a forced-on option, IXP_SANITIZE,
+# IXP_COVERAGE) live in the top-level CMakeLists; the CI scripts under
+# tools/ read their own ${IXP_*} knobs.  README must document all three
+# kinds, and must not document ghosts.  Only source env knobs are required
+# in `afixp tables --help` (build and script knobs are not visible to a
+# compiled binary).
+env_table="$src/src/util/env.cc"
+[ -r "$env_table" ] || { err "cannot read $env_table"; exit 1; }
+src_knobs=$(grep -oE '\{"IXP_[A-Z_]+"' "$env_table" |
     grep -oE 'IXP_[A-Z_]+' | sort -u)
+[ -n "$src_knobs" ] || err "no knobs found in the kKnobs table of $env_table"
+# The registry only works if it is the single getenv path: any direct
+# getenv("IXP_...") outside env.cc bypasses the declaration check.
+grep -rn --include='*.cc' --include='*.h' --include='*.cpp' 'getenv("IXP_' \
+    "$src/src" "$src/bench" "$src/tools" "$src/examples" 2>/dev/null |
+    grep -v 'src/util/env\.' |
+while read -r hit; do
+    err "direct getenv(\"IXP_*\") outside src/util/env.cc: $hit"
+done
 cmake_knobs=$(grep -hoE 'IXP_[A-Z_]+' "$src/CMakeLists.txt" 2>/dev/null | sort -u)
 script_knobs=$(grep -hoE '\$\{IXP_[A-Z_]+' "$src"/tools/*.sh 2>/dev/null |
     grep -oE 'IXP_[A-Z_]+' | sort -u)

@@ -16,7 +16,7 @@ set -u
 
 src=${1:?usage: check_sanitize.sh <source_dir> [build_dir]}
 build=${2:-$src/build-sanitize}
-suites=${IXP_SANITIZE_SUITES:-test_util test_net test_stats test_sim test_tslp test_golden test_prober test_faults}
+suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults}
 
 # --- Toolchain probe: can we compile AND run a sanitized binary? ----------
 probe_dir=$(mktemp -d)
