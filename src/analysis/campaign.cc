@@ -89,10 +89,24 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   bdrmap::BdrmapResult borders = run_bdrmap();
 
   std::vector<prober::MonitorTarget> targets = to_targets(borders, rt.vp_asn);
+  // Sample accumulation: either raw per-link vectors (`series`, the
+  // paper-scale default) or the columnar store (bounded-RSS substrate
+  // path).  Exactly one of the two is populated.
   std::vector<tslp::LinkSeries> series;
+  std::shared_ptr<series::SeriesStore> store;
+  if (opt.columnar) {
+    store = std::make_shared<series::SeriesStore>(start, opt.round_interval);
+  }
+  auto to_meta = [](const prober::MonitorTarget& t) {
+    return series::LinkMeta{t.key, t.near_ip, t.far_ip, t.near_asn, t.far_asn, t.at_ixp};
+  };
   std::set<net::Ipv4Address> known_far;
   for (const auto& t : targets) {
     known_far.insert(t.far_ip);
+    if (store != nullptr) {
+      store->add_link(to_meta(t));
+      continue;
+    }
     tslp::LinkSeries ls;
     ls.key = t.key;
     ls.near_ip = t.near_ip;
@@ -145,7 +159,13 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
         static_cast<std::size_t>((kDay * 2).count() / opt.round_interval.count());
     const std::size_t window_samples =
         static_cast<std::size_t>((kDay * 60).count() / opt.round_interval.count());
-    for (const auto& ls : series) {
+    const std::size_t link_count = store != nullptr ? store->size() : series.size();
+    for (std::size_t li = 0; li < link_count; ++li) {
+      // Columnar mode decodes one link at a time, so the snapshot's
+      // working set stays a single series regardless of fleet scale.
+      const tslp::LinkSeries decoded =
+          store != nullptr ? store->decode(li) : tslp::LinkSeries{};
+      const tslp::LinkSeries& ls = store != nullptr ? decoded : series[li];
       if (!live.count(ls.far_ip)) continue;
       const std::size_t n = std::min<std::size_t>(ls.far_rtt.index_of(at), ls.far_rtt.ms.size());
       if (n < min_samples) continue;  // not enough data to judge
@@ -199,6 +219,12 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
           ->set(opt.faults->counters().probes_suppressed);
       reg->counter(metric::kOutageRounds)->set(opt.faults->counters().outage_rounds);
     }
+    if (store != nullptr) {
+      reg->gauge(metric::kSeriesResidentBytes)
+          ->set(static_cast<double>(store->resident_bytes()));
+      reg->gauge(metric::kSeriesRawBytes)->set(static_cast<double>(store->raw_bytes()));
+      reg->counter(metric::kSeriesSamples)->set(store->samples_total());
+    }
   };
 
   auto report_progress = [&](TimePoint at, bool finished) {
@@ -208,9 +234,24 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   };
 
   // ---- Main loop ------------------------------------------------------------
+  // Probing rounds live on the campaign-global grid start + k*interval.
+  // Segment boundaries (membership events, snapshot dates) may fall
+  // anywhere, so each segment starts at the first grid point at or after
+  // its boundary and runs a whole number of rounds; a cadence that does
+  // not divide a boundary offset must never shift later samples off the
+  // grid (regression: GridAlignment in tests/test_campaigns.cc).  For the
+  // paper scenarios -- boundaries on day marks, 5-minute cadence -- the
+  // alignment is the identity and output is byte-identical to before.
+  const std::int64_t iv = opt.round_interval.count();
+  auto grid_align_up = [&](TimePoint tp) {
+    const std::int64_t k = ((tp - start).count() + iv - 1) / iv;
+    return start + Duration(k * iv);
+  };
   TimePoint t = start;
   for (const TimePoint b : boundaries) {
     if (b > t) {
+      const TimePoint seg_start = grid_align_up(t);
+      const std::int64_t rounds = seg_start < b ? ((b - seg_start).count() + iv - 1) / iv : 0;
       prober::TslpConfig cfg;
       cfg.round_interval = opt.round_interval;
       cfg.pre_round = [&rt](TimePoint at) { rt.apply_timeline_until(at); };
@@ -219,7 +260,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       cfg.rr_every_rounds = static_cast<int>(kDay.count() / opt.round_interval.count());
       cfg.faults = opt.faults;
       prober::TslpDriver driver(prober, cfg);
-      auto segment = driver.run(targets, t, b,
+      auto segment = driver.run(targets, seg_start, seg_start + Duration(rounds * iv),
                                 [&](std::size_t) { ++result.rounds_completed; });
       result.record_routes += driver.record_routes();
       result.record_routes_symmetric += driver.record_routes_symmetric();
@@ -230,6 +271,10 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
         opt.metrics->span(metric::kSegmentSpan)->record(b - t);
       }
       for (std::size_t i = 0; i < segment.size(); ++i) {
+        if (store != nullptr) {
+          store->append(i, segment[i].near_rtt.ms, segment[i].far_rtt.ms);
+          continue;
+        }
         auto& acc = series[i];
         acc.near_rtt.ms.insert(acc.near_rtt.ms.end(), segment[i].near_rtt.ms.begin(),
                                segment[i].near_rtt.ms.end());
@@ -245,6 +290,13 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       if (known_far.count(nt.far_ip)) continue;
       known_far.insert(nt.far_ip);
       targets.push_back(nt);
+      if (store != nullptr) {
+        // Pad the past with a leading gap run (a handful of bytes, vs. the
+        // raw path's 8 bytes per elapsed round).
+        const std::uint64_t elapsed = store->size() > 0 ? store->samples(0) : 0;
+        store->add_link(to_meta(nt), elapsed);
+        continue;
+      }
       tslp::LinkSeries ls;
       ls.key = nt.key;
       ls.near_ip = nt.near_ip;
@@ -274,9 +326,32 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   tslp::ClassifierOptions copt = opt.classifier;
   copt.level_shift.threshold_ms = std::min(copt.level_shift.threshold_ms, 5.0);
   tslp::CongestionClassifier final_classifier(copt);
-  result.reports.reserve(series.size());
-  for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
-  result.series = std::move(series);
+  if (store != nullptr) {
+    // Decode-classify-discard, one link at a time: peak RSS is the encoded
+    // store plus a single decoded series.  The far-RTT histogram is
+    // observed here so the samples are not decoded a second time below.
+    obs::Histogram* rtt_hist =
+        opt.metrics != nullptr
+            ? opt.metrics->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000})
+            : nullptr;
+    result.reports.reserve(store->size());
+    result.series.reserve(store->size());
+    for (std::size_t i = 0; i < store->size(); ++i) {
+      tslp::LinkSeries ls = store->decode(i);
+      result.reports.push_back(final_classifier.classify(ls));
+      if (rtt_hist != nullptr) {
+        for (const double ms : ls.far_rtt.ms) rtt_hist->observe(ms);  // NaN = missing round
+      }
+      ls.near_rtt.ms = {};
+      ls.far_rtt.ms = {};
+      result.series.push_back(std::move(ls));  // metadata only
+    }
+    result.columns = store;
+  } else {
+    result.reports.reserve(series.size());
+    for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
+    result.series = std::move(series);
+  }
   result.probes_sent = prober.probes_sent();
   if (opt.faults != nullptr) {
     result.fault_events = opt.faults->counters().timeline_faults;
@@ -312,10 +387,12 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     reg->counter(metric::kDetectorEpisodes)->set(episodes);
     reg->counter(metric::kDetectorRawEpisodes)->set(raw_episodes);
     reg->counter(metric::kDetectorRefused)->set(refused);
-    obs::Histogram* rtt =
-        reg->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000});
-    for (const auto& ls : result.series) {
-      for (const double ms : ls.far_rtt.ms) rtt->observe(ms);  // NaN = missing round
+    if (store == nullptr) {  // columnar mode observed during classification
+      obs::Histogram* rtt =
+          reg->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000});
+      for (const auto& ls : result.series) {
+        for (const double ms : ls.far_rtt.ms) rtt->observe(ms);  // NaN = missing round
+      }
     }
   }
 

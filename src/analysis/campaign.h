@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "bdrmap/bdrmap.h"
 #include "obs/metrics.h"
 #include "prober/tslp_driver.h"
+#include "series/columnar.h"
 #include "tslp/classifier.h"
 
 namespace ixp::analysis {
@@ -56,6 +58,11 @@ inline constexpr char kDetectorRefused[] =
 inline constexpr char kFarRttMs[] = "afixp_tslp_far_rtt_ms";
 inline constexpr char kSegmentSpan[] = "afixp_campaign_segment_simtime";
 inline constexpr char kWindowSpan[] = "afixp_campaign_window_simtime";
+// Columnar series storage (published only when CampaignOptions::columnar
+// engages the store, so paper-path metric exports are unchanged).
+inline constexpr char kSeriesResidentBytes[] = "afixp_series_resident_bytes";
+inline constexpr char kSeriesRawBytes[] = "afixp_series_raw_bytes";
+inline constexpr char kSeriesSamples[] = "afixp_series_samples_total";
 }  // namespace metric
 
 /// Progress of a running campaign, reported at segment boundaries
@@ -90,6 +97,15 @@ struct CampaignOptions {
   /// Obtain one from attach_fault_plan() so the timeline faults and the
   /// probe-level gates come from the same expanded plan.
   sim::FaultInjector* faults = nullptr;
+  /// Accumulate samples in the columnar store (series/columnar.h) instead
+  /// of raw per-link vectors: segments stream into delta-encoded columns
+  /// as they complete, snapshots and the final classification decode one
+  /// link at a time, and RSS stays bounded by the encoded size plus a
+  /// single decoded series.  The decoded samples are bit-identical to the
+  /// raw path, but VpCampaignResult::series then carries metadata only
+  /// (empty ms vectors) -- the samples live in VpCampaignResult::columns.
+  /// Off by default: the paper-scale path and its goldens are unchanged.
+  bool columnar = false;
 };
 
 struct SnapshotResult {
@@ -109,8 +125,13 @@ struct SnapshotResult {
 struct VpCampaignResult {
   std::string vp_name;
   std::vector<SnapshotResult> snapshots;
-  std::vector<tslp::LinkSeries> series;   ///< one per monitored link
+  /// One per monitored link.  With CampaignOptions::columnar the ms
+  /// vectors are empty (metadata only); decode from `columns` instead.
+  std::vector<tslp::LinkSeries> series;
   std::vector<tslp::LinkReport> reports;  ///< classification of each series
+  /// Columnar sample store (null unless CampaignOptions::columnar); holds
+  /// the encoded near/far columns of every monitored link.
+  std::shared_ptr<series::SeriesStore> columns;
   std::uint64_t probes_sent = 0;          ///< Table 2's "total # traceroutes" role
   std::uint64_t probes_lost = 0;          ///< round probes sent but unanswered
   std::uint64_t record_routes = 0;        ///< Table 2's "total # record routes"

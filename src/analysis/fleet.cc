@@ -2,7 +2,9 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -36,6 +38,91 @@ std::string human_count(double v) {
 
 }  // namespace
 
+double estimate_campaign_cost(const VpSpec& spec, const CampaignOptions& opt) {
+  const TimePoint start = spec.campaign_start;
+  const TimePoint end = opt.duration_override.count() > 0 ? start + opt.duration_override
+                                                          : spec.campaign_end;
+  const auto interval =
+      static_cast<double>(std::max<std::int64_t>(1, opt.round_interval.count()));
+  auto overlap_rounds = [&](const LinkWindow& w) {
+    const TimePoint lo = std::max(w.up, start);
+    const TimePoint hi = std::min(w.down, end);
+    if (hi <= lo) return 0.0;
+    return static_cast<double>((hi - lo).count()) / interval;
+  };
+  // Fixed charges: scenario build + route computation + initial bdrmap,
+  // then per-neighbor router/announcement/bdrmap work.  The units are
+  // "link-rounds": one monitored link probed for one round costs 1.
+  double cost = 1000.0;
+  for (const NeighborSpec& n : spec.neighbors) {
+    cost += 200.0;
+    const int lan_count = std::max<int>(n.lan_routers, static_cast<int>(n.lan_windows.size()));
+    const int ptp_count = std::max<int>(n.ptp_links, static_cast<int>(n.ptp_windows.size()));
+    // Silent neighbors are never probed, but their links still carry
+    // simulated cross-traffic, so they are not free either.
+    const double weight = n.silent ? 0.25 : 1.0;
+    const LinkWindow whole{n.join, n.leave};
+    for (int i = 0; i < lan_count; ++i) {
+      const LinkWindow& w =
+          static_cast<std::size_t>(i) < n.lan_windows.size() ? n.lan_windows[i] : whole;
+      cost += weight * overlap_rounds(w);
+    }
+    for (int j = 0; j < ptp_count; ++j) {
+      const LinkWindow& w =
+          static_cast<std::size_t>(j) < n.ptp_windows.size() ? n.ptp_windows[j] : whole;
+      cost += weight * overlap_rounds(w);
+    }
+  }
+  return cost;
+}
+
+ShardPlan plan_shards(const std::vector<VpSpec>& specs, int jobs, const CampaignOptions& opt) {
+  ShardPlan plan;
+  const std::size_t n = specs.size();
+  const auto shard_count =
+      static_cast<std::size_t>(std::clamp<std::int64_t>(jobs, 1, std::max<std::size_t>(1, n)));
+  plan.cost.resize(n);
+  plan.shard_of.assign(n, 0);
+  plan.shards.resize(shard_count);
+  for (std::size_t i = 0; i < n; ++i) plan.cost[i] = estimate_campaign_cost(specs[i], opt);
+
+  // Greedy LPT: heaviest campaign onto the least-loaded shard.  All
+  // tie-breaks are by index, so the plan is a pure function of its inputs.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (plan.cost[a] != plan.cost[b]) return plan.cost[a] > plan.cost[b];
+    return a < b;
+  });
+  std::vector<double> load(shard_count, 0.0);
+  for (const std::size_t idx : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    plan.shards[best].push_back(idx);
+    plan.shard_of[idx] = static_cast<int>(best);
+    load[best] += plan.cost[idx];
+  }
+  return plan;
+}
+
+std::string ShardPlan::to_string(const std::vector<VpSpec>& specs) const {
+  std::string out;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    double total = 0.0;
+    std::string items;
+    for (const std::size_t i : shards[s]) {
+      total += cost[i];
+      items += strformat(" %s(%s)", i < specs.size() ? specs[i].vp_name.c_str() : "?",
+                         human_count(cost[i]).c_str());
+    }
+    out += strformat("shard %zu: %s link-rounds |%s\n", s, human_count(total).c_str(),
+                     items.c_str());
+  }
+  return out;
+}
+
 FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt) {
   FleetResult out;
   out.results.resize(specs.size());
@@ -59,8 +146,7 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
   // merged registry never depends on worker scheduling.
   std::vector<obs::Registry> shards(specs.size());
 
-  ThreadPool pool(out.jobs_used);
-  pool.parallel_for(specs.size(), [&](std::size_t i) {
+  auto run_one = [&](std::size_t i) {
     CampaignMetrics& m = out.metrics[i];  // written only by this worker
     const auto t0 = WallClock::now();
     CampaignOptions copt = opt.campaign;
@@ -95,7 +181,29 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
     m.finished = true;
     out.results[i] = std::move(result);
     emit(m);
+  };
+
+  // Pack campaigns onto shards by estimated cost (heaviest first), then
+  // run one shard per worker.  Results are keyed by spec index and the
+  // registry merge below is in spec order, so the packing affects only
+  // wall clock, never output bytes.
+  out.plan = plan_shards(specs, out.jobs_used, opt.campaign);
+  std::vector<std::exception_ptr> errors(specs.size());
+  ThreadPool pool(out.jobs_used);
+  pool.parallel_for(out.plan.shards.size(), [&](std::size_t s) {
+    for (const std::size_t i : out.plan.shards[s]) {
+      try {
+        run_one(i);
+      } catch (...) {
+        // A failed campaign must not abort its shard siblings; the first
+        // (lowest spec index) exception is rethrown after the drain.
+        errors[i] = std::current_exception();
+      }
+    }
   });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 
   // Merge in spec order: labelled per-VP copies first, then the unlabelled
   // fleet-wide sums.  Deterministic for any job count by construction.

@@ -73,6 +73,36 @@ struct CampaignMetrics {
 /// on whichever worker thread made the progress.
 using FleetProgressFn = std::function<void(const CampaignMetrics&)>;
 
+/// Cost-model-driven assignment of campaigns to workers.
+///
+/// Campaign runtimes differ by orders of magnitude once the substrate is
+/// generated (a 3-member country IXP vs. a 300-member heavy hitter), so
+/// the fleet no longer hands out campaigns one-by-one: it estimates each
+/// campaign's cost up front (monitored links x probing rounds, from the
+/// spec alone -- nothing is simulated) and packs them onto workers with a
+/// greedy longest-processing-time pass.  The plan is a pure function of
+/// (specs, jobs, campaign options): stable across machines and runs, so
+/// fleet output stays byte-identical for any --jobs (pinned by
+/// tests/test_fleet.cc).
+struct ShardPlan {
+  std::vector<double> cost;                      ///< per spec, link-rounds
+  std::vector<std::vector<std::size_t>> shards;  ///< shard -> spec indices, run order
+  std::vector<int> shard_of;                     ///< spec index -> shard
+  /// Human-readable plan (for `afixp gen --shard-plan`).
+  [[nodiscard]] std::string to_string(const std::vector<VpSpec>& specs) const;
+};
+
+/// Estimated cost of one campaign in link-rounds: every monitored link
+/// contributes its membership-window overlap with the campaign window at
+/// one unit per probing round, silent neighbors contribute a reduced
+/// simulation-only weight, and each neighbor adds a constant build/bdrmap
+/// charge.
+double estimate_campaign_cost(const VpSpec& spec, const CampaignOptions& opt);
+
+/// Packs `specs` onto `jobs` shards, heaviest first (greedy LPT with
+/// deterministic tie-breaks).  `jobs` is clamped to [1, specs.size()].
+ShardPlan plan_shards(const std::vector<VpSpec>& specs, int jobs, const CampaignOptions& opt);
+
 struct FleetOptions {
   CampaignOptions campaign;
   /// Worker threads.  0 = auto: the IXP_JOBS environment variable if set,
@@ -99,6 +129,7 @@ struct FleetResult {
   /// unlabelled fleet totals -- so the merged contents (and any
   /// `--metrics-out` export of them) are byte-identical for any --jobs.
   obs::Registry registry;
+  ShardPlan plan;                         ///< how campaigns were packed
   int jobs_used = 1;
   double wall_seconds = 0.0;              ///< whole-fleet wall clock
 };

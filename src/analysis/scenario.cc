@@ -231,6 +231,7 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
       port.capacity_bps = n.port_capacity_bps;
       port.buffer_bytes = std::max(64e3, 0.25 * n.port_capacity_bps / 8.0);  // ~250 ms
       port.base_loss = n.port_base_loss;
+      port.prop_delay = milliseconds(n.lan_prop_ms);
       const bool congested_here = !n.congestion.empty() && i == 0;
       if (congested_here) {
         port.buffer_bytes = n.congestion.front().a_w_ms / 1e3 * n.port_capacity_bps / 8.0;
@@ -249,7 +250,7 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
       sim::LinkConfig ptp;
       ptp.capacity_bps = n.port_capacity_bps;
       ptp.buffer_bytes = std::max(64e3, 0.25 * n.port_capacity_bps / 8.0);
-      ptp.prop_delay = milliseconds(0.4);
+      ptp.prop_delay = milliseconds(n.ptp_prop_ms);
       ptp.base_loss = n.port_base_loss;
       const bool congested_here = !n.congestion_ptp.empty() && j == 0;
       // The link is created from the "numbering" side: the neighbor when it

@@ -94,6 +94,12 @@ struct NeighborSpec {
   int ptp_links = 0;     ///< private interconnects with the VP AS
   double port_capacity_bps = 1e9;
   double port_base_loss = 0.0;
+  /// One-way propagation delay of this neighbor's links: the RTT-geography
+  /// knob the substrate generator (analysis/substrate.h) uses to place
+  /// members at metro / regional / continental distance from the exchange.
+  /// Defaults match the hand-written paper scenarios.
+  double lan_prop_ms = 0.15;  ///< IXP LAN ports
+  double ptp_prop_ms = 0.4;   ///< private interconnects
 
   TimePoint join{};      ///< default up time for all links
   TimePoint leave = kForever;  ///< default down time for all links

@@ -1,0 +1,209 @@
+#include "analysis/substrate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ixp::analysis {
+namespace {
+
+// Generated number spaces; disjoint from the paper scenarios (real-world
+// ASNs plus the engineered 64900/64901/64910 upstreams) and from the
+// address-allocator pools.
+constexpr std::uint32_t kIxpAsnBase = 3'000'000;
+constexpr std::uint32_t kVpAsnBase = 3'100'000;
+constexpr std::uint32_t kMemberAsnBase = 3'200'000;
+constexpr std::uint32_t kTransitAsnBase = 3'600'000;
+constexpr std::uint32_t kMemberAsnStride = 2048;  ///< per-IXP member ASN window
+
+topo::IxpInfo make_ixp_info(const topo::TopoSpec& spec, int i, int region, Rng& rng) {
+  topo::IxpInfo info;
+  const auto idx = static_cast<std::uint32_t>(i);
+  info.name = strformat("SIX%03d", i + 1);
+  info.long_name = strformat("%s Substrate Internet eXchange %d", spec.name.c_str(), i + 1);
+  info.country = strformat("S%c", 'A' + region % 26);
+  info.city = strformat("City%03d", i + 1);
+  info.sub_region = strformat("Region-%d", region + 1);
+  info.ixp_asn = kIxpAsnBase + idx;
+  info.launch_year = 1996 + static_cast<int>(rng.uniform_int(0, 20));
+  // /22 peering LANs out of 197/8 (a /24 would cap an exchange at ~250
+  // ports; the heavy-tailed presets go past that), /24 management out of
+  // 198/8.  Both ranges are untouched by the paper scenarios (196/8) and
+  // the allocator pools.
+  info.peering_prefix = net::Ipv4Prefix(net::Ipv4Address((197u << 24) | (idx << 10)), 22);
+  info.management_prefix = net::Ipv4Prefix(net::Ipv4Address((198u << 24) | (idx << 8)), 24);
+  return info;
+}
+
+/// Draws the member count for one exchange from the configured
+/// distribution, clamped to [members.min, members.max].
+int draw_members(const topo::TopoSpec& spec, Rng& rng) {
+  double raw = spec.members_mean;
+  if (spec.members_dist == "uniform") {
+    raw = static_cast<double>(rng.uniform_int(spec.members_min, spec.members_max));
+  } else if (spec.members_dist == "pareto") {
+    const auto xm = static_cast<double>(spec.members_min);
+    // Shape chosen so the Pareto mean alpha*xm/(alpha-1) hits members.mean.
+    const double alpha =
+        spec.members_mean > xm ? spec.members_mean / (spec.members_mean - xm) : 8.0;
+    raw = rng.pareto(alpha, xm);
+  }
+  const auto n = static_cast<int>(std::llround(raw));
+  return std::clamp(n, spec.members_min, spec.members_max);
+}
+
+/// Picks the RTT-geography tier for one member: most sit in the exchange
+/// building, a tail peers remotely from across the continent.
+double draw_prop_ms(const topo::TopoSpec& spec, Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.70) return spec.rtt_fabric_ms;
+  if (u < 0.85) return spec.rtt_metro_ms;
+  if (u < 0.95) return spec.rtt_region_ms;
+  return spec.rtt_continent_ms;
+}
+
+NeighborSpec make_member(const topo::TopoSpec& spec, const topo::IxpInfo& ixp, int ixp_idx,
+                         int m, Rng& rng) {
+  NeighborSpec n;
+  n.name = strformat("M%03d-%03d", ixp_idx + 1, m + 1);
+  n.asn = kMemberAsnBase + static_cast<std::uint32_t>(ixp_idx) * kMemberAsnStride +
+          static_cast<std::uint32_t>(m);
+  n.country = ixp.country;
+  const double kind = rng.uniform();
+  n.type = kind < 0.70   ? topo::AsType::kAccessIsp
+           : kind < 0.85 ? topo::AsType::kMobile
+           : kind < 0.95 ? topo::AsType::kContent
+                         : topo::AsType::kEducation;
+  n.lan_routers = rng.chance(spec.multi_router_fraction)
+                      ? static_cast<int>(rng.uniform_int(2, 3))
+                      : 1;
+  n.ptp_links = rng.chance(spec.ptp_fraction) ? 1 : 0;
+  const double prop_ms = draw_prop_ms(spec, rng);
+  n.lan_prop_ms = prop_ms;
+  n.ptp_prop_ms = std::max(prop_ms, 0.4);
+  // Port capacity log-uniform across the configured range: small member
+  // ports sit next to 10G heavy hitters, like real exchange member lists.
+  const double log_lo = std::log(spec.capacity_min_mbps);
+  const double log_hi = std::log(spec.capacity_max_mbps);
+  n.port_capacity_bps = std::exp(rng.uniform(log_lo, log_hi)) * 1e6;
+
+  // Behaviour mix.  Draws happen unconditionally so one member's
+  // behaviour never perturbs another member's random stream.
+  const bool silent = rng.chance(spec.silent_fraction);
+  const bool congested = rng.chance(spec.congested_fraction);
+  const bool noisy = rng.chance(spec.noise_fraction);
+  const double aw_jitter = rng.uniform(0.8, 1.4);
+  const double dtud_jitter = rng.uniform(0.7, 1.3);
+  const double peak_hour = rng.uniform(12.0, 22.0);
+  const double overload = rng.uniform(1.05, 1.30);
+  const double noise_mag = rng.uniform(12.0, 45.0);
+  const auto noise_seed = rng.next();
+  n.silent = silent;
+  if (congested && !silent) {
+    CongestionSpec cs;
+    cs.a_w_ms = spec.congested_aw_ms * aw_jitter;
+    cs.dt_ud = Duration(static_cast<std::int64_t>(
+        spec.congested_dtud_hours * dtud_jitter * static_cast<double>(kHour.count())));
+    cs.peak_hour = peak_hour;
+    cs.overload = overload;
+    n.congestion.push_back(cs);
+  }
+  if (noisy && !silent && !congested) {
+    NoiseShiftSpec ns;
+    ns.magnitude_ms = noise_mag;
+    ns.events = 1 + static_cast<int>(noise_seed % 4);
+    ns.seed = noise_seed;
+    n.noise_list.push_back(ns);
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<VpSpec> generate_substrate(const topo::TopoSpec& spec) {
+  if (const std::string msg = topo::validate_topo_spec(spec); !msg.empty()) {
+    throw std::runtime_error("generate_substrate: " + msg);
+  }
+  if (spec.members_max >= static_cast<int>(kMemberAsnStride)) {
+    throw std::runtime_error("generate_substrate: members.max exceeds the ASN stride");
+  }
+
+  std::vector<VpSpec> vps;
+  vps.reserve(static_cast<std::size_t>(spec.ixps));
+  Rng root(spec.seed);
+  for (int i = 0; i < spec.ixps; ++i) {
+    // One independent stream per exchange: adding IXP k+1 to a spec never
+    // changes what IXPs 1..k generate.
+    Rng rng = root.fork();
+    const int region = i % spec.regions;
+
+    VpSpec vp;
+    vp.vp_name = strformat("S%03d", i + 1);
+    vp.ixp = make_ixp_info(spec, i, region, rng);
+    vp.vp_asn = kVpAsnBase + static_cast<std::uint32_t>(i);
+    vp.vp_as_name = vp.ixp.name + "-CONTENT";
+    vp.vp_org = vp.ixp.long_name;
+    vp.country = vp.ixp.country;
+    vp.vp_is_ixp_network = true;
+    vp.vp_has_regional_transit = true;
+    vp.seed = rng.next();
+    vp.campaign_start = TimePoint{};
+    vp.campaign_end = TimePoint(kDay * spec.days);
+    for (int d = spec.snapshot_days; spec.snapshot_days > 0 && d < spec.days;
+         d += spec.snapshot_days) {
+      vp.snapshot_dates.push_back(TimePoint(kDay * d));
+    }
+
+    const int members = draw_members(spec, rng);
+    vp.neighbors.reserve(static_cast<std::size_t>(members) +
+                         static_cast<std::size_t>(spec.transit_depth - 1));
+    for (int m = 0; m < members; ++m) {
+      vp.neighbors.push_back(make_member(spec, vp.ixp, i, m, rng));
+    }
+
+    // Transit hierarchy above the built-in regional provider: depth 1 is
+    // the regional upstream alone; each extra level adds an off-IXP
+    // provider reached over a longer haul (regional, then continental).
+    for (int t = 1; t < spec.transit_depth; ++t) {
+      NeighborSpec up;
+      up.name = strformat("T%d-%03d", t + 1, i + 1);
+      up.asn = kTransitAsnBase + static_cast<std::uint32_t>(i) * 8 + static_cast<std::uint32_t>(t);
+      up.country = vp.country;
+      up.type = topo::AsType::kTransit;
+      up.rel = NeighborSpec::Rel::kProviderOfVp;
+      up.lan_routers = 0;
+      up.ptp_links = 1;
+      up.port_capacity_bps = 10e9;
+      up.ptp_prop_ms = t == 1 ? spec.rtt_region_ms : spec.rtt_continent_ms;
+      vp.neighbors.push_back(up);
+    }
+
+    vps.push_back(std::move(vp));
+  }
+  return vps;
+}
+
+SubstrateSummary summarize_substrate(const topo::TopoSpec& spec,
+                                     const std::vector<VpSpec>& vps) {
+  SubstrateSummary s;
+  s.spec_name = spec.name;
+  s.ixps = static_cast<int>(vps.size());
+  for (const VpSpec& vp : vps) {
+    for (const NeighborSpec& n : vp.neighbors) {
+      ++s.members;
+      if (n.silent) {
+        ++s.silent_members;
+        continue;  // invisible: contributes no monitored links
+      }
+      if (!n.congestion.empty()) ++s.congested_members;
+      if (!n.noise_list.empty()) ++s.noisy_members;
+      s.lan_links += static_cast<std::uint64_t>(n.lan_routers);
+      s.ptp_links += static_cast<std::uint64_t>(n.ptp_links);
+    }
+  }
+  return s;
+}
+
+}  // namespace ixp::analysis

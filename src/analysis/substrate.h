@@ -1,0 +1,53 @@
+// Substrate generator: expands a declarative topo::TopoSpec into one
+// VpSpec per generated exchange, so the continent-scale substrate runs
+// through exactly the same scenario builder, campaign loop, and fleet as
+// the paper's six hand-written vantage points.
+//
+// Everything is a pure function of the spec (all draws come from an
+// ixp::Rng forked off spec.seed per IXP), so the same spec file yields a
+// byte-identical substrate on every machine -- pinned by
+// tests/test_substrate.cc.  Generated entities live in dedicated number
+// spaces (ASNs >= 3,000,000; 197/8 peering LANs; 198/8 management) that
+// cannot collide with the paper scenarios or the allocator pools
+// (41/8, 102/8, 154.64/10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.h"
+#include "topo/gen.h"
+
+namespace ixp::analysis {
+
+/// What a spec expands to, before simulating anything: the numbers the
+/// `afixp gen` summary and docs/SCALING.md sizing tables are built from.
+struct SubstrateSummary {
+  std::string spec_name;
+  int ixps = 0;
+  int members = 0;           ///< neighbor specs across all IXPs
+  int silent_members = 0;    ///< invisible to bdrmap/TSLP (not monitored)
+  int congested_members = 0;
+  int noisy_members = 0;
+  std::uint64_t lan_links = 0;  ///< IXP LAN ports across visible members
+  std::uint64_t ptp_links = 0;  ///< private interconnects across visible members
+  /// LAN ports + ptps of visible members: what bdrmap discovers and TSLP
+  /// monitors (each link has a near and a far sample column).
+  [[nodiscard]] std::uint64_t monitored_links() const { return lan_links + ptp_links; }
+  /// Samples a full campaign accumulates at `interval` cadence.
+  [[nodiscard]] std::uint64_t samples(Duration campaign, Duration interval) const {
+    const auto rounds = static_cast<std::uint64_t>(campaign.count() / interval.count());
+    return monitored_links() * 2 * rounds;
+  }
+};
+
+/// Expands the spec deterministically.  Throws std::runtime_error when
+/// validate_topo_spec(spec) rejects it.
+std::vector<VpSpec> generate_substrate(const topo::TopoSpec& spec);
+
+/// Counts what a generated substrate contains (spec order).
+SubstrateSummary summarize_substrate(const topo::TopoSpec& spec,
+                                     const std::vector<VpSpec>& vps);
+
+}  // namespace ixp::analysis

@@ -32,9 +32,14 @@ void check_episode_invariants(const std::vector<Episode>& episodes) {
 // total * interval / divisor, dividing *after* the multiplication and
 // rounding to nearest.  Dividing first (the old code) truncated to a whole
 // sample count and biased the reported dt_UD / period low by up to one full
-// probing interval.
+// probing interval.  The product is taken at 128 bits: a multi-year series
+// has sample counts past 2^31, and interval.count() is nanoseconds (3e11
+// for 5 minutes), so the 64-bit product overflows long before the
+// substrate's long-horizon campaigns end (regression:
+// tests/test_tslp.cc ScaledMeanLongHorizon).
 Duration scaled_mean(std::int64_t total, Duration interval, std::int64_t divisor) {
-  return Duration((interval.count() * total + divisor / 2) / divisor);
+  const auto product = static_cast<__int128>(interval.count()) * total;
+  return Duration(static_cast<std::int64_t>((product + divisor / 2) / divisor));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "analysis/campaign.h"
 #include "analysis/casebook.h"
 #include "analysis/tables.h"
+#include <bit>
 #include <set>
 
 #include "topo/calendar.h"
@@ -133,6 +134,93 @@ TEST(PaperCampaigns, Vp5FullScaleTopologyBuilds) {
   std::set<topo::Asn> neighbors;
   for (const auto& t : truth) neighbors.insert(t.far_asn);
   EXPECT_GT(neighbors.size(), 1000u);  // paper: 1,215
+}
+
+TEST(Campaigns, GridAlignment) {
+  // Regression for the segment-boundary arithmetic (see the grid_align_up
+  // comment in campaign.cc): with a cadence that does not divide the
+  // membership/snapshot boundaries (7 minutes vs midnight events), every
+  // segment must resume on the campaign-global grid start + k*interval.
+  // The old code restarted each segment at the boundary itself, drifting
+  // the sample grid and over-counting rounds.
+  const auto spec = make_vp1_gixa();
+  auto rt = build_scenario(spec);
+  CampaignOptions opt;
+  opt.round_interval = kMinute * 7;  // 1440 % 7 != 0: day marks are off-grid
+  opt.duration_override = kDay * 30;
+  const auto result = run_campaign(*rt, spec, opt);
+
+  const auto iv = opt.round_interval.count();
+  const auto window = (kDay * 30).count();
+  const auto expect_rounds = static_cast<std::size_t>((window + iv - 1) / iv);
+  ASSERT_FALSE(result.series.empty());
+  for (const auto& ls : result.series) {
+    // Every link that was up from the start holds exactly one sample per
+    // grid point in the window -- no duplicated or phantom rounds at
+    // segment seams.
+    EXPECT_LE(ls.near_rtt.ms.size(), expect_rounds) << ls.key;
+    EXPECT_EQ(ls.near_rtt.ms.size(), ls.far_rtt.ms.size()) << ls.key;
+    if (ls.far_asn == 29614) {  // GHANATEL: connected for the whole window
+      EXPECT_EQ(ls.near_rtt.ms.size(), expect_rounds) << ls.key;
+    }
+    EXPECT_EQ(ls.near_rtt.interval.count(), iv);
+  }
+}
+
+TEST(Campaigns, ColumnarMatchesRawByteForByte) {
+  // CampaignOptions::columnar must be invisible to every consumer: same
+  // classifications, same snapshots, and decoded series bit-identical to
+  // the raw in-memory vectors.
+  const auto spec = make_vp4_sixp();
+  CampaignOptions opt;
+  opt.round_interval = kMinute * 30;
+  opt.duration_override = kDay * 45;
+
+  auto rt_raw = build_scenario(spec);
+  const auto raw = run_campaign(*rt_raw, spec, opt);
+  auto rt_col = build_scenario(spec);
+  CampaignOptions copt = opt;
+  copt.columnar = true;
+  const auto col = run_campaign(*rt_col, spec, copt);
+
+  ASSERT_NE(col.columns, nullptr);
+  EXPECT_EQ(raw.columns, nullptr);
+  ASSERT_EQ(col.series.size(), raw.series.size());
+  ASSERT_EQ(col.columns->size(), raw.series.size());
+  EXPECT_EQ(col.probes_sent, raw.probes_sent);
+  EXPECT_EQ(col.rounds_completed, raw.rounds_completed);
+
+  for (std::size_t i = 0; i < raw.series.size(); ++i) {
+    // Metadata rides along in both modes; the columnar result keeps the
+    // sample vectors empty and serves them from the store.
+    EXPECT_EQ(col.series[i].key, raw.series[i].key);
+    EXPECT_TRUE(col.series[i].near_rtt.ms.empty());
+    const auto ls = col.columns->decode(i);
+    EXPECT_EQ(ls.key, raw.series[i].key);
+    ASSERT_EQ(ls.near_rtt.ms.size(), raw.series[i].near_rtt.ms.size()) << ls.key;
+    ASSERT_EQ(ls.far_rtt.ms.size(), raw.series[i].far_rtt.ms.size()) << ls.key;
+    for (std::size_t k = 0; k < ls.near_rtt.ms.size(); ++k) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ls.near_rtt.ms[k]),
+                std::bit_cast<std::uint64_t>(raw.series[i].near_rtt.ms[k]))
+          << ls.key << " near sample " << k;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ls.far_rtt.ms[k]),
+                std::bit_cast<std::uint64_t>(raw.series[i].far_rtt.ms[k]))
+          << ls.key << " far sample " << k;
+    }
+  }
+  // Classification verdicts are identical.
+  ASSERT_EQ(col.reports.size(), raw.reports.size());
+  for (std::size_t i = 0; i < raw.reports.size(); ++i) {
+    EXPECT_EQ(col.reports[i].congested(), raw.reports[i].congested());
+    EXPECT_EQ(col.reports[i].potentially_congested(), raw.reports[i].potentially_congested());
+  }
+  ASSERT_EQ(col.snapshots.size(), raw.snapshots.size());
+  for (std::size_t i = 0; i < raw.snapshots.size(); ++i) {
+    EXPECT_EQ(col.snapshots[i].discovered_links, raw.snapshots[i].discovered_links);
+    EXPECT_EQ(col.snapshots[i].congested_links, raw.snapshots[i].congested_links);
+  }
+  // The bounded-RSS claim: the store holds fewer bytes than raw doubles.
+  EXPECT_LT(col.columns->resident_bytes(), col.columns->raw_bytes());
 }
 
 TEST(PaperCampaigns, GhanatelEpisodesSignificant) {

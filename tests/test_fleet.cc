@@ -4,7 +4,9 @@
 // when a campaign throws.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <numeric>
 #include <sstream>
@@ -12,8 +14,10 @@
 
 #include "analysis/africa.h"
 #include "analysis/fleet.h"
+#include "analysis/substrate.h"
 #include "analysis/tables.h"
 #include "obs/export.h"
+#include "topo/gen.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 
@@ -222,6 +226,118 @@ TEST(Fleet, RegistryExportIsByteIdenticalAcrossJobCounts) {
       want = both;
     } else {
       EXPECT_EQ(both, want) << "jobs=" << jobs;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model shard assignment
+
+TEST(Fleet, ShardPlanCoversEverySpecExactlyOnce) {
+  const auto specs = make_all_vps();
+  CampaignOptions copt;
+  copt.round_interval = kMinute * 30;
+  for (const int jobs : {1, 2, 4, 6, 99}) {
+    const auto plan = plan_shards(specs, jobs, copt);
+    ASSERT_EQ(plan.cost.size(), specs.size());
+    ASSERT_EQ(plan.shard_of.size(), specs.size());
+    EXPECT_LE(plan.shards.size(), static_cast<std::size_t>(std::max(jobs, 1)));
+    EXPECT_LE(plan.shards.size(), specs.size());  // never more shards than work
+    std::vector<int> seen(specs.size(), 0);
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+      for (const std::size_t i : plan.shards[s]) {
+        ASSERT_LT(i, specs.size());
+        ++seen[i];
+        EXPECT_EQ(plan.shard_of[i], static_cast<int>(s));
+      }
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "spec " << i << " at jobs=" << jobs;
+      EXPECT_GT(plan.cost[i], 0.0);
+    }
+    // Pure function of (specs, jobs, options): re-planning is identical.
+    const auto again = plan_shards(specs, jobs, copt);
+    EXPECT_EQ(again.shards, plan.shards);
+    EXPECT_EQ(again.shard_of, plan.shard_of);
+    EXPECT_FALSE(plan.to_string(specs).empty());
+  }
+}
+
+TEST(Fleet, ShardPlanBalancesByEstimatedCost) {
+  // LPT with two shards: the heaviest spec must sit alone in one shard
+  // unless the remaining specs together are lighter than it.
+  const auto specs = make_all_vps();
+  CampaignOptions copt;
+  const auto plan = plan_shards(specs, 2, copt);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  double total = 0.0, heaviest = 0.0;
+  for (const double c : plan.cost) {
+    total += c;
+    heaviest = std::max(heaviest, c);
+  }
+  for (const auto& shard : plan.shards) {
+    double load = 0.0;
+    for (const std::size_t i : shard) load += plan.cost[i];
+    // Greedy LPT bound: no shard exceeds half the total plus one item.
+    EXPECT_LE(load, total / 2.0 + heaviest + 1e-9);
+  }
+  // Cost estimates respect the duration override (half the window, about
+  // half the link-rounds, plus the constant per-neighbor charge).
+  CampaignOptions half = copt;
+  half.duration_override = kDay * 30;
+  CampaignOptions full = copt;
+  full.duration_override = kDay * 60;
+  const double c_half = estimate_campaign_cost(specs[0], half);
+  const double c_full = estimate_campaign_cost(specs[0], full);
+  EXPECT_GT(c_half, 0.0);
+  EXPECT_LT(c_half, c_full);
+}
+
+TEST(Fleet, GeneratedSubstrateByteIdenticalAcrossJobCounts) {
+  // The continent-scale path: a generated substrate run with the columnar
+  // store engaged must produce bit-identical decoded series for any job
+  // count, even though the shard plan changes with --jobs.
+  auto spec = *topo::topo_spec_preset("regional50");
+  spec.ixps = 5;
+  spec.days = 2;
+  spec.members_max = 30;
+  const auto vps = generate_substrate(spec);
+
+  std::string want;
+  std::size_t want_shards = 0;
+  for (const int jobs : {1, 3}) {
+    FleetOptions fopt;
+    fopt.campaign.round_interval = kMinute * 30;
+    fopt.campaign.columnar = true;
+    fopt.jobs = jobs;
+    const auto fleet = run_fleet(vps, fopt);
+    EXPECT_EQ(fleet.plan.shards.size(), static_cast<std::size_t>(jobs));
+
+    std::ostringstream rendered;
+    for (const auto& r : fleet.results) {
+      ASSERT_NE(r.columns, nullptr);
+      ASSERT_EQ(r.columns->size(), r.series.size());
+      for (std::size_t i = 0; i < r.columns->size(); ++i) {
+        const auto ls = r.columns->decode(i);
+        rendered << ls.key << ":" << ls.near_rtt.ms.size();
+        for (const double v : ls.near_rtt.ms) {
+          rendered << "," << std::bit_cast<std::uint64_t>(v);
+        }
+        for (const double v : ls.far_rtt.ms) {
+          rendered << "," << std::bit_cast<std::uint64_t>(v);
+        }
+        rendered << "\n";
+      }
+      for (const auto& rep : r.reports) rendered << rep.congested() << " ";
+    }
+    ASSERT_FALSE(rendered.str().empty());
+    if (want.empty()) {
+      want = rendered.str();
+      want_shards = fleet.plan.shards.size();
+    } else {
+      EXPECT_EQ(rendered.str(), want) << "jobs=" << jobs;
+      EXPECT_NE(fleet.plan.shards.size(), want_shards)
+          << "plan should differ across job counts while results stay equal";
     }
   }
 }

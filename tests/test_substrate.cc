@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/substrate.h"
+#include "topo/gen.h"
+
+namespace ixp {
+namespace {
+
+using analysis::generate_substrate;
+using analysis::summarize_substrate;
+using topo::TopoSpec;
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+TEST(TopoSpecParse, KeyValueTextWithComments) {
+  std::string error;
+  const auto spec = topo::parse_topo_spec(
+      "# a three-exchange test substrate\n"
+      "name = tiny\n"
+      "seed = 9\n"
+      "ixps = 3\n"
+      "days = 7\n"
+      "members.dist = fixed   # every IXP the same size\n"
+      "members.mean = 5\n"
+      "rtt.continent.ms = 40\n",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "tiny");
+  EXPECT_EQ(spec->seed, 9u);
+  EXPECT_EQ(spec->ixps, 3);
+  EXPECT_EQ(spec->days, 7);
+  EXPECT_EQ(spec->members_dist, "fixed");
+  EXPECT_DOUBLE_EQ(spec->members_mean, 5.0);
+  EXPECT_DOUBLE_EQ(spec->rtt_continent_ms, 40.0);
+  // Unset keys keep their defaults.
+  EXPECT_DOUBLE_EQ(spec->rtt_fabric_ms, 0.15);
+}
+
+TEST(TopoSpecParse, RejectsUnknownKeysWithLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(topo::parse_topo_spec("ixps = 3\nfrobnicate = 1\n", &error).has_value());
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+  EXPECT_NE(error.find("2"), std::string::npos);  // the offending line
+
+  EXPECT_FALSE(topo::parse_topo_spec("ixps = many\n", &error).has_value());
+  EXPECT_FALSE(topo::parse_topo_spec("ixps\n", &error).has_value());
+}
+
+TEST(TopoSpecParse, RejectsOutOfRangeValues) {
+  std::string error;
+  EXPECT_FALSE(topo::parse_topo_spec("ixps = 0\n", &error).has_value());
+  EXPECT_FALSE(topo::parse_topo_spec("members.dist = zipf\n", &error).has_value());
+  EXPECT_FALSE(topo::parse_topo_spec("silent.fraction = 1.5\n", &error).has_value());
+  EXPECT_FALSE(topo::parse_topo_spec("congested.dtud.hours = 25\n", &error).has_value());
+}
+
+TEST(TopoSpecParse, CanonicalTextRoundTrips) {
+  for (const auto& name : topo::topo_spec_preset_names()) {
+    const auto preset = topo::topo_spec_preset(name);
+    ASSERT_TRUE(preset.has_value());
+    std::string error;
+    const auto reparsed = topo::parse_topo_spec(topo::topo_spec_to_string(*preset), &error);
+    ASSERT_TRUE(reparsed.has_value()) << name << ": " << error;
+    EXPECT_EQ(topo::topo_spec_to_string(*reparsed), topo::topo_spec_to_string(*preset))
+        << name;
+  }
+}
+
+TEST(TopoSpecParse, PresetsAreValid) {
+  const auto names = topo::topo_spec_preset_names();
+  EXPECT_EQ(names.size(), 3u);
+  for (const auto& name : names) {
+    const auto preset = topo::topo_spec_preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    EXPECT_TRUE(topo::validate_topo_spec(*preset).empty()) << name;
+  }
+  EXPECT_FALSE(topo::topo_spec_preset("nope").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+
+TEST(Substrate, PinnedSeedIsDeterministic) {
+  auto spec = *topo::topo_spec_preset("regional50");
+  spec.ixps = 8;
+  const auto a = generate_substrate(spec);
+  const auto b = generate_substrate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vp_name, b[i].vp_name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].ixp.name, b[i].ixp.name);
+    ASSERT_EQ(a[i].neighbors.size(), b[i].neighbors.size());
+    for (std::size_t k = 0; k < a[i].neighbors.size(); ++k) {
+      const auto& na = a[i].neighbors[k];
+      const auto& nb = b[i].neighbors[k];
+      EXPECT_EQ(na.name, nb.name);
+      EXPECT_EQ(na.asn, nb.asn);
+      EXPECT_EQ(na.lan_routers, nb.lan_routers);
+      EXPECT_EQ(na.ptp_links, nb.ptp_links);
+      EXPECT_EQ(na.silent, nb.silent);
+      EXPECT_EQ(na.congestion.size(), nb.congestion.size());
+      EXPECT_DOUBLE_EQ(na.port_capacity_bps, nb.port_capacity_bps);
+    }
+  }
+}
+
+TEST(Substrate, AddingAnIxpKeepsEarlierOnesIdentical) {
+  // Per-IXP RNG forks: growing the substrate must never perturb the
+  // exchanges that were already there (docs/SCALING.md relies on this to
+  // scale experiments up without invalidating earlier results).
+  auto small = *topo::topo_spec_preset("regional50");
+  small.ixps = 5;
+  auto big = small;
+  big.ixps = 9;
+  const auto a = generate_substrate(small);
+  const auto b = generate_substrate(big);
+  ASSERT_EQ(a.size(), 5u);
+  ASSERT_EQ(b.size(), 9u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vp_name, b[i].vp_name);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    ASSERT_EQ(a[i].neighbors.size(), b[i].neighbors.size());
+    for (std::size_t k = 0; k < a[i].neighbors.size(); ++k) {
+      EXPECT_EQ(a[i].neighbors[k].asn, b[i].neighbors[k].asn);
+      EXPECT_DOUBLE_EQ(a[i].neighbors[k].port_capacity_bps,
+                       b[i].neighbors[k].port_capacity_bps);
+    }
+  }
+}
+
+TEST(Substrate, NumberSpacesAreDisjoint) {
+  auto spec = *topo::topo_spec_preset("continent100");
+  spec.ixps = 20;
+  const auto vps = generate_substrate(spec);
+  std::set<std::uint32_t> asns;
+  for (const auto& vp : vps) {
+    EXPECT_GE(vp.ixp.ixp_asn, 3000000u);
+    EXPECT_TRUE(asns.insert(vp.ixp.ixp_asn).second)
+        << "duplicate IXP ASN " << vp.ixp.ixp_asn;
+    EXPECT_TRUE(asns.insert(vp.vp_asn).second) << "duplicate VP ASN " << vp.vp_asn;
+    for (const auto& n : vp.neighbors) {
+      EXPECT_GE(n.asn, 3000000u);
+      EXPECT_TRUE(asns.insert(n.asn).second)
+          << "duplicate member ASN " << n.asn << " at " << vp.ixp.name;
+    }
+    // Generated prefixes stay off the paper's 196/8 and the allocator
+    // pools (41/8, 102/8, 154.64/10).
+    EXPECT_EQ(vp.ixp.peering_prefix.network().value() >> 24, 197u);
+    EXPECT_EQ(vp.ixp.management_prefix.network().value() >> 24, 198u);
+  }
+}
+
+TEST(Substrate, InvalidSpecThrows) {
+  auto spec = *topo::topo_spec_preset("paper6");
+  spec.silent_fraction = 2.0;
+  EXPECT_THROW(generate_substrate(spec), std::runtime_error);
+}
+
+TEST(Substrate, SummaryCountsMatchTheVps) {
+  auto spec = *topo::topo_spec_preset("regional50");
+  spec.ixps = 10;
+  const auto vps = generate_substrate(spec);
+  const auto summary = summarize_substrate(spec, vps);
+  EXPECT_EQ(summary.ixps, 10);
+  std::size_t members = 0, silent = 0;
+  std::uint64_t lan = 0, ptp = 0;
+  for (const auto& vp : vps) {
+    for (const auto& n : vp.neighbors) {
+      ++members;
+      if (n.silent) {
+        ++silent;
+        continue;
+      }
+      lan += static_cast<std::uint64_t>(n.lan_routers);
+      ptp += static_cast<std::uint64_t>(n.ptp_links);
+    }
+  }
+  EXPECT_EQ(summary.members, static_cast<int>(members));
+  EXPECT_EQ(summary.silent_members, static_cast<int>(silent));
+  EXPECT_EQ(summary.lan_links, lan);
+  EXPECT_EQ(summary.ptp_links, ptp);
+  EXPECT_EQ(summary.monitored_links(), lan + ptp);
+  // Per-VP campaign windows follow the spec.
+  for (const auto& vp : vps) {
+    EXPECT_EQ((vp.campaign_end - vp.campaign_start).count(), (kDay * spec.days).count());
+  }
+}
+
+}  // namespace
+}  // namespace ixp

@@ -48,6 +48,35 @@ RttSeries flat_near(int days, double base_ms, double noise_ms, std::uint64_t see
 // ---------------------------------------------------------------------------
 // Level-shift detection
 
+TEST(LevelShift, ScaledMeanLongHorizon) {
+  // Regression for the duration/period averages at int32-overflow-adjacent
+  // sample counts: with ~2.2e9 samples (a multi-year series) the 64-bit
+  // product samples * interval.count() overflows, so scaled_mean in
+  // level_shift.cc takes it at 128 bits.
+  LevelShiftResult res;
+  res.episodes.push_back({0, 1100000000, 10.0});
+  res.episodes.push_back({1200000000, 2300000000, 10.0});
+  const Duration iv(5000000000);  // 5-second cadence
+  // total = 2.2e9 samples: the naive product 2.2e9 * 5e9 ns = 1.1e19
+  // exceeds INT64_MAX; the per-episode mean (5.5e18 ns) still fits.
+  EXPECT_EQ(res.average_duration(iv).count(), 5500000000000000000LL);
+  // Span between first and last begin = 1.2e9 samples over one gap.
+  EXPECT_EQ(res.average_period(iv).count(), 6000000000000000000LL);
+}
+
+TEST(LevelShift, ScaledMeanRoundsToNearest) {
+  // Dividing before multiplying truncated to whole sample counts and
+  // biased dt_UD low by up to a full interval; the mean must round to the
+  // nearest nanosecond instead.
+  LevelShiftResult res;
+  res.episodes.push_back({0, 2, 5.0});    // 2 samples
+  res.episodes.push_back({10, 13, 5.0});  // 3 samples
+  res.episodes.push_back({20, 25, 5.0});  // 5 samples
+  const Duration iv(1000000000);          // 1 s
+  // mean = 10/3 samples = 3.333... s
+  EXPECT_EQ(res.average_duration(iv).count(), 3333333333LL);
+}
+
 TEST(LevelShift, DetectsDailyEpisodes) {
   const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 1);
   LevelShiftDetector det;

@@ -20,6 +20,10 @@
 //       run the six VP campaigns under a named fault plan and score the
 //       classifier against the engineered ground truth (precision/recall
 //       under measurement pathologies; see EXPERIMENTS.md).
+//   afixp gen       [--spec continent100|file] [--run | --bench | --print]
+//       expand a declarative topology spec into a whole IXP substrate and
+//       (optionally) run the fleet over it with columnar RTT storage, or
+//       benchmark it into BENCH_substrate.json (see docs/SCALING.md).
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -31,6 +35,7 @@
 #include "analysis/fleet.h"
 #include "analysis/report.h"
 #include "analysis/selftest.h"
+#include "analysis/substrate.h"
 #include "analysis/tables.h"
 #include "obs/export.h"
 #include "prober/warts_lite.h"
@@ -39,6 +44,7 @@
 #include "util/fault_plan.h"
 #include "util/flags.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -460,6 +466,155 @@ int cmd_chaos(int argc, const char* const* argv) {
   return case_ok ? 0 : 1;
 }
 
+// "3.2M" / "1.4 GiB" style figures for the gen summary lines.  Sizing a
+// substrate is the whole point of the summary; raw digit strings at 10^9
+// samples are unreadable.
+std::string human_count(double v) {
+  if (v >= 1e9) return strformat("%.1fG", v / 1e9);
+  if (v >= 1e6) return strformat("%.1fM", v / 1e6);
+  if (v >= 1e3) return strformat("%.1fk", v / 1e3);
+  return strformat("%.0f", v);
+}
+
+std::string human_bytes(double v) {
+  if (v >= 1024.0 * 1024.0 * 1024.0) return strformat("%.1f GiB", v / (1024.0 * 1024.0 * 1024.0));
+  if (v >= 1024.0 * 1024.0) return strformat("%.1f MiB", v / (1024.0 * 1024.0));
+  if (v >= 1024.0) return strformat("%.1f KiB", v / 1024.0);
+  return strformat("%.0f B", v);
+}
+
+int cmd_gen(int argc, const char* const* argv) {
+  Flags flags("afixp gen",
+              "expand a topology spec into an IXP substrate; summarize, run, or bench it");
+  flags.add_string("spec", "continent100",
+                   "preset name or spec-file path (see --list-presets, docs/SCALING.md)");
+  flags.add_bool("list-presets", false, "list the built-in spec presets and exit");
+  flags.add_bool("print", false, "print the resolved spec in canonical form and exit");
+  flags.add_bool("run", false,
+                 "run the generated fleet end to end (columnar RTT storage engaged)");
+  flags.add_bool("bench", false,
+                 "benchmark the run and write the BENCH_substrate.json record (--out)");
+  flags.add_bool("shard-plan", false, "print the cost-model shard assignment");
+  flags.add_int("seed", 0, "override the spec's seed (0 = keep)");
+  flags.add_int("days", 0, "override the campaign length in days (0 = the spec's)");
+  flags.add_int("round-minutes", 5, "TSLP probing cadence");
+  flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
+  flags.add_string("out", "BENCH_substrate.json", "--bench output JSON path (empty = stdout)");
+  flags.add_string("metrics-out", "",
+                   "fleet metrics registry export path (default IXP_METRICS; empty = off)");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text() << "\n" << kEnvHelp;
+    return 0;
+  }
+  if (flags.get_bool("list-presets")) {
+    for (const auto& name : topo::topo_spec_preset_names()) {
+      const auto p = *topo::topo_spec_preset(name);
+      std::cout << strformat("  %-12s %3d IXPs, %2d days, members.dist=%s\n", name.c_str(),
+                             p.ixps, p.days, p.members_dist.c_str());
+    }
+    return 0;
+  }
+
+  // The spec argument is a preset name first, a file path second -- so the
+  // documented tiers never depend on the working directory.
+  const std::string spec_arg = flags.get_string("spec");
+  std::optional<topo::TopoSpec> spec = topo::topo_spec_preset(spec_arg);
+  if (!spec) {
+    std::string error;
+    spec = topo::load_topo_spec(spec_arg, &error);
+    if (!spec) {
+      std::cerr << "--spec '" << spec_arg << "' is neither a preset nor a spec file: "
+                << error << "\n";
+      return 2;
+    }
+  }
+  if (flags.get_int("seed") > 0) spec->seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (flags.get_int("days") > 0) spec->days = static_cast<int>(flags.get_int("days"));
+  if (flags.get_bool("print")) {
+    std::cout << topo::topo_spec_to_string(*spec);
+    return 0;
+  }
+
+  if (flags.get_bool("bench")) {
+    analysis::SubstrateBenchOptions bopt;
+    bopt.jobs = static_cast<int>(flags.get_int("jobs"));
+    bopt.round_interval = kMinute * flags.get_int("round-minutes");
+    const auto report = analysis::run_substrate_benchmark(*spec, bopt, &std::cerr);
+    const auto out_path = flags.get_string("out");
+    if (out_path.empty()) {
+      analysis::write_substrate_bench_json(std::cout, report);
+      return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    analysis::write_substrate_bench_json(out, report);
+    std::cout << "bench record: " << out_path << "\n";
+    return 0;
+  }
+
+  const auto vps = analysis::generate_substrate(*spec);
+  const auto summary = analysis::summarize_substrate(*spec, vps);
+  const Duration interval = kMinute * flags.get_int("round-minutes");
+  std::cout << strformat(
+      "%s: %d IXPs, %d members (%d silent, %d congested, %d noisy), "
+      "%llu monitored links (%llu LAN + %llu ptp)\n",
+      spec->name.c_str(), summary.ixps, summary.members, summary.silent_members,
+      summary.congested_members, summary.noisy_members,
+      static_cast<unsigned long long>(summary.monitored_links()),
+      static_cast<unsigned long long>(summary.lan_links),
+      static_cast<unsigned long long>(summary.ptp_links));
+  std::cout << strformat(
+      "%d-day campaign at %lld-min rounds: ~%s samples (%s raw)\n", spec->days,
+      static_cast<long long>(interval.count() / kMinute.count()),
+      human_count(static_cast<double>(summary.samples(kDay * spec->days, interval))).c_str(),
+      human_bytes(static_cast<double>(summary.samples(kDay * spec->days, interval)) * 8).c_str());
+
+  analysis::FleetOptions fopt;
+  fopt.jobs = static_cast<int>(flags.get_int("jobs"));
+  fopt.campaign.round_interval = interval;
+  fopt.campaign.columnar = true;
+  if (flags.get_bool("shard-plan") && !flags.get_bool("run")) {
+    const int jobs = ThreadPool::resolve_jobs(fopt.jobs, vps.size());
+    std::cout << analysis::plan_shards(vps, jobs, fopt.campaign).to_string(vps);
+    return 0;
+  }
+  if (!flags.get_bool("run")) return 0;
+
+  obs::Registry metrics_reg;
+  analysis::FleetStatusPrinter status(std::cerr, vps);
+  fopt.on_progress = [&status](const analysis::CampaignMetrics& m) { status(m); };
+  auto fleet = analysis::run_fleet(vps, fopt);
+  status.finish();
+  analysis::print_fleet_metrics(std::cerr, fleet);
+  if (flags.get_bool("shard-plan")) std::cout << fleet.plan.to_string(vps);
+
+  std::uint64_t links = 0, congested = 0, resident = 0, raw = 0;
+  for (const auto& r : fleet.results) {
+    links += r.series.size();
+    congested += r.congested();
+    if (r.columns != nullptr) {
+      resident += r.columns->resident_bytes();
+      raw += r.columns->raw_bytes();
+    }
+  }
+  std::cout << strformat(
+      "ran %zu campaigns: %llu monitored links, %llu congested; "
+      "series store %s resident (%s raw, %.1fx)\n",
+      vps.size(), static_cast<unsigned long long>(links),
+      static_cast<unsigned long long>(congested),
+      human_bytes(static_cast<double>(resident)).c_str(),
+      human_bytes(static_cast<double>(raw)).c_str(),
+      resident > 0 ? static_cast<double>(raw) / static_cast<double>(resident) : 0.0);
+  return export_metrics(resolve_metrics_out(flags), fleet.registry);
+}
+
 int cmd_casebook(int argc, const char* const* argv) {
   Flags flags("afixp casebook", "print the documented §6.2 case studies");
   if (!flags.parse(argc, argv)) {
@@ -500,6 +655,8 @@ constexpr Command kCommands[] = {
     {"bench", "probe hot-path benchmark harness (BENCH_sim.json)", &cmd_bench},
     {"chaos", "run the VP fleet under a fault plan and score the classifier",
      &cmd_chaos},
+    {"gen", "expand a topology spec into an IXP substrate and run or bench it",
+     &cmd_gen},
 };
 
 void print_usage(std::ostream& out) {

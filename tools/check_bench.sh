@@ -14,10 +14,16 @@
 # so a big gap means someone put registry work on the per-probe path.  The
 # threshold (0.70x) is deliberately loose to survive CI noise.
 #
-# usage: check_bench.sh <bench_probe_binary>
+# When a bench_substrate binary is supplied, its smoke workload runs under
+# the same format gate: the afixp-bench-substrate/1 record must carry every
+# field docs/SCALING.md documents, with positive throughput and a columnar
+# store that actually beats raw storage.
+#
+# usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary]
 set -u
 
-bench=${1:?usage: check_bench.sh <bench_probe_binary>}
+bench=${1:?usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary]}
+substrate=${2:-}
 [ -x "$bench" ] || { echo "check_bench: cannot execute $bench" >&2; exit 1; }
 
 out=$(mktemp)
@@ -92,4 +98,54 @@ if ratio < 0.70:
     sys.exit(f"check_bench: metrics collection costs too much "
              f"(ratio {ratio:.3f} < 0.70) -- registry work on the hot path?")
 print("check_bench: overhead gate OK")
+EOF
+[ $? -eq 0 ] || exit 1
+
+# --- Substrate benchmark record gate ---------------------------------------
+[ -n "$substrate" ] || exit 0
+[ -x "$substrate" ] || { echo "check_bench: cannot execute $substrate" >&2; exit 1; }
+
+sub_out=$(mktemp)
+trap 'rm -f "$out" "$metrics_out" "$sub_out"' EXIT
+if ! "$substrate" --smoke --out "$sub_out"; then
+    echo "check_bench: bench_substrate --smoke exited non-zero" >&2
+    exit 1
+fi
+
+python3 - "$sub_out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed substrate JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: {msg}")
+
+if record.get("schema") != "afixp-bench-substrate/1":
+    fail(f"unexpected substrate schema tag {record.get('schema')!r}")
+if record.get("workload") != "smoke":
+    fail(f"expected substrate workload 'smoke', got {record.get('workload')!r}")
+# The full field set docs/SCALING.md documents -- losing any breaks the
+# cross-commit comparison workflow.
+fields = {
+    "schema", "workload", "spec", "seed", "jobs", "ixps", "links", "rounds",
+    "samples", "probes", "wall_seconds", "link_rounds_per_sec",
+    "probes_per_sec", "resident_bytes", "raw_bytes", "bytes_per_link",
+    "raw_bytes_per_link", "compression_ratio", "peak_rss_kb",
+}
+missing = fields - record.keys()
+if missing:
+    fail(f"substrate record lacks field(s) {sorted(missing)}")
+for key in ("ixps", "links", "rounds", "samples", "probes",
+            "link_rounds_per_sec", "bytes_per_link", "peak_rss_kb"):
+    if not (isinstance(record[key], (int, float)) and record[key] > 0):
+        fail(f"substrate record has non-positive {key}: {record[key]!r}")
+if not record["resident_bytes"] < record["raw_bytes"]:
+    fail(f"columnar store does not beat raw storage "
+         f"({record['resident_bytes']} >= {record['raw_bytes']} bytes)")
+print("check_bench: substrate record OK")
 EOF

@@ -19,7 +19,7 @@ err() {
     errors=$((errors + 1))
 }
 
-subcommands="campaign analyze tables casebook selftest bench chaos"
+subcommands="campaign analyze tables casebook selftest bench chaos gen"
 
 # --- 1. `afixp help` exits 0 and lists every subcommand -------------------
 help_out=$("$afixp" help 2>&1)

@@ -4,6 +4,10 @@
 # Fails when README.md references a binary, afixp subcommand, afixp flag,
 # or IXP_* environment variable that no longer exists -- and, conversely,
 # when the sources read an IXP_* knob that README does not document.
+# Also holds docs/SCALING.md to its two contracts: the topology-spec keys
+# it documents must match the kSpecKeys parser table in src/topo/gen.cc,
+# and its benchmark-field table must match the committed
+# BENCH_substrate.json record (both directions each).
 #
 # usage: check_docs.sh <source_dir> <afixp_binary>
 set -u
@@ -103,6 +107,56 @@ done
 for doc in $(grep -oE '\]\(([A-Za-z0-9_/.-]+\.md)\)' "$readme" | sed 's/](\(.*\))/\1/' | sort -u); do
     [ -f "$src/$doc" ] || err "README links to '$doc' but the file does not exist"
 done
+
+# --- 7. Topology-spec keys: docs/SCALING.md <-> src/topo/gen.cc -----------
+# The kSpecKeys table in src/topo/gen.cc is the single parser-side list of
+# `key = value` spec keys, and the key-reference table in docs/SCALING.md is
+# the operator-facing contract.  Both directions must agree: every parsed
+# key is documented, and SCALING.md documents no ghost keys.
+scaling="$src/docs/SCALING.md"
+gen_cc="$src/src/topo/gen.cc"
+[ -r "$scaling" ] || err "docs/SCALING.md does not exist (the scaling guide is part of the docs contract)"
+[ -r "$gen_cc" ] || err "cannot read $gen_cc"
+if [ -r "$scaling" ] && [ -r "$gen_cc" ]; then
+    spec_keys=$(sed -n '/kSpecKeys\[\]/,/^};/p' "$gen_cc" |
+        grep -oE '\{"[a-z.]+"' | tr -d '{"' | sort -u)
+    [ -n "$spec_keys" ] || err "no keys found in the kSpecKeys table of $gen_cc"
+    for k in $spec_keys; do
+        grep -q "\`$k\`" "$scaling" ||
+            err "spec key '$k' (kSpecKeys) is not documented in docs/SCALING.md"
+    done
+    # Reverse direction: keys listed in the SCALING.md key-reference table
+    # (first column of the table under '### Key reference') must parse.
+    doc_keys=$(sed -n '/^### Key reference/,/^## /p' "$scaling" |
+        grep -oE '^\| `[a-z.]+`' | tr -d '`| ' | sort -u)
+    [ -n "$doc_keys" ] || err "no key-reference table found in docs/SCALING.md"
+    for k in $doc_keys; do
+        echo "$spec_keys" | grep -qx "$k" ||
+            err "docs/SCALING.md documents spec key '$k' but kSpecKeys does not parse it"
+    done
+fi
+
+# --- 8. BENCH_substrate.json fields: record <-> docs/SCALING.md -----------
+# The committed record at the repo root is the reference continent-scale
+# run; SCALING.md documents every field of the afixp-bench-substrate/1
+# schema, and documents no ghost fields.
+sub_record="$src/BENCH_substrate.json"
+[ -r "$sub_record" ] || err "BENCH_substrate.json does not exist at the repo root"
+if [ -r "$scaling" ] && [ -r "$sub_record" ]; then
+    record_fields=$(grep -oE '^  "[a-z_]+"' "$sub_record" | tr -d ' "' | sort -u)
+    [ -n "$record_fields" ] || err "no fields found in $sub_record"
+    for f in $record_fields; do
+        grep -q "\`$f\`" "$scaling" ||
+            err "BENCH_substrate.json field '$f' is not documented in docs/SCALING.md"
+    done
+    doc_fields=$(sed -n '/^## The substrate benchmark/,$p' "$scaling" |
+        grep -oE '^\| `[a-z_]+`' | tr -d '`| ' | sort -u)
+    [ -n "$doc_fields" ] || err "no benchmark-field table found in docs/SCALING.md"
+    for f in $doc_fields; do
+        echo "$record_fields" | grep -qx "$f" ||
+            err "docs/SCALING.md documents bench field '$f' but the record does not carry it"
+    done
+fi
 
 if [ -s "$errors" ]; then
     echo "check_docs: FAILED ($(wc -l < "$errors") problem(s))" >&2
