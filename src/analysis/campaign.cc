@@ -6,6 +6,8 @@
 #include "geo/dns_lite.h"
 #include "sim/faults.h"
 #include "registry/registry.h"
+#include "tslp/engine.h"
+#include "tslp/online.h"
 #include "util/strings.h"
 #include "util/log.h"
 
@@ -100,9 +102,30 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   auto to_meta = [](const prober::MonitorTarget& t) {
     return series::LinkMeta{t.key, t.near_ip, t.far_ip, t.near_asn, t.far_asn, t.at_ixp};
   };
+
+  // Final classification runs at the 5 ms floor (threshold sweeps re-filter
+  // episodes by magnitude afterwards); computed up front because the online
+  // detectors must scan windows with the same options finalize will use.
+  tslp::ClassifierOptions final_opts = opt.classifier;
+  final_opts.level_shift.threshold_ms = std::min(final_opts.level_shift.threshold_ms, 5.0);
+  tslp::LevelShiftOptions online_near_opts = final_opts.level_shift;
+  online_near_opts.threshold_ms = final_opts.near_threshold_ms;
+  std::vector<tslp::OnlineLevelShift> online_near, online_far;
+  auto add_online = [&](std::uint64_t lead_missing) {
+    if (!opt.online) return;
+    online_near.emplace_back(online_near_opts, start, opt.round_interval);
+    online_far.emplace_back(final_opts.level_shift, start, opt.round_interval);
+    if (lead_missing > 0) {
+      const std::vector<double> pad(lead_missing, tslp::kMissing);
+      online_near.back().push(pad);
+      online_far.back().push(pad);
+    }
+  };
+
   std::set<net::Ipv4Address> known_far;
   for (const auto& t : targets) {
     known_far.insert(t.far_ip);
+    add_online(0);
     if (store != nullptr) {
       store->add_link(to_meta(t));
       continue;
@@ -271,6 +294,10 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
         opt.metrics->span(metric::kSegmentSpan)->record(b - t);
       }
       for (std::size_t i = 0; i < segment.size(); ++i) {
+        if (opt.online) {
+          online_near[i].push(segment[i].near_rtt.ms);
+          online_far[i].push(segment[i].far_rtt.ms);
+        }
         if (store != nullptr) {
           store->append(i, segment[i].near_rtt.ms, segment[i].far_rtt.ms);
           continue;
@@ -290,6 +317,13 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       if (known_far.count(nt.far_ip)) continue;
       known_far.insert(nt.far_ip);
       targets.push_back(nt);
+      // Like the sample accumulators, a link discovered mid-campaign joins
+      // the online detectors with its past padded as one missing run.
+      if (store != nullptr) {
+        add_online(store->size() > 0 ? store->samples(0) : 0);
+      } else {
+        add_online(series.empty() ? 0 : series.front().far_rtt.ms.size());
+      }
       if (store != nullptr) {
         // Pad the past with a leading gap run (a handful of bytes, vs. the
         // raw path's 8 bytes per elapsed round).
@@ -323,10 +357,62 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
   }
 
   // ---- Final classification (5 ms floor for threshold sweeps) --------------
-  tslp::ClassifierOptions copt = opt.classifier;
-  copt.level_shift.threshold_ms = std::min(copt.level_shift.threshold_ms, 5.0);
-  tslp::CongestionClassifier final_classifier(copt);
-  if (store != nullptr) {
+  tslp::CongestionClassifier final_classifier(final_opts);
+  if (opt.online) {
+    // The window scans already ran as rounds completed; replay only the
+    // assembly tail against a transient view of each full series (decoded
+    // into one reusable buffer pair in columnar mode) and classify from
+    // the finalized shifts.  Byte-identical to the offline branches below.
+    obs::Histogram* rtt_hist =
+        store != nullptr && opt.metrics != nullptr
+            ? opt.metrics->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000})
+            : nullptr;
+    tslp::DetectScratch scratch;
+    std::vector<double> near_buf, far_buf;
+    const std::size_t link_count = store != nullptr ? store->size() : series.size();
+    result.reports.reserve(link_count);
+    for (std::size_t i = 0; i < link_count; ++i) {
+      tslp::LinkSeries decoded;
+      const tslp::LinkSeries* ls = &decoded;
+      if (store != nullptr) {
+        store->decode_into(i, near_buf, far_buf);
+        const series::LinkMeta& m = store->meta(i);
+        decoded.key = m.key;
+        decoded.near_ip = m.near_ip;
+        decoded.far_ip = m.far_ip;
+        decoded.near_asn = m.near_asn;
+        decoded.far_asn = m.far_asn;
+        decoded.at_ixp = m.at_ixp;
+        decoded.near_rtt.start = store->start();
+        decoded.near_rtt.interval = store->interval();
+        decoded.far_rtt.start = store->start();
+        decoded.far_rtt.interval = store->interval();
+        decoded.near_rtt.ms = std::move(near_buf);
+        decoded.far_rtt.ms = std::move(far_buf);
+      } else {
+        ls = &series[i];
+      }
+      result.reports.push_back(final_classifier.classify_with_shifts(
+          *ls, online_far[i].finalize(tslp::view_of(ls->far_rtt), scratch),
+          online_near[i].finalize(tslp::view_of(ls->near_rtt), scratch)));
+      if (store != nullptr) {
+        if (rtt_hist != nullptr) {
+          for (const double ms : decoded.far_rtt.ms) rtt_hist->observe(ms);
+        }
+        // Hand the buffers back for the next link, then keep metadata only.
+        near_buf = std::move(decoded.near_rtt.ms);
+        far_buf = std::move(decoded.far_rtt.ms);
+        decoded.near_rtt.ms = {};
+        decoded.far_rtt.ms = {};
+        result.series.push_back(std::move(decoded));
+      }
+    }
+    if (store != nullptr) {
+      result.columns = store;
+    } else {
+      result.series = std::move(series);
+    }
+  } else if (store != nullptr) {
     // Decode-classify-discard, one link at a time: peak RSS is the encoded
     // store plus a single decoded series.  The far-RTT histogram is
     // observed here so the samples are not decoded a second time below.
@@ -377,16 +463,21 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     reg->counter(metric::kNetIcmp)->set(net.icmp_generated);
     reg->counter(metric::kNetHops)->set(net.hops_walked);
     std::uint64_t episodes = 0, raw_episodes = 0, refused = 0;
+    std::uint64_t windows_scanned = 0, windows_skipped = 0;
     for (const auto& r : result.reports) {
       for (const tslp::LevelShiftResult* ls : {&r.far_shifts, &r.near_shifts}) {
         episodes += ls->episodes.size();
         raw_episodes += ls->raw_episode_count;
         refused += ls->refused_low_coverage ? 1 : 0;
+        windows_scanned += ls->windows_scanned;
+        windows_skipped += ls->windows_skipped_dark + ls->windows_skipped_quiet;
       }
     }
     reg->counter(metric::kDetectorEpisodes)->set(episodes);
     reg->counter(metric::kDetectorRawEpisodes)->set(raw_episodes);
     reg->counter(metric::kDetectorRefused)->set(refused);
+    reg->counter(metric::kDetectorWindowsScanned)->set(windows_scanned);
+    reg->counter(metric::kDetectorWindowsSkipped)->set(windows_skipped);
     if (store == nullptr) {  // columnar mode observed during classification
       obs::Histogram* rtt =
           reg->histogram(metric::kFarRttMs, {5, 10, 20, 50, 100, 200, 500, 1000});

@@ -55,6 +55,10 @@ inline constexpr char kDetectorEpisodes[] = "afixp_detector_episodes_total";
 inline constexpr char kDetectorRawEpisodes[] = "afixp_detector_raw_episodes_total";
 inline constexpr char kDetectorRefused[] =
     "afixp_detector_refused_low_coverage_total";
+inline constexpr char kDetectorWindowsScanned[] =
+    "afixp_detector_windows_scanned_total";
+inline constexpr char kDetectorWindowsSkipped[] =
+    "afixp_detector_windows_skipped_total";
 inline constexpr char kFarRttMs[] = "afixp_tslp_far_rtt_ms";
 inline constexpr char kSegmentSpan[] = "afixp_campaign_segment_simtime";
 inline constexpr char kWindowSpan[] = "afixp_campaign_window_simtime";
@@ -106,6 +110,15 @@ struct CampaignOptions {
   /// (empty ms vectors) -- the samples live in VpCampaignResult::columns.
   /// Off by default: the paper-scale path and its goldens are unchanged.
   bool columnar = false;
+  /// Run level-shift detection *online*: one OnlineLevelShift pair per
+  /// monitored link consumes each segment's samples as rounds complete, so
+  /// the expensive rank-CUSUM window scans are already done when the
+  /// campaign ends and the final classification only replays the cheap
+  /// assembly tail (against the columnar store's decode buffer when
+  /// `columnar` is also set).  Reports are byte-identical to the offline
+  /// path -- the online detector is equivalence-pinned in test_tslp.cc --
+  /// and the snapshot-window classifications are unaffected.
+  bool online = false;
 };
 
 struct SnapshotResult {

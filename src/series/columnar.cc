@@ -120,6 +120,12 @@ void Column::append(std::span<const double> values) {
 
 std::vector<double> Column::decode() const {
   std::vector<double> out;
+  decode_into(out);
+  return out;
+}
+
+void Column::decode_into(std::vector<double>& out) const {
+  out.clear();
   out.reserve(samples);
   std::size_t pos = 0;
   std::int64_t q = 0;
@@ -153,7 +159,6 @@ std::vector<double> Column::decode() const {
   // The trailing missing run is flushed lazily; materialize it here.
   out.insert(out.end(), open_gap, tslp::kMissing);
   IXP_CHECK(out.size() == samples, "columnar: decoded length mismatch");
-  return out;
 }
 
 std::size_t Column::resident_bytes() const {
@@ -219,6 +224,13 @@ tslp::LinkSeries SeriesStore::decode(std::size_t i) const {
   ls.far_rtt.interval = interval_;
   ls.far_rtt.ms = e.far.decode();
   return ls;
+}
+
+void SeriesStore::decode_into(std::size_t i, std::vector<double>& near,
+                              std::vector<double>& far) const {
+  IXP_CHECK(i < links_.size(), "SeriesStore::decode_into: bad link index");
+  links_[i].near.decode_into(near);
+  links_[i].far.decode_into(far);
 }
 
 std::size_t SeriesStore::resident_bytes() const {

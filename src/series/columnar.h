@@ -76,6 +76,9 @@ struct Column {
   void append(std::span<const double> values);
   /// Decodes the full column back to raw samples, bit-exact.
   [[nodiscard]] std::vector<double> decode() const;
+  /// Same decode into a caller-owned buffer (cleared first), so a sweep
+  /// over a large store reuses one allocation instead of one per column.
+  void decode_into(std::vector<double>& out) const;
   /// Bytes held, including any open gap run (flushed lazily on decode).
   [[nodiscard]] std::size_t resident_bytes() const;
 };
@@ -117,6 +120,11 @@ class SeriesStore {
   /// Decodes link `i` into a LinkSeries identical to what the raw
   /// in-memory path would have accumulated.
   [[nodiscard]] tslp::LinkSeries decode(std::size_t i) const;
+
+  /// Decodes link `i`'s two columns into reusable buffers (bit-exact, like
+  /// decode) without constructing a LinkSeries; the TSLP fast path wraps
+  /// the buffers in SeriesViews on the store's time base.
+  void decode_into(std::size_t i, std::vector<double>& near, std::vector<double>& far) const;
 
   [[nodiscard]] std::size_t size() const { return links_.size(); }
   [[nodiscard]] const LinkMeta& meta(std::size_t i) const { return links_[i].meta; }

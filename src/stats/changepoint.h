@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,62 @@ double change_confidence(std::span<const double> v, int rounds, Rng& rng);
 
 /// Full recursive change-point detection.
 std::vector<ChangePoint> detect_change_points(std::span<const double> v, const CusumOptions& opt = {});
+
+/// Reusable buffers for detect_change_point_indices: the TSLP fast path
+/// calls it once per analysis window, so the rank array, the bootstrap's
+/// shuffle buffer, and the result vector are recycled across calls instead
+/// of being reallocated hundreds of times per series.
+struct ChangePointScratch {
+  std::vector<double> ranks;        ///< rank transform of the window
+  std::vector<std::size_t> order;   ///< rank computation ordering scratch
+  std::vector<double> shuffled;     ///< bootstrap permutation buffer
+  /// Integer twin of `shuffled` for windows whose CUSUM arithmetic is
+  /// provably exact (rank inputs with a dyadic mean): the bootstrap then
+  /// runs on scaled int32 values with identical decisions and a much
+  /// shorter add-latency chain.
+  std::vector<std::int32_t> shuffled_int;
+  std::vector<std::size_t> found;   ///< accepted indices (sorted, unique)
+  /// Per-span division magics for the bootstrap's Fisher-Yates draws
+  /// (index = span): mod_magic[s] = ceil(2^64 / s), mod_limit[s] the
+  /// rejection threshold Rng::uniform_int uses.  Grown on demand and kept
+  /// across windows, so each span pays for its two divisions once ever
+  /// instead of once per draw.
+  std::vector<std::uint64_t> mod_magic;
+  std::vector<std::uint64_t> mod_limit;
+};
+
+/// Accepted change-point *indices* only: the same recursion as
+/// detect_change_points -- identical indices for identical input, options,
+/// and seed -- without the per-point confidence re-estimation and segment
+/// medians the reporting variant computes.  The level-shift detector
+/// discards those, and the re-estimation repeats the full bootstrap per
+/// accepted point, so this is the hot-path entry (the bootstrap *decisions*
+/// replay the exact same RNG stream; only the discarded reporting work is
+/// skipped).  Returns a reference to scratch.found, valid until reuse.
+const std::vector<std::size_t>& detect_change_point_indices(std::span<const double> v,
+                                                            const CusumOptions& opt,
+                                                            ChangePointScratch& scratch);
+
+/// One window of a batched change-point run: the same contract as
+/// detect_change_point_indices (raw values + options in, sorted unique
+/// accepted indices out), expressed as a task so many windows can be
+/// submitted at once.
+struct ChangePointTask {
+  std::span<const double> v;       ///< raw window samples (rank transform applied internally)
+  CusumOptions opt;                ///< per-window seed already folded in
+  std::vector<std::size_t> found;  ///< out: accepted indices, sorted, unique
+};
+
+/// Batched detect_change_point_indices: each task's result is byte-identical
+/// to a standalone call with the same (v, opt), but the top-level bootstraps
+/// of up to four windows run with their draw streams interleaved.  Every
+/// window owns an independent generator (the caller perturbs the seed per
+/// window), so interleaving cannot change any stream -- it only overlaps the
+/// xoshiro latency chains of four windows, which is where the sequential
+/// path stalls.  Sub-segment recursion of accepted windows runs scalar, in
+/// task order.
+void detect_change_point_indices_batch(std::span<ChangePointTask> tasks,
+                                       ChangePointScratch& scratch);
 
 /// Converts change points into level segments covering [0, n).
 std::vector<Segment> to_segments(std::span<const double> v, const std::vector<ChangePoint>& cps);

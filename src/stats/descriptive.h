@@ -23,6 +23,14 @@ double median(std::span<const double> v);
 /// Linear-interpolated quantile q in [0,1] of finite entries; NaN if none.
 double quantile(std::span<const double> v, double q);
 
+/// Quantile over an already-compacted buffer of finite values.  Reorders
+/// `finite` (selection, not a sort) but uses only its multiset of values,
+/// so repeated calls on the same buffer return exactly what fresh calls on
+/// the original compaction would -- the property the TSLP fast path's
+/// fused p95/p05 prefilter relies on.  quantile() routes through this, so
+/// there is a single copy of the interpolation math.
+double quantile_inplace(std::span<double> finite, double q);
+
 /// Median absolute deviation (scaled by 1.4826 to be sigma-consistent).
 double mad(std::span<const double> v);
 

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "stats/descriptive.h"
+#include "tslp/engine.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace ixp::tslp {
@@ -41,20 +43,61 @@ void weekday_weekend_peaks(const RttSeries& s, double baseline, double& weekday,
   weekend = std::isnan(wep) ? 0.0 : std::max(0.0, wep - baseline);
 }
 
+// The fast path's split: is_weekend is constant within a calendar day, so
+// samples are bucketed a day-block at a time with a vectorized compaction
+// instead of a to_calendar call per sample.  Identical results: the day of
+// sample i here is exactly to_calendar(time_of(i)).day (including the
+// clamp-negative-to-day-0 rule), samples land in the same bucket in the
+// same order, and dropping non-finite values early is invisible to the
+// p95 (stats::quantile skips them anyway).
+void weekday_weekend_peaks_fast(const RttSeries& s, double baseline, double& weekday,
+                                double& weekend) {
+  std::vector<double> wd, we;
+  wd.reserve(s.ms.size());
+  we.reserve(s.ms.size() / 3);
+  const std::int64_t day_ns = kDay.count();
+  const std::int64_t iv = s.interval.count();
+  const std::int64_t start_ns = s.start.ns();
+  const std::size_t n = s.ms.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::int64_t t = start_ns + static_cast<std::int64_t>(i) * iv;
+    const std::int64_t ns = t < 0 ? 0 : t;
+    const std::int64_t day = ns / day_ns;
+    // First index on the next calendar day: ceil(((day+1)*day_ns - start)/iv).
+    const std::int64_t boundary = (day + 1) * day_ns - start_ns;
+    std::size_t next = n;
+    if (boundary <= static_cast<std::int64_t>(n - 1) * iv) {
+      next = std::max(i + 1, static_cast<std::size_t>((boundary + iv - 1) / iv));
+    }
+    auto& bucket = ((day % 7) >= 5) ? we : wd;
+    const std::size_t old = bucket.size();
+    bucket.resize(old + (next - i));
+    const std::size_t nf =
+        simd::compact_finite(std::span<const double>(s.ms.data() + i, next - i),
+                             bucket.data() + old);
+    bucket.resize(old + nf);
+    i = next;
+  }
+  const double wdp = stats::quantile(wd, 0.95);
+  const double wep = stats::quantile(we, 0.95);
+  weekday = std::isnan(wdp) ? 0.0 : std::max(0.0, wdp - baseline);
+  weekend = std::isnan(wep) ? 0.0 : std::max(0.0, wep - baseline);
+}
+
 }  // namespace
 
-LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
+LinkReport CongestionClassifier::classify_with_shifts(const LinkSeries& link, LevelShiftResult far,
+                                                      LevelShiftResult near) const {
   LinkReport report;
   report.key = link.key;
-
-  LevelShiftDetector far_detector(opts_.level_shift);
-  report.far_shifts = far_detector.detect(link.far_rtt);
-
-  LevelShiftOptions near_opts = opts_.level_shift;
-  near_opts.threshold_ms = opts_.near_threshold_ms;
-  LevelShiftDetector near_detector(near_opts);
-  report.near_shifts = near_detector.detect(link.near_rtt);
-  report.near_clean = !report.near_shifts.any();
+  report.far_shifts = std::move(far);
+  report.near_shifts = std::move(near);
+  // A near side refused for low coverage was never judged at all; calling
+  // it "clean" would upgrade the verdict to kCongested on zero near-side
+  // evidence (regression: NearRefusalIsNotClean).
+  report.near_clean =
+      !report.near_shifts.any() && !report.near_shifts.refused_low_coverage;
 
   if (!report.far_shifts.any()) {
     report.verdict = Verdict::kNotCongested;
@@ -87,8 +130,13 @@ LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
   report.waveform.a_w_ms = report.far_shifts.average_magnitude();
   report.waveform.dt_ud = report.far_shifts.average_duration(link.far_rtt.interval);
   report.waveform.period = report.far_shifts.average_period(link.far_rtt.interval);
-  weekday_weekend_peaks(link.far_rtt, report.far_shifts.baseline_ms, report.waveform.weekday_peak_ms,
-                        report.waveform.weekend_peak_ms);
+  if (opts_.level_shift.engine == DetectorEngine::kLegacy) {
+    weekday_weekend_peaks(link.far_rtt, report.far_shifts.baseline_ms,
+                          report.waveform.weekday_peak_ms, report.waveform.weekend_peak_ms);
+  } else {
+    weekday_weekend_peaks_fast(link.far_rtt, report.far_shifts.baseline_ms,
+                               report.waveform.weekday_peak_ms, report.waveform.weekend_peak_ms);
+  }
 
   // Sustained vs transient: does the pattern persist to the campaign end?
   if (report.verdict == Verdict::kCongested || report.verdict == Verdict::kInconclusive) {
@@ -106,6 +154,20 @@ LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
                                                                       : Persistence::kTransient;
   }
   return report;
+}
+
+LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
+  LevelShiftOptions near_opts = opts_.level_shift;
+  near_opts.threshold_ms = opts_.near_threshold_ms;
+  if (opts_.level_shift.engine == DetectorEngine::kLegacy) {
+    LevelShiftDetector far_detector(opts_.level_shift);
+    LevelShiftDetector near_detector(near_opts);
+    return classify_with_shifts(link, far_detector.detect_legacy(link.far_rtt),
+                                near_detector.detect_legacy(link.near_rtt));
+  }
+  thread_local DetectScratch scratch;
+  return classify_with_shifts(link, detect_fast(view_of(link.far_rtt), opts_.level_shift, scratch),
+                              detect_fast(view_of(link.near_rtt), near_opts, scratch));
 }
 
 }  // namespace ixp::tslp

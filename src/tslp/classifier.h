@@ -84,6 +84,15 @@ class CongestionClassifier {
 
   [[nodiscard]] LinkReport classify(const LinkSeries& link) const;
 
+  /// The classification tail given already-computed level-shift results:
+  /// verdict ladder, diurnality, waveform, persistence.  classify() is
+  /// detect + this; campaigns running the *online* detector call it
+  /// directly with the finalized per-side results so detection never runs
+  /// twice.  `link` still provides the far series for diurnality and the
+  /// waveform peaks.
+  [[nodiscard]] LinkReport classify_with_shifts(const LinkSeries& link, LevelShiftResult far,
+                                                LevelShiftResult near) const;
+
   [[nodiscard]] const ClassifierOptions& options() const { return opts_; }
 
  private:

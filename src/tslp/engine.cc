@@ -1,0 +1,287 @@
+#include "tslp/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/ranks.h"
+#include "util/simd.h"
+#include "util/strings.h"
+
+namespace ixp::tslp {
+
+namespace detail {
+
+WindowOutcome gate_window(std::span<const double> chunk, std::size_t finite,
+                          const LevelShiftOptions& opts, std::vector<double>& finite_buf) {
+  if (finite < opts.min_finite_window) return WindowOutcome::kDark;
+  if (opts.skip_quiet_windows) {
+    double lo = 0.0, hi = 0.0;
+    // No finite sample: the legacy prefilter's quantiles are NaN, and
+    // !(NaN - NaN >= x) skips the window.
+    if (!simd::finite_minmax(chunk, lo, hi)) return WindowOutcome::kQuiet;
+    // Exact conservative shortcut: p95 - p05 <= max - min, so a spread
+    // below the bar here is below the bar for the quantiles too.  Only
+    // windows that pass pay for the real prefilter.
+    if (hi - lo < opts.threshold_ms / 2.0) return WindowOutcome::kQuiet;
+    finite_buf.resize(chunk.size());
+    const std::size_t nf = simd::compact_finite(chunk, finite_buf.data());
+    const std::span<double> fb(finite_buf.data(), nf);
+    // quantile_inplace only permutes fb, so the second call sees the same
+    // multiset the first did -- both values match fresh quantile() calls.
+    const double q95 = stats::quantile_inplace(fb, 0.95);
+    const double q05 = stats::quantile_inplace(fb, 0.05);
+    if (!(q95 - q05 >= opts.threshold_ms / 2.0)) return WindowOutcome::kQuiet;
+  }
+  return WindowOutcome::kScanned;
+}
+
+// The per-window seed perturbation: every window gets an independent
+// bootstrap stream, which is also what lets the batch driver interleave
+// windows' draws.
+stats::CusumOptions window_cusum_options(const LevelShiftOptions& opts, std::size_t begin) {
+  stats::CusumOptions copt = opts.cusum;
+  copt.seed ^= begin * 0x9e3779b97f4a7c15ULL;  // distinct bootstrap streams
+  return copt;
+}
+
+WindowOutcome scan_window(std::span<const double> chunk, std::size_t begin, std::size_t finite,
+                          const LevelShiftOptions& opts, stats::ChangePointScratch& cp,
+                          std::vector<double>& finite_buf, std::vector<std::size_t>& cps) {
+  const WindowOutcome gate = gate_window(chunk, finite, opts, finite_buf);
+  if (gate != WindowOutcome::kScanned) return gate;
+  const stats::CusumOptions copt = window_cusum_options(opts, begin);
+  for (const std::size_t idx : stats::detect_change_point_indices(chunk, copt, cp)) {
+    cps.push_back(begin + idx);
+  }
+  return WindowOutcome::kScanned;
+}
+
+bool prepare_series(const SeriesView& series, const LevelShiftOptions& opts,
+                    DetectScratch& scratch, LevelShiftResult& out, std::size_t& win) {
+  const std::span<const double> v = series.ms;
+  win = 0;
+  if (v.empty()) return false;
+  IXP_CHECK(series.interval.count() > 0,
+            strformat("SeriesView interval must be positive, got %lldns",
+                      static_cast<long long>(series.interval.count())));
+  IXP_CHECK(series.index_of(series.time_of(v.size() - 1)) == v.size() - 1,
+            "SeriesView index/time round-trip is broken");
+
+  scratch.index.build(v, std::max<std::size_t>(1, opts.gap_min_run));
+  out.coverage =
+      static_cast<double>(scratch.index.not_nan(0, v.size())) / static_cast<double>(v.size());
+  out.gaps = scratch.index.gaps();
+  if (out.coverage < opts.min_coverage) {
+    out.refused_low_coverage = true;
+    return false;
+  }
+
+  // Baseline: one compaction, then the shared selection kernel -- exactly
+  // what stats::quantile(v, 0.10) computes internally.
+  scratch.finite.resize(v.size());
+  const std::size_t nf = simd::compact_finite(v, scratch.finite.data());
+  out.baseline_ms = stats::quantile_inplace(std::span<double>(scratch.finite.data(), nf), 0.10);
+  if (std::isnan(out.baseline_ms)) return false;
+
+  win = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.window.count() / series.interval.count()));
+  return true;
+}
+
+void assemble_result(const SeriesView& series, const LevelShiftOptions& opts,
+                     DetectScratch& scratch, LevelShiftResult& out) {
+  const std::span<const double> v = series.ms;
+  auto& cps = scratch.cps;
+  std::sort(cps.begin(), cps.end());
+  cps.erase(std::unique(cps.begin(), cps.end()), cps.end());
+
+  scratch.cp_structs.clear();
+  scratch.cp_structs.reserve(cps.size());
+  for (const std::size_t idx : cps) {
+    stats::ChangePoint cp;
+    cp.index = idx;
+    cp.confidence = 1.0;
+    scratch.cp_structs.push_back(cp);
+  }
+  out.segments = stats::to_segments(v, scratch.cp_structs);
+
+  // Elevated segments -> raw episodes, with the coverage support test from
+  // the prefix counts instead of a per-segment loop.
+  std::vector<Episode> raw;
+  for (const auto& seg : out.segments) {
+    if (std::isnan(seg.level)) continue;
+    if (seg.level - out.baseline_ms >= opts.threshold_ms) {
+      const std::size_t finite = scratch.index.not_nan(seg.begin, seg.end);
+      const double span = static_cast<double>(seg.end - seg.begin);
+      if (span <= 0 || static_cast<double>(finite) / span < opts.min_episode_coverage) {
+        continue;
+      }
+      raw.push_back({seg.begin, seg.end, seg.level - out.baseline_ms});
+    }
+  }
+
+  const std::size_t gap_samples = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opts.merge_gap.count() / series.interval.count()));
+  const auto all_missing = [&scratch](std::size_t from, std::size_t to) {
+    return scratch.index.all_missing(from, to);
+  };
+  out.raw_episode_count = raw.size();
+  const std::vector<Episode> merged = sanitize_episodes(
+      std::move(raw), gap_samples,
+      opts.bridge_gaps ? std::function<bool(std::size_t, std::size_t)>(all_missing) : nullptr);
+
+  // Duration filter (ceil: see min_episode_samples).
+  const std::size_t min_samples = min_episode_samples(opts.min_duration, series.interval);
+  for (const auto& e : merged) {
+    if (e.samples() >= min_samples) out.episodes.push_back(e);
+  }
+  check_episode_invariants(out.episodes);
+
+  // Statistical significance, identical sampling to the legacy path.
+  if (!out.episodes.empty()) {
+    std::vector<double> baseline_samples;
+    baseline_samples.reserve(2048);
+    for (const auto& seg : out.segments) {
+      if (std::isnan(seg.level) || seg.level - out.baseline_ms >= opts.threshold_ms) continue;
+      const std::size_t step = std::max<std::size_t>(1, (seg.end - seg.begin) / 64);
+      for (std::size_t i = seg.begin; i < seg.end && baseline_samples.size() < 2048; i += step) {
+        if (std::isfinite(v[i])) baseline_samples.push_back(v[i]);
+      }
+    }
+    for (auto& e : out.episodes) {
+      if (baseline_samples.size() < 8) break;
+      const std::size_t n = std::min<std::size_t>(e.samples(), 512);
+      std::vector<double> ep;
+      ep.reserve(n);
+      const std::size_t step = std::max<std::size_t>(1, e.samples() / n);
+      for (std::size_t i = e.begin; i < e.end; i += step) {
+        if (std::isfinite(v[i])) ep.push_back(v[i]);
+      }
+      if (ep.size() >= 8) e.p_value = stats::mann_whitney_pvalue(ep, baseline_samples);
+    }
+  }
+}
+
+}  // namespace detail
+
+LevelShiftResult detect_fast(const SeriesView& series, const LevelShiftOptions& opts,
+                             DetectScratch& scratch) {
+  LevelShiftResult out;
+  const std::span<const double> v = series.ms;
+  std::size_t win = 0;
+  if (!detail::prepare_series(series, opts, scratch, out, win)) return out;
+  scratch.cps.clear();
+  for (std::size_t begin = 0; begin < v.size(); begin += win / 2) {
+    const std::size_t end = std::min(begin + win, v.size());
+    const std::span<const double> chunk(v.data() + begin, end - begin);
+    const std::size_t finite = scratch.index.not_nan(begin, end);
+    switch (detail::scan_window(chunk, begin, finite, opts, scratch.cp, scratch.finite,
+                                scratch.cps)) {
+      case detail::WindowOutcome::kDark:
+        ++out.windows_skipped_dark;
+        break;
+      case detail::WindowOutcome::kQuiet:
+        ++out.windows_skipped_quiet;
+        break;
+      case detail::WindowOutcome::kScanned:
+        ++out.windows_scanned;
+        if (end < v.size()) scratch.cps.push_back(end);
+        break;
+    }
+  }
+
+  detail::assemble_result(series, opts, scratch, out);
+  return out;
+}
+
+std::vector<LevelShiftResult> detect_batch(const SeriesBatch& batch, const LevelShiftOptions& opts) {
+  std::vector<LevelShiftResult> results;
+  results.reserve(batch.size());
+  if (opts.engine == DetectorEngine::kLegacy) {
+    // Batch API over the scalar engine: used by the benchmark baseline.
+    LevelShiftDetector legacy(opts);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      RttSeries s;
+      const SeriesView view = batch.view(i);
+      s.start = view.start;
+      s.interval = view.interval;
+      s.ms.assign(view.ms.begin(), view.ms.end());
+      results.push_back(legacy.detect_legacy(s));
+    }
+    return results;
+  }
+
+  // Three-phase sweep, byte-identical to per-series detect_fast calls:
+  // gates and preambles first, then every surviving window of every series
+  // through the interleaved change-point driver in one submission, then the
+  // per-series assembly.  Phase B is where the time goes, and batching it
+  // lets four windows' bootstrap streams overlap instead of serializing on
+  // one generator's latency chain.
+  DetectScratch scratch;
+
+  // One scanned window: which series it belongs to, where it starts, and
+  // whether detect_fast would append the window-end split candidate.
+  struct WindowRef {
+    std::size_t series;
+    std::size_t begin;
+    std::size_t end;
+    bool push_end;
+  };
+  std::vector<stats::ChangePointTask> tasks;
+  std::vector<WindowRef> refs;
+  std::vector<char> needs_assembly(batch.size(), 0);
+
+  for (std::size_t si = 0; si < batch.size(); ++si) {
+    const SeriesView series = batch.view(si);
+    LevelShiftResult out;
+    std::size_t win = 0;
+    if (!detail::prepare_series(series, opts, scratch, out, win)) {
+      results.push_back(std::move(out));
+      continue;
+    }
+    needs_assembly[si] = 1;
+    const std::span<const double> v = series.ms;
+    for (std::size_t begin = 0; begin < v.size(); begin += win / 2) {
+      const std::size_t end = std::min(begin + win, v.size());
+      const std::span<const double> chunk(v.data() + begin, end - begin);
+      const std::size_t finite = scratch.index.not_nan(begin, end);
+      switch (detail::gate_window(chunk, finite, opts, scratch.finite)) {
+        case detail::WindowOutcome::kDark:
+          ++out.windows_skipped_dark;
+          break;
+        case detail::WindowOutcome::kQuiet:
+          ++out.windows_skipped_quiet;
+          break;
+        case detail::WindowOutcome::kScanned:
+          ++out.windows_scanned;
+          tasks.push_back({chunk, detail::window_cusum_options(opts, begin), {}});
+          refs.push_back({si, begin, end, end < v.size()});
+          break;
+      }
+    }
+    results.push_back(std::move(out));
+  }
+
+  stats::detect_change_point_indices_batch(tasks, scratch.cp);
+
+  std::size_t ri = 0;
+  for (std::size_t si = 0; si < batch.size(); ++si) {
+    if (!needs_assembly[si]) continue;
+    const SeriesView series = batch.view(si);
+    // assemble_result reads the finite index for episode support and gap
+    // bridging; rebuild it for this series (phase A reused one scratch).
+    scratch.index.build(series.ms, std::max<std::size_t>(1, opts.gap_min_run));
+    scratch.cps.clear();
+    for (; ri < refs.size() && refs[ri].series == si; ++ri) {
+      for (const std::size_t idx : tasks[ri].found) {
+        scratch.cps.push_back(refs[ri].begin + idx);
+      }
+      if (refs[ri].push_end) scratch.cps.push_back(refs[ri].end);
+    }
+    detail::assemble_result(series, opts, scratch, results[si]);
+  }
+  return results;
+}
+
+}  // namespace ixp::tslp

@@ -5,12 +5,11 @@
 
 #include "stats/descriptive.h"
 #include "stats/ranks.h"
+#include "tslp/engine.h"
 #include "util/check.h"
 #include "util/strings.h"
 
 namespace ixp::tslp {
-
-namespace {
 
 // Episode lists handed to consumers must be sorted, non-overlapping, and
 // non-empty per episode; the duration/period averages and the loss
@@ -28,6 +27,8 @@ void check_episode_invariants(const std::vector<Episode>& episodes) {
     }
   }
 }
+
+namespace {
 
 // total * interval / divisor, dividing *after* the multiplication and
 // rounding to nearest.  Dividing first (the old code) truncated to a whole
@@ -100,6 +101,12 @@ std::vector<Episode> sanitize_episodes(
 }
 
 LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
+  if (opts_.engine == DetectorEngine::kLegacy) return detect_legacy(series);
+  thread_local DetectScratch scratch;
+  return detect_fast(view_of(series), opts_, scratch);
+}
+
+LevelShiftResult LevelShiftDetector::detect_legacy(const RttSeries& series) const {
   LevelShiftResult out;
   const auto& v = series.ms;
   if (v.empty()) return out;
@@ -142,12 +149,19 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
     for (const double x : chunk) {
       if (!std::isnan(x)) ++finite;
     }
-    if (finite < opts_.min_finite_window) continue;
+    if (finite < opts_.min_finite_window) {
+      ++out.windows_skipped_dark;
+      continue;
+    }
     if (opts_.skip_quiet_windows) {
       const double hi = stats::quantile(chunk, 0.95);
       const double lo = stats::quantile(chunk, 0.05);
-      if (!(hi - lo >= opts_.threshold_ms / 2.0)) continue;
+      if (!(hi - lo >= opts_.threshold_ms / 2.0)) {
+        ++out.windows_skipped_quiet;
+        continue;
+      }
     }
+    ++out.windows_scanned;
     stats::CusumOptions copt = opts_.cusum;
     copt.seed ^= begin * 0x9e3779b97f4a7c15ULL;  // distinct bootstrap streams
     for (const auto& cp : stats::detect_change_points(chunk, copt)) {
@@ -208,9 +222,8 @@ LevelShiftResult LevelShiftDetector::detect(const RttSeries& series) const {
           ? std::function<bool(std::size_t, std::size_t)>(all_missing)
           : nullptr);
 
-  // Duration filter.
-  const std::size_t min_samples = std::max<std::size_t>(
-      1, static_cast<std::size_t>(opts_.min_duration.count() / series.interval.count()));
+  // Duration filter (ceil: see min_episode_samples).
+  const std::size_t min_samples = min_episode_samples(opts_.min_duration, series.interval);
   for (const auto& e : merged) {
     if (e.samples() >= min_samples) out.episodes.push_back(e);
   }

@@ -13,6 +13,8 @@
 // "level shifts sanitization" step before computing dt_UD.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +22,15 @@
 #include "tslp/series.h"
 
 namespace ixp::tslp {
+
+/// Which implementation LevelShiftDetector::detect runs.  Both produce
+/// byte-identical results (pinned by the golden corpus and the equivalence
+/// suites in tests/test_tslp.cc); kLegacy is retained as the oracle and as
+/// the benchmark baseline.
+enum class DetectorEngine {
+  kFast,    ///< scratch-reusing, vectorized path (tslp/engine.h)
+  kLegacy,  ///< original per-series scalar pipeline
+};
 
 struct LevelShiftOptions {
   double threshold_ms = 10.0;        ///< minimum magnitude to label a shift
@@ -53,7 +64,25 @@ struct LevelShiftOptions {
   /// carries no evidence that the level ever came back down.  (Gaps with
   /// even one quiet finite sample in between still split episodes.)
   bool bridge_gaps = true;
+
+  /// Implementation selector; results are identical either way.
+  DetectorEngine engine = DetectorEngine::kFast;
 };
+
+/// Episode duration floor in samples.  Rounds *up*: an episode shorter than
+/// `min_duration` must never pass, so at a 7-minute cadence a 30-minute
+/// floor requires 5 samples (35 min), not the 4 samples (28 min) the old
+/// truncating division admitted (regression: MinDurationCeilAtOddCadence).
+inline std::size_t min_episode_samples(Duration min_duration, Duration interval) {
+  const std::int64_t num = min_duration.count();
+  const std::int64_t den = interval.count();
+  // No duration floor means no filter: zero, not one.  (Behaviorally the
+  // same -- every episode spans at least one sample -- but a caller
+  // comparing against the configured floor must see "none".)
+  if (num <= 0) return 0;
+  if (den <= 0) return 1;
+  return static_cast<std::size_t>(std::max<std::int64_t>(1, (num + den - 1) / den));
+}
 
 /// One elevated episode: [begin, end) sample indices.
 struct Episode {
@@ -83,6 +112,10 @@ std::vector<Episode> sanitize_episodes(
     std::vector<Episode> raw, std::size_t gap_samples,
     const std::function<bool(std::size_t, std::size_t)>& also_merge);
 
+/// Paranoid-mode invariant check (sorted, non-overlapping, non-empty);
+/// shared by both detector engines.  No-op unless paranoid checks are on.
+void check_episode_invariants(const std::vector<Episode>& episodes);
+
 struct LevelShiftResult {
   double baseline_ms = 0.0;           ///< robust base RTT level
   double coverage = 1.0;              ///< finite fraction of the series
@@ -95,6 +128,12 @@ struct LevelShiftResult {
   /// True when the series was too dark to judge (coverage < min_coverage)
   /// and the detector refused to emit any verdict.
   bool refused_low_coverage = false;
+
+  // Window telemetry (identical across engines; the fast path's skip
+  // shortcuts classify windows exactly as the scalar loop would).
+  std::size_t windows_scanned = 0;        ///< ran change-point detection
+  std::size_t windows_skipped_dark = 0;   ///< fewer than min_finite_window
+  std::size_t windows_skipped_quiet = 0;  ///< p95-p05 spread below threshold/2
 
   [[nodiscard]] bool any() const { return !episodes.empty(); }
   /// Average episode magnitude (the paper's A_w); NaN if no episodes.
@@ -109,8 +148,12 @@ class LevelShiftDetector {
  public:
   explicit LevelShiftDetector(LevelShiftOptions opts = {}) : opts_(opts) {}
 
-  /// Runs the full pipeline on one series.
+  /// Runs the full pipeline on one series, dispatching on opts.engine.
   [[nodiscard]] LevelShiftResult detect(const RttSeries& series) const;
+
+  /// The original scalar pipeline, regardless of opts.engine — the
+  /// equivalence oracle and the benchmark baseline.
+  [[nodiscard]] LevelShiftResult detect_legacy(const RttSeries& series) const;
 
   [[nodiscard]] const LevelShiftOptions& options() const { return opts_; }
 

@@ -9,10 +9,19 @@ LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
                                const LevelShiftResult& shifts) {
   LossCorrelation out;
   double sum_in = 0, sum_out = 0;
+  double rate_min = std::numeric_limits<double>::infinity();
+  double rate_max = -std::numeric_limits<double>::infinity();
   std::vector<std::pair<bool, double>> points;
   points.reserve(loss.batches.size());
 
   for (const auto& batch : loss.batches) {
+    // A batch that sent nothing carries no measurement: counting it as a
+    // zero-loss observation diluted both means and the correlation
+    // (regression: EmptyBatchesAreNotObservations).
+    if (batch.sent <= 0) {
+      ++out.batches_skipped;
+      continue;
+    }
     const std::size_t idx = rtt.index_of(batch.at);
     bool inside = false;
     for (const auto& e : shifts.episodes) {
@@ -22,6 +31,8 @@ LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
       }
     }
     const double rate = batch.loss_rate();
+    rate_min = std::min(rate_min, rate);
+    rate_max = std::max(rate_max, rate);
     points.emplace_back(inside, rate);
     if (inside) {
       sum_in += rate;
@@ -34,9 +45,13 @@ LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
   if (out.batches_in) out.loss_in_episodes = sum_in / static_cast<double>(out.batches_in);
   if (out.batches_out) out.loss_outside = sum_out / static_cast<double>(out.batches_out);
 
-  // Point-biserial correlation.
+  // Point-biserial correlation.  The degeneracy test is exact (max rate ==
+  // min rate), not `sd > 0`: summing a constant rate accumulates rounding,
+  // so the computed variance of a constant series is a tiny nonzero and
+  // the quotient reported a garbage coefficient instead of "undefined"
+  // (regression: ZeroVarianceLossIsUndefined).
   const double n = static_cast<double>(points.size());
-  if (n >= 4 && out.batches_in > 0 && out.batches_out > 0) {
+  if (n >= 4 && out.batches_in > 0 && out.batches_out > 0 && rate_max > rate_min) {
     const double mean = (sum_in + sum_out) / n;
     double var = 0;
     for (const auto& [inside, rate] : points) {
@@ -50,6 +65,10 @@ LossCorrelation correlate_loss(const LossSeries& loss, const RttSeries& rtt,
       const double p = static_cast<double>(out.batches_in) / n;
       out.correlation =
           (out.loss_in_episodes - out.loss_outside) / sd * std::sqrt(p * (1.0 - p));
+    } else {
+      // Unreachable given the exact degeneracy test above, but the
+      // coefficient is undefined -- never 0 -- whenever the denominator is.
+      out.correlation = std::numeric_limits<double>::quiet_NaN();
     }
   } else {
     out.correlation = std::numeric_limits<double>::quiet_NaN();

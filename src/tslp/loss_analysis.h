@@ -8,6 +8,7 @@
 // inside vs outside?
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "tslp/level_shift.h"
@@ -20,6 +21,9 @@ struct LossCorrelation {
   double loss_outside = 0.0;        ///< mean batch loss otherwise
   std::size_t batches_in = 0;
   std::size_t batches_out = 0;
+  /// Batches with sent <= 0: no probes went out, so no loss observation
+  /// exists.  Excluded from every statistic above.
+  std::size_t batches_skipped = 0;
   /// Point-biserial correlation between "inside an episode" and the batch
   /// loss rate; NaN when undefined (no variance or too few batches).
   double correlation = 0.0;
@@ -34,7 +38,10 @@ struct LossCorrelation {
   }
   [[nodiscard]] double average_loss() const {
     const auto n = batches_in + batches_out;
-    if (n == 0) return 0.0;
+    // No observed batch: the average is undefined, not "zero loss" -- a
+    // 0.0 here made users_likely_unaffected() claim an unmeasured link
+    // was fine (regression: AllBatchesEmptyIsUndefined).
+    if (n == 0) return std::numeric_limits<double>::quiet_NaN();
     return (loss_in_episodes * static_cast<double>(batches_in) +
             loss_outside * static_cast<double>(batches_out)) /
            static_cast<double>(n);

@@ -1,0 +1,152 @@
+#include "tslp/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/simd.h"
+#include "util/strings.h"
+
+namespace ixp::tslp {
+
+namespace {
+
+// Window scratch shared by every detector on the thread: scan_window's
+// buffers carry no state across calls, so per-detector copies would only
+// waste memory on campaigns with one detector pair per link.
+struct PushScratch {
+  stats::ChangePointScratch cp;
+  std::vector<double> finite;
+};
+
+PushScratch& push_scratch() {
+  thread_local PushScratch s;
+  return s;
+}
+
+}  // namespace
+
+OnlineLevelShift::OnlineLevelShift(LevelShiftOptions opts, TimePoint start, Duration interval,
+                                   bool retain_samples)
+    : opts_(opts), start_(start), interval_(interval), retain_(retain_samples) {
+  IXP_CHECK(interval_.count() > 0,
+            strformat("OnlineLevelShift interval must be positive, got %lldns",
+                      static_cast<long long>(interval_.count())));
+  win_ = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts_.window.count() / interval_.count()));
+  stride_ = win_ / 2;
+}
+
+void OnlineLevelShift::push(double ms) {
+  pending_.push_back(ms);
+  if (retain_) retained_.push_back(ms);
+  ++n_;
+  process_ready();
+}
+
+void OnlineLevelShift::push(std::span<const double> ms) {
+  pending_.insert(pending_.end(), ms.begin(), ms.end());
+  if (retain_) retained_.insert(retained_.end(), ms.begin(), ms.end());
+  n_ += ms.size();
+  process_ready();
+}
+
+void OnlineLevelShift::process_ready() {
+  auto& s = push_scratch();
+  while (next_begin_ + win_ <= n_) {
+    const std::span<const double> chunk(pending_.data() + (next_begin_ - base_), win_);
+    const std::size_t finite = simd::count_not_nan(chunk);
+    switch (detail::scan_window(chunk, next_begin_, finite, opts_, s.cp, s.finite, cps_)) {
+      case detail::WindowOutcome::kDark:
+        ++windows_skipped_dark_;
+        break;
+      case detail::WindowOutcome::kQuiet:
+        ++windows_skipped_quiet_;
+        break;
+      case detail::WindowOutcome::kScanned:
+        ++windows_scanned_;
+        // Whether this end is an implicit change point depends on the
+        // *final* series length, unknown until finalize -- record it.
+        scanned_ends_.push_back(next_begin_ + win_);
+        break;
+    }
+    next_begin_ += stride_;
+    // Samples before the next window's begin are never read again.
+    if (next_begin_ > base_) {
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(next_begin_ - base_));
+      base_ = next_begin_;
+    }
+  }
+}
+
+LevelShiftResult OnlineLevelShift::finalize(const SeriesView& full, DetectScratch& scratch) const {
+  IXP_CHECK(full.ms.size() == n_,
+            strformat("online detector saw %zu samples but finalize got a view of %zu", n_,
+                      full.ms.size()));
+  IXP_CHECK(full.interval == interval_, "finalize view interval differs from the push time base");
+
+  LevelShiftResult out;
+  const std::span<const double> v = full.ms;
+  if (v.empty()) return out;
+  IXP_CHECK(full.index_of(full.time_of(v.size() - 1)) == v.size() - 1,
+            "SeriesView index/time round-trip is broken");
+
+  scratch.index.build(v, std::max<std::size_t>(1, opts_.gap_min_run));
+  out.coverage =
+      static_cast<double>(scratch.index.not_nan(0, v.size())) / static_cast<double>(v.size());
+  out.gaps = scratch.index.gaps();
+  if (out.coverage < opts_.min_coverage) {
+    out.refused_low_coverage = true;
+    return out;
+  }
+
+  scratch.finite.resize(v.size());
+  const std::size_t nf = simd::compact_finite(v, scratch.finite.data());
+  out.baseline_ms = stats::quantile_inplace(std::span<double>(scratch.finite.data(), nf), 0.10);
+  if (std::isnan(out.baseline_ms)) return out;
+
+  out.windows_scanned = windows_scanned_;
+  out.windows_skipped_dark = windows_skipped_dark_;
+  out.windows_skipped_quiet = windows_skipped_quiet_;
+
+  scratch.cps.assign(cps_.begin(), cps_.end());
+  for (const std::size_t end : scanned_ends_) {
+    if (end < v.size()) scratch.cps.push_back(end);
+  }
+  // Trailing windows the stream never completed (all truncated at the
+  // series end), processed exactly as the batch loop would.
+  for (std::size_t begin = next_begin_; begin < v.size(); begin += stride_) {
+    const std::size_t end = std::min(begin + win_, v.size());
+    const std::span<const double> chunk(v.data() + begin, end - begin);
+    const std::size_t finite = scratch.index.not_nan(begin, end);
+    switch (detail::scan_window(chunk, begin, finite, opts_, scratch.cp, scratch.finite,
+                                scratch.cps)) {
+      case detail::WindowOutcome::kDark:
+        ++out.windows_skipped_dark;
+        break;
+      case detail::WindowOutcome::kQuiet:
+        ++out.windows_skipped_quiet;
+        break;
+      case detail::WindowOutcome::kScanned:
+        ++out.windows_scanned;
+        if (end < v.size()) scratch.cps.push_back(end);
+        break;
+    }
+  }
+
+  detail::assemble_result(full, opts_, scratch, out);
+  return out;
+}
+
+LevelShiftResult OnlineLevelShift::finalize(const SeriesView& full) const {
+  thread_local DetectScratch scratch;
+  return finalize(full, scratch);
+}
+
+LevelShiftResult OnlineLevelShift::finalize() const {
+  IXP_CHECK(retain_, "finalize() without a view requires retain_samples = true");
+  return finalize(SeriesView{std::span<const double>(retained_), start_, interval_});
+}
+
+}  // namespace ixp::tslp

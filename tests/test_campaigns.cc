@@ -223,6 +223,62 @@ TEST(Campaigns, ColumnarMatchesRawByteForByte) {
   EXPECT_LT(col.columns->resident_bytes(), col.columns->raw_bytes());
 }
 
+TEST(Campaigns, OnlineMatchesOfflineReports) {
+  // CampaignOptions::online runs the level-shift window scans as rounds
+  // complete instead of at campaign end; the reports must be identical to
+  // the offline path in both storage modes (the online+columnar pair is
+  // the always-on observatory configuration).
+  const auto spec = make_vp4_sixp();
+  CampaignOptions base;
+  base.round_interval = kMinute * 30;
+  base.duration_override = kDay * 45;
+
+  auto rt_off = build_scenario(spec);
+  const auto offline = run_campaign(*rt_off, spec, base);
+
+  for (const bool columnar : {false, true}) {
+    auto rt_on = build_scenario(spec);
+    CampaignOptions oopt = base;
+    oopt.online = true;
+    oopt.columnar = columnar;
+    const auto online = run_campaign(*rt_on, spec, oopt);
+
+    ASSERT_EQ(online.reports.size(), offline.reports.size()) << "columnar=" << columnar;
+    for (std::size_t i = 0; i < offline.reports.size(); ++i) {
+      const auto& got = online.reports[i];
+      const auto& want = offline.reports[i];
+      EXPECT_EQ(got.key, want.key);
+      EXPECT_EQ(got.verdict, want.verdict) << got.key << " columnar=" << columnar;
+      EXPECT_EQ(got.persistence, want.persistence) << got.key;
+      EXPECT_EQ(got.near_clean, want.near_clean) << got.key;
+      for (const auto* side : {"far", "near"}) {
+        const auto& g = side[0] == 'f' ? got.far_shifts : got.near_shifts;
+        const auto& w = side[0] == 'f' ? want.far_shifts : want.near_shifts;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(g.baseline_ms),
+                  std::bit_cast<std::uint64_t>(w.baseline_ms))
+            << got.key << ' ' << side;
+        EXPECT_EQ(g.refused_low_coverage, w.refused_low_coverage) << got.key << ' ' << side;
+        ASSERT_EQ(g.episodes.size(), w.episodes.size()) << got.key << ' ' << side;
+        for (std::size_t e = 0; e < w.episodes.size(); ++e) {
+          EXPECT_EQ(g.episodes[e].begin, w.episodes[e].begin) << got.key << ' ' << side;
+          EXPECT_EQ(g.episodes[e].end, w.episodes[e].end) << got.key << ' ' << side;
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(g.episodes[e].magnitude_ms),
+                    std::bit_cast<std::uint64_t>(w.episodes[e].magnitude_ms))
+              << got.key << ' ' << side;
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(g.episodes[e].p_value),
+                    std::bit_cast<std::uint64_t>(w.episodes[e].p_value))
+              << got.key << ' ' << side;
+        }
+      }
+    }
+    ASSERT_EQ(online.snapshots.size(), offline.snapshots.size());
+    for (std::size_t i = 0; i < offline.snapshots.size(); ++i) {
+      EXPECT_EQ(online.snapshots[i].discovered_links, offline.snapshots[i].discovered_links);
+      EXPECT_EQ(online.snapshots[i].congested_links, offline.snapshots[i].congested_links);
+    }
+  }
+}
+
 TEST(PaperCampaigns, GhanatelEpisodesSignificant) {
   const auto spec = make_fig_ghanatel();
   auto rt = build_scenario(spec);

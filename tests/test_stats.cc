@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
 #include <cmath>
 #include <vector>
 
@@ -270,6 +274,50 @@ TEST_P(QuantileProperty, MonotoneAndBounded) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, QuantileProperty, ::testing::Range(0, 6));
+
+// The selection kernel must reproduce the sort-based definition exactly --
+// the TSLP engines' byte-identity rests on it.  Sweeps sizes across the
+// sort cutoff and all three partition outcomes (low side, straddle, high
+// side with pivot-equal runs).
+TEST(QuantileProperty, SelectionMatchesSortedReference) {
+  Rng rng(777);
+  for (int it = 0; it < 200; ++it) {
+    std::vector<double> v(1 + static_cast<std::size_t>(it) * 3 % 401);
+    for (auto& x : v) {
+      // Heavy ties every third case to exercise the pivot-equal peel.
+      x = (it % 3 == 0) ? std::floor(rng.uniform(0.0, 5.0)) : rng.uniform(0.0, 100.0);
+    }
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.0, 0.05, 0.10, 0.5, 0.9, 0.95, 1.0}) {
+      const double pos = q * static_cast<double>(sorted.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(pos);
+      const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = pos - static_cast<double>(lo);
+      const double want = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      std::vector<double> work = v;
+      const double got = quantile_inplace(std::span<double>(work), q);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got), std::bit_cast<std::uint64_t>(want))
+          << "n=" << v.size() << " q=" << q << " it=" << it;
+    }
+  }
+}
+
+// Repeated in-place calls on one buffer must keep returning what a fresh
+// call would: the window prefilter computes p95 then p05 from one buffer.
+TEST(QuantileProperty, RepeatedInplaceCallsAreStable) {
+  Rng rng(778);
+  std::vector<double> v(300);
+  for (auto& x : v) x = rng.uniform(0.0, 50.0);
+  std::vector<double> fresh = v;
+  const double q95_fresh = quantile_inplace(std::span<double>(fresh), 0.95);
+  fresh = v;
+  const double q05_fresh = quantile_inplace(std::span<double>(fresh), 0.05);
+  const double q95 = quantile_inplace(std::span<double>(v), 0.95);
+  const double q05 = quantile_inplace(std::span<double>(v), 0.05);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(q95), std::bit_cast<std::uint64_t>(q95_fresh));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(q05), std::bit_cast<std::uint64_t>(q05_fresh));
+}
 
 // ---------------------------------------------------------------------------
 // periodicity

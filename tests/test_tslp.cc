@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
 
+#include "series/columnar.h"
 #include "tslp/classifier.h"
+#include "tslp/engine.h"
 #include "tslp/level_shift.h"
 #include "tslp/loss_analysis.h"
+#include "tslp/online.h"
 #include "util/rng.h"
 
 namespace ixp::tslp {
@@ -638,6 +645,406 @@ TEST(LossCorrelation, NoEpisodesMeansNoInsideBatches) {
   const auto corr = correlate_loss(loss, far, shifts);
   EXPECT_EQ(corr.batches_in, 0u);
   EXPECT_TRUE(std::isnan(corr.correlation));
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-input regressions for the loss analysis
+
+TEST(LossCorrelation, ZeroVarianceLossIsUndefined) {
+  // Identical loss inside and outside episodes: the point-biserial
+  // denominator is zero, so the coefficient is undefined.  Before the fix
+  // the initializer leaked through and a constant-loss series reported
+  // correlation 0.0 -- "measured and found uncorrelated" instead of
+  // "cannot be measured".
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 53);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  ASSERT_TRUE(shifts.any());
+  const auto loss = make_loss(far, shifts, 0.10, 0.10);
+  const auto corr = correlate_loss(loss, far, shifts);
+  EXPECT_GT(corr.batches_in, 0u);
+  EXPECT_GT(corr.batches_out, 0u);
+  EXPECT_TRUE(std::isnan(corr.correlation));
+  // The means themselves are perfectly well defined.
+  EXPECT_NEAR(corr.loss_in_episodes, 0.10, 1e-12);
+  EXPECT_NEAR(corr.loss_outside, 0.10, 1e-12);
+}
+
+TEST(LossCorrelation, EmptyBatchesAreNotObservations) {
+  // Batches that sent zero probes carry no measurement.  Before the fix
+  // they entered as zero-loss observations, diluting both means and the
+  // correlation.
+  const auto far = diurnal_far(10, 2.0, 20.0, 12.0, 6.0, 0.3, 54);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  ASSERT_TRUE(shifts.any());
+  auto loss = make_loss(far, shifts, 0.20, 0.002);
+  const auto clean = correlate_loss(loss, far, shifts);
+  // Interleave empty batches everywhere, including inside episodes.
+  LossSeries padded = loss;
+  for (std::size_t i = 0; i < loss.batches.size(); ++i) {
+    LossBatch empty;
+    empty.at = loss.batches[i].at;
+    empty.sent = 0;
+    empty.lost = 0;
+    padded.batches.push_back(empty);
+  }
+  const auto padded_corr = correlate_loss(padded, far, shifts);
+  EXPECT_EQ(padded_corr.batches_skipped, loss.batches.size());
+  EXPECT_EQ(padded_corr.batches_in, clean.batches_in);
+  EXPECT_EQ(padded_corr.batches_out, clean.batches_out);
+  EXPECT_DOUBLE_EQ(padded_corr.loss_in_episodes, clean.loss_in_episodes);
+  EXPECT_DOUBLE_EQ(padded_corr.loss_outside, clean.loss_outside);
+  EXPECT_DOUBLE_EQ(padded_corr.correlation, clean.correlation);
+}
+
+TEST(LossCorrelation, AllBatchesEmptyIsUndefined) {
+  const auto far = diurnal_far(6, 2.0, 20.0, 12.0, 6.0, 0.3, 55);
+  LevelShiftDetector det;
+  const auto shifts = det.detect(far);
+  LossSeries loss;
+  for (std::size_t i = 0; i < far.ms.size(); i += 12) {
+    LossBatch b;
+    b.at = far.time_of(i);
+    b.sent = 0;
+    b.lost = 0;
+    loss.batches.push_back(b);
+  }
+  const auto corr = correlate_loss(loss, far, shifts);
+  EXPECT_EQ(corr.batches_in, 0u);
+  EXPECT_EQ(corr.batches_out, 0u);
+  EXPECT_EQ(corr.batches_skipped, loss.batches.size());
+  EXPECT_TRUE(std::isnan(corr.correlation));
+  EXPECT_TRUE(std::isnan(corr.average_loss()));
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: legacy scalar vs fast SoA vs online, byte for byte
+
+// Asserts two detector results are bit-identical in every field a
+// downstream consumer can observe.
+void expect_same_result(const LevelShiftResult& a, const LevelShiftResult& b,
+                        const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  for (std::size_t i = 0; i < a.episodes.size(); ++i) {
+    EXPECT_EQ(a.episodes[i].begin, b.episodes[i].begin);
+    EXPECT_EQ(a.episodes[i].end, b.episodes[i].end);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.episodes[i].magnitude_ms),
+              std::bit_cast<std::uint64_t>(b.episodes[i].magnitude_ms));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.episodes[i].p_value),
+              std::bit_cast<std::uint64_t>(b.episodes[i].p_value));
+  }
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].begin, b.segments[i].begin);
+    EXPECT_EQ(a.segments[i].end, b.segments[i].end);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.segments[i].level),
+              std::bit_cast<std::uint64_t>(b.segments[i].level));
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.baseline_ms),
+            std::bit_cast<std::uint64_t>(b.baseline_ms));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.coverage),
+            std::bit_cast<std::uint64_t>(b.coverage));
+  EXPECT_EQ(a.refused_low_coverage, b.refused_low_coverage);
+  ASSERT_EQ(a.gaps.size(), b.gaps.size());
+  for (std::size_t i = 0; i < a.gaps.size(); ++i) {
+    EXPECT_EQ(a.gaps[i].begin, b.gaps[i].begin);
+    EXPECT_EQ(a.gaps[i].end, b.gaps[i].end);
+  }
+  EXPECT_EQ(a.windows_scanned, b.windows_scanned);
+  EXPECT_EQ(a.windows_skipped_dark, b.windows_skipped_dark);
+  EXPECT_EQ(a.windows_skipped_quiet, b.windows_skipped_quiet);
+}
+
+// The equivalence corpus: every shape the detector meets in campaigns --
+// quiet, congested, noisy, gappy, boundary-hugging, and degenerate.
+std::vector<RttSeries> equivalence_corpus() {
+  std::vector<RttSeries> corpus;
+  corpus.push_back(diurnal_far(10, 2.0, 18.0, 12.0, 6.0, 0.3, 101));
+  corpus.push_back(diurnal_far(14, 5.0, 25.0, 20.0, 5.0, 1.0, 102));
+  corpus.push_back(flat_near(10, 1.0, 0.2, 103));
+  corpus.push_back(flat_near(14, 40.0, 8.0, 104));  // noisy, never shifts
+  // Congestion active from sample 0 (episode pinned at the series start).
+  corpus.push_back(diurnal_far(8, 2.0, 20.0, 0.0, 8.0, 0.3, 105));
+  // Congestion running through the final sample.
+  {
+    auto s = flat_near(8, 2.0, 0.3, 106);
+    for (std::size_t i = s.ms.size() - 3 * kSamplesPerDay; i < s.ms.size(); ++i) s.ms[i] += 20.0;
+    corpus.push_back(std::move(s));
+  }
+  // Mid-series all-missing outage crossing a plateau.
+  {
+    auto s = diurnal_far(10, 2.0, 18.0, 12.0, 6.0, 0.3, 107);
+    for (std::size_t i = 4 * kSamplesPerDay; i < 5 * kSamplesPerDay; ++i) s.ms[i] = kMissing;
+    corpus.push_back(std::move(s));
+  }
+  // Random 20% missing.
+  {
+    auto s = diurnal_far(10, 2.0, 18.0, 12.0, 6.0, 0.3, 108);
+    Rng rng(109);
+    for (auto& x : s.ms) {
+      if (rng.chance(0.2)) x = kMissing;
+    }
+    corpus.push_back(std::move(s));
+  }
+  // Sub-coverage: refusal path.
+  {
+    RttSeries s;
+    s.interval = kMinute * 5;
+    s.ms.assign(1152, kMissing);
+    for (std::size_t i = 0; i < 8; ++i) s.ms[i * 16] = i % 2 == 0 ? 10.0 : 40.0;
+    corpus.push_back(std::move(s));
+  }
+  // Degenerates: empty, single-sample, all-gap.
+  {
+    RttSeries s;
+    s.interval = kMinute * 5;
+    corpus.push_back(s);  // empty
+    s.ms.assign(1, 10.0);
+    corpus.push_back(s);  // single sample
+    s.ms.assign(600, kMissing);
+    corpus.push_back(std::move(s));  // all gap
+  }
+  return corpus;
+}
+
+TEST(EngineEquivalence, FastMatchesLegacyOnCorpus) {
+  LevelShiftOptions opts;
+  opts.engine = DetectorEngine::kFast;
+  LevelShiftDetector det(opts);
+  std::size_t idx = 0;
+  for (const auto& s : equivalence_corpus()) {
+    const auto fast = det.detect(s);
+    const auto legacy = det.detect_legacy(s);
+    expect_same_result(fast, legacy, ("corpus series " + std::to_string(idx++)).c_str());
+  }
+}
+
+TEST(EngineEquivalence, BatchMatchesLegacyOnCorpus) {
+  LevelShiftOptions opts;
+  const auto corpus = equivalence_corpus();
+  SeriesBatch batch;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& s = corpus[i];
+    batch.add("series-" + std::to_string(i), s.start, s.interval,
+              std::span<const double>(s.ms));
+  }
+  const auto results = detect_batch(batch, opts);
+  ASSERT_EQ(results.size(), corpus.size());
+  LevelShiftDetector det(opts);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    expect_same_result(results[i], det.detect_legacy(corpus[i]),
+                       ("corpus series " + std::to_string(i)).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Online detector: order-independence properties
+
+TEST(OnlineProperty, OneAtATimeMatchesAllAtOnce) {
+  LevelShiftOptions opts;
+  std::size_t idx = 0;
+  for (const auto& s : equivalence_corpus()) {
+    SCOPED_TRACE("corpus series " + std::to_string(idx++));
+    OnlineLevelShift one(opts, s.start, s.interval, /*retain_samples=*/true);
+    for (const double x : s.ms) one.push(x);
+    OnlineLevelShift all(opts, s.start, s.interval, /*retain_samples=*/true);
+    all.push(std::span<const double>(s.ms));
+    const auto a = one.finalize();
+    const auto b = all.finalize();
+    expect_same_result(a, b, "one-at-a-time vs all-at-once");
+    // And both match the offline engines.
+    LevelShiftDetector det(opts);
+    expect_same_result(a, det.detect(s), "online vs fast");
+    expect_same_result(a, det.detect_legacy(s), "online vs legacy");
+  }
+}
+
+TEST(OnlineProperty, ChunkedFeedAtRandomSplitsMatches) {
+  LevelShiftOptions opts;
+  const auto corpus = equivalence_corpus();
+  Rng rng(0xc4a11);
+  for (std::size_t idx = 0; idx < corpus.size(); ++idx) {
+    const auto& s = corpus[idx];
+    LevelShiftDetector det(opts);
+    const auto want = det.detect(s);
+    for (int trial = 0; trial < 3; ++trial) {
+      SCOPED_TRACE("series " + std::to_string(idx) + " trial " + std::to_string(trial));
+      OnlineLevelShift online(opts, s.start, s.interval, /*retain_samples=*/true);
+      std::size_t fed = 0;
+      while (fed < s.ms.size()) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(s.ms.size() - fed)));
+        online.push(std::span<const double>(s.ms).subspan(fed, chunk));
+        fed += chunk;
+      }
+      expect_same_result(online.finalize(), want, "chunked vs fast");
+    }
+  }
+}
+
+TEST(OnlineProperty, FinalizeIsRepeatableAndResumable) {
+  // finalize() must not corrupt detector state: finalizing mid-stream and
+  // then feeding the rest must equal the never-finalized run.
+  LevelShiftOptions opts;
+  const auto s = diurnal_far(10, 2.0, 18.0, 12.0, 6.0, 0.3, 120);
+  OnlineLevelShift online(opts, s.start, s.interval, /*retain_samples=*/true);
+  const std::size_t half = s.ms.size() / 2;
+  online.push(std::span<const double>(s.ms).first(half));
+  const auto mid1 = online.finalize();
+  const auto mid2 = online.finalize();
+  expect_same_result(mid1, mid2, "repeated finalize");
+  online.push(std::span<const double>(s.ms).subspan(half));
+  LevelShiftDetector det(opts);
+  expect_same_result(online.finalize(), det.detect(s), "resume after finalize");
+}
+
+TEST(OnlineProperty, BoundedMemory) {
+  // The online detector's buffered tail is bounded by window + stride no
+  // matter how long the feed runs.
+  LevelShiftOptions opts;
+  const auto s = diurnal_far(30, 2.0, 18.0, 12.0, 6.0, 0.3, 121);
+  OnlineLevelShift online(opts, s.start, s.interval);
+  const std::size_t win = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.window.count() / s.interval.count()));
+  const std::size_t bound = win + std::max<std::size_t>(1, win / 2);
+  std::size_t high_water = 0;
+  for (const double x : s.ms) {
+    online.push(x);
+    high_water = std::max(high_water, online.pending_samples());
+  }
+  EXPECT_EQ(online.samples_seen(), s.ms.size());
+  EXPECT_LE(high_water, bound);
+}
+
+// ---------------------------------------------------------------------------
+// Window boundary pins (the rank-CUSUM off-by-one audit)
+
+TEST(LevelShiftBoundary, EpisodeCanBeginAtSampleZero) {
+  // Elevated from the very first sample, dropping later: the first
+  // episode must begin exactly at 0, not at 1 (a detector that only
+  // opened episodes at accepted change points lost the leading sample).
+  auto s = flat_near(8, 2.0, 0.3, 130);
+  for (std::size_t i = 0; i < 2 * kSamplesPerDay; ++i) s.ms[i] += 20.0;
+  LevelShiftDetector det;
+  const auto fast = det.detect(s);
+  const auto legacy = det.detect_legacy(s);
+  for (const auto* res : {&fast, &legacy}) {
+    ASSERT_TRUE(res->any());
+    EXPECT_EQ(res->episodes.front().begin, 0u);
+    for (const auto& e : res->episodes) {
+      EXPECT_LT(e.begin, e.end);
+      EXPECT_LE(e.end, s.ms.size());
+    }
+  }
+}
+
+TEST(LevelShiftBoundary, EpisodeCanEndAtFinalSample) {
+  // Elevated through the last sample: the final episode must end exactly
+  // at n -- neither dropped (off-by-one clamp at n-1) nor past the series.
+  auto s = flat_near(8, 2.0, 0.3, 131);
+  for (std::size_t i = s.ms.size() - 2 * kSamplesPerDay; i < s.ms.size(); ++i) s.ms[i] += 20.0;
+  LevelShiftDetector det;
+  const auto fast = det.detect(s);
+  const auto legacy = det.detect_legacy(s);
+  for (const auto* res : {&fast, &legacy}) {
+    ASSERT_TRUE(res->any());
+    EXPECT_EQ(res->episodes.back().end, s.ms.size());
+    for (const auto& e : res->episodes) {
+      EXPECT_LT(e.begin, e.end);
+      EXPECT_LE(e.end, s.ms.size());
+    }
+  }
+}
+
+TEST(LevelShiftBoundary, EpisodeBoundsHoldAcrossGapRuns) {
+  // A plateau interrupted by an all-missing run: sanitization may bridge
+  // the gap, but no episode may extend past the series end or invert.
+  auto s = flat_near(10, 2.0, 0.3, 132);
+  for (std::size_t i = 3 * kSamplesPerDay; i < 7 * kSamplesPerDay; ++i) s.ms[i] += 20.0;
+  for (std::size_t i = 4 * kSamplesPerDay; i < 4 * kSamplesPerDay + 100; ++i) s.ms[i] = kMissing;
+  // Trailing gap right at the series end.
+  for (std::size_t i = s.ms.size() - 50; i < s.ms.size(); ++i) s.ms[i] = kMissing;
+  LevelShiftDetector det;
+  const auto fast = det.detect(s);
+  const auto legacy = det.detect_legacy(s);
+  expect_same_result(fast, legacy, "gap-run series");
+  ASSERT_TRUE(fast.any());
+  for (const auto& e : fast.episodes) {
+    EXPECT_LT(e.begin, e.end);
+    EXPECT_LE(e.end, s.ms.size());
+  }
+}
+
+TEST(LevelShiftBoundary, DegenerateSeriesNeverCrash) {
+  LevelShiftDetector det;
+  RttSeries s;
+  s.interval = kMinute * 5;
+  // Empty.
+  auto res = det.detect(s);
+  EXPECT_FALSE(res.any());
+  EXPECT_TRUE(res.episodes.empty());
+  // Single sample.
+  s.ms.assign(1, 12.0);
+  res = det.detect(s);
+  EXPECT_FALSE(res.any());
+  // Two samples (the smallest window the scanner can form).
+  s.ms = {12.0, 30.0};
+  res = det.detect(s);
+  EXPECT_LE(res.episodes.size(), 1u);
+  // All gap.
+  s.ms.assign(500, kMissing);
+  res = det.detect(s);
+  EXPECT_FALSE(res.any());
+  EXPECT_TRUE(res.refused_low_coverage);
+}
+
+TEST(LevelShift, MinDurationCeilAtOddCadence) {
+  // min_episode_samples rounds *up*: with a 7-minute cadence and a
+  // 30-minute floor, 30/7 = 4.29 must require 5 samples -- an episode of
+  // 4 samples spans only 28 minutes, under the floor.  Truncation kept it.
+  EXPECT_EQ(min_episode_samples(kMinute * 30, kMinute * 7), 5u);
+  EXPECT_EQ(min_episode_samples(kMinute * 30, kMinute * 5), 6u);
+  EXPECT_EQ(min_episode_samples(kMinute * 30, kMinute * 30), 1u);
+  EXPECT_EQ(min_episode_samples(Duration{}, kMinute * 5), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Raw vs columnar-decoded classification (coverage refusal parity)
+
+TEST(Classifier, ColumnarRefusalMatchesRaw) {
+  // A link whose far side is below min_coverage must be refused with the
+  // same verdict whether the series comes in raw or is decoded from the
+  // columnar store -- coverage is computed over the same sample count, so
+  // the round trip (which preserves NaN runs exactly) cannot flip it.
+  RttSeries far;
+  far.interval = kMinute * 5;
+  far.ms.assign(1152, kMissing);
+  for (std::size_t i = 0; i < 8; ++i) far.ms[i * 16] = i % 2 == 0 ? 10.0 : 40.0;
+  const auto near = flat_near(4, 1.0, 0.2, 140);
+  const auto link = make_link(near, far);
+
+  series::SeriesStore store(link.far_rtt.start, link.far_rtt.interval);
+  store.add_link({.key = link.key});
+  store.append(0, link.near_rtt.ms, link.far_rtt.ms);
+  LinkSeries decoded = link;
+  decoded.near_rtt.ms.clear();
+  decoded.far_rtt.ms.clear();
+  store.decode_into(0, decoded.near_rtt.ms, decoded.far_rtt.ms);
+  ASSERT_EQ(decoded.far_rtt.ms.size(), link.far_rtt.ms.size());
+
+  CongestionClassifier c;
+  const auto raw_rep = c.classify(link);
+  const auto col_rep = c.classify(decoded);
+  EXPECT_TRUE(raw_rep.far_shifts.refused_low_coverage);
+  EXPECT_TRUE(col_rep.far_shifts.refused_low_coverage);
+  EXPECT_EQ(raw_rep.verdict, col_rep.verdict);
+  EXPECT_EQ(raw_rep.persistence, col_rep.persistence);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(raw_rep.far_shifts.coverage),
+            std::bit_cast<std::uint64_t>(col_rep.far_shifts.coverage));
+  expect_same_result(raw_rep.far_shifts, col_rep.far_shifts, "far refusal");
+  expect_same_result(raw_rep.near_shifts, col_rep.near_shifts, "near side");
 }
 
 }  // namespace

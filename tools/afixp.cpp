@@ -13,9 +13,11 @@
 //   afixp selftest  [--golden-dir tests/golden] [--update-golden]
 //       golden-regression checks of the statistics path (level shifts,
 //       change points, diurnal scoring, loss correlation).
-//   afixp bench     [--smoke] [--out BENCH_sim.json] [--only <name>]
+//   afixp bench     [--smoke] [--out BENCH_sim.json] [--only <name>] [--tslp]
 //       probe hot-path benchmark harness; emits the BENCH_sim.json perf
 //       record compared across PRs (see README "Benchmark harness").
+//       --tslp runs the TSLP statistics harness instead (scalar vs batch
+//       vs online detector engines -> BENCH_tslp.json).
 //   afixp chaos     [--plan default] [--seed 1] [--fast] [--jobs N]
 //       run the six VP campaigns under a named fault plan and score the
 //       classifier against the engineered ground truth (precision/recall
@@ -273,13 +275,19 @@ int cmd_selftest(int argc, const char* const* argv) {
 int cmd_bench(int argc, const char* const* argv) {
   Flags flags("afixp bench", "probe hot-path benchmark harness (BENCH_sim.json)");
   flags.add_bool("smoke", false, "CI-sized workloads (seconds, not minutes)");
-  flags.add_string("out", "BENCH_sim.json", "output JSON path (empty = stdout)");
+  flags.add_string("out", "BENCH_sim.json", "output JSON path (empty = stdout; "
+                   "defaults to BENCH_tslp.json under --tslp)");
   flags.add_string("only", "", "run only the named benchmark (probe_fabric, "
                    "event_loop, campaign_six_vp)");
   flags.add_int("repeats", 3, "warm passes per micro-benchmark");
   flags.add_bool("metrics", false,
                  "collect observability registries during campaign_six_vp (the "
                  "reference numbers keep this off; check_bench gates the overhead)");
+  flags.add_bool("tslp", false,
+                 "run the TSLP statistics benchmark instead (scalar vs batch vs "
+                 "online detector engines; writes the BENCH_tslp.json record)");
+  flags.add_string("spec", "regional50",
+                   "--tslp corpus sizing preset (paper6, regional50, continent100)");
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.error() << "\n";
     return 2;
@@ -287,6 +295,33 @@ int cmd_bench(int argc, const char* const* argv) {
   if (flags.help_requested()) {
     std::cout << flags.help_text();
     return 0;
+  }
+  if (flags.get_bool("tslp")) {
+    analysis::TslpBenchOptions topt;
+    topt.smoke = flags.get_bool("smoke");
+    topt.spec = flags.get_string("spec");
+    topt.repeats = static_cast<int>(flags.get_int("repeats"));
+    analysis::TslpBenchReport report;
+    try {
+      report = analysis::run_tslp_benchmark(topt, &std::cerr);
+    } catch (const std::exception& e) {
+      std::cerr << "afixp bench --tslp: " << e.what() << "\n";
+      return 1;
+    }
+    auto out_path = flags.get_string("out");
+    if (out_path == "BENCH_sim.json") out_path = "BENCH_tslp.json";
+    if (out_path.empty()) {
+      analysis::write_tslp_bench_json(std::cout, report);
+      return report.equivalent ? 0 : 1;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    analysis::write_tslp_bench_json(out, report);
+    std::cout << "bench record: " << out_path << "\n";
+    return report.equivalent ? 0 : 1;
   }
   analysis::BenchOptions opt;
   opt.smoke = flags.get_bool("smoke");

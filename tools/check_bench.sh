@@ -19,11 +19,23 @@
 # field docs/SCALING.md documents, with positive throughput and a columnar
 # store that actually beats raw storage.
 #
-# usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary]
+# When a bench_tslp binary is supplied, its smoke workload runs too: the
+# afixp-bench-tslp/1 record must carry all three engines (scalar, batch,
+# online) with positive rates, and -- non-negotiably -- equivalent=true:
+# the fast paths must be byte-identical to the legacy detector.  When a
+# source dir is also supplied, the committed reference BENCH_tslp.json is
+# checked as well: full regional50 workload, equivalent, and the batch
+# engine at >= 3x the scalar baseline.  The reference record is a committed
+# artifact, not a CI measurement, so asserting its speedup is safe.
+#
+# usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary] \
+#                       [bench_tslp_binary] [source_dir]
 set -u
 
-bench=${1:?usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary]}
+bench=${1:?usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary] [bench_tslp_binary] [source_dir]}
 substrate=${2:-}
+tslp=${3:-}
+srcdir=${4:-}
 [ -x "$bench" ] || { echo "check_bench: cannot execute $bench" >&2; exit 1; }
 
 out=$(mktemp)
@@ -148,4 +160,86 @@ if not record["resident_bytes"] < record["raw_bytes"]:
     fail(f"columnar store does not beat raw storage "
          f"({record['resident_bytes']} >= {record['raw_bytes']} bytes)")
 print("check_bench: substrate record OK")
+EOF
+[ $? -eq 0 ] || exit 1
+
+# --- TSLP benchmark smoke gate ---------------------------------------------
+[ -n "$tslp" ] || exit 0
+[ -x "$tslp" ] || { echo "check_bench: cannot execute $tslp" >&2; exit 1; }
+
+tslp_out=$(mktemp)
+trap 'rm -f "$out" "$metrics_out" "$sub_out" "$tslp_out"' EXIT
+if ! "$tslp" --smoke --out "$tslp_out"; then
+    echo "check_bench: bench_tslp --smoke exited non-zero" >&2
+    exit 1
+fi
+
+python3 - "$tslp_out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed tslp JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: {msg}")
+
+if record.get("schema") != "afixp-bench-tslp/1":
+    fail(f"unexpected tslp schema tag {record.get('schema')!r}")
+if record.get("workload") != "smoke":
+    fail(f"expected tslp workload 'smoke', got {record.get('workload')!r}")
+engines = record.get("engines")
+if not isinstance(engines, list) or not engines:
+    fail("'engines' must be a non-empty list")
+names = {e.get("name") for e in engines}
+if names != {"scalar", "batch", "online"}:
+    fail(f"engine set {sorted(names)} != ['batch', 'online', 'scalar']")
+for e in engines:
+    for key in ("cold_series_per_sec", "warm_series_per_sec", "wall_seconds"):
+        if key not in e:
+            fail(f"engine {e.get('name')!r} lacks field {key!r}")
+        if not (isinstance(e[key], (int, float)) and e[key] > 0):
+            fail(f"engine {e.get('name')!r} has non-positive {key}: {e[key]!r}")
+# The non-negotiable bit, even at smoke size: the fast paths must have
+# produced byte-identical reports to the legacy detector on every link.
+if record.get("equivalent") is not True:
+    fail("tslp engines are not equivalent -- the fast path diverged "
+         "from the legacy detector")
+print("check_bench: tslp smoke OK")
+EOF
+[ $? -eq 0 ] || exit 1
+
+# --- TSLP committed reference gate -----------------------------------------
+[ -n "$srcdir" ] || exit 0
+ref="$srcdir/BENCH_tslp.json"
+[ -f "$ref" ] || { echo "check_bench: missing committed reference $ref" >&2; exit 1; }
+
+python3 - "$ref" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed reference JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: BENCH_tslp.json {msg}")
+
+if record.get("schema") != "afixp-bench-tslp/1":
+    fail(f"has unexpected schema tag {record.get('schema')!r}")
+if record.get("workload") != "full":
+    fail(f"is not a full-workload record ({record.get('workload')!r})")
+if record.get("spec") != "regional50":
+    fail(f"was not measured on the regional50 substrate ({record.get('spec')!r})")
+if record.get("equivalent") is not True:
+    fail("records non-equivalent engines")
+speedup = record.get("speedup_batch")
+if not (isinstance(speedup, (int, float)) and speedup >= 3.0):
+    fail(f"batch speedup {speedup!r} is below the 3.0x acceptance bar")
+print(f"check_bench: reference OK (batch {speedup}x over scalar)")
 EOF

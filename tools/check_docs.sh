@@ -158,6 +158,31 @@ if [ -r "$scaling" ] && [ -r "$sub_record" ]; then
     done
 fi
 
+# --- 9. BENCH_tslp.json fields: record <-> docs/ARCHITECTURE.md -----------
+# The committed record at the repo root is the reference TSLP-engine run;
+# the "TSLP fast path" section of ARCHITECTURE.md documents every field of
+# the afixp-bench-tslp/1 schema (including the nested engine-entry fields),
+# and documents no ghost fields.
+arch="$src/docs/ARCHITECTURE.md"
+tslp_record="$src/BENCH_tslp.json"
+[ -r "$tslp_record" ] || err "BENCH_tslp.json does not exist at the repo root"
+if [ -r "$arch" ] && [ -r "$tslp_record" ]; then
+    tslp_fields=$(grep -oE '"[a-z_]+":' "$tslp_record" | tr -d '":' | sort -u)
+    [ -n "$tslp_fields" ] || err "no fields found in $tslp_record"
+    tslp_section=$(sed -n '/^## The TSLP fast path/,/^## The continent-scale substrate/p' "$arch")
+    [ -n "$tslp_section" ] || err "docs/ARCHITECTURE.md has no 'TSLP fast path' section"
+    for f in $tslp_fields; do
+        echo "$tslp_section" | grep -q "\`$f\`" ||
+            err "BENCH_tslp.json field '$f' is not documented in docs/ARCHITECTURE.md"
+    done
+    tslp_doc_fields=$(echo "$tslp_section" | grep -oE '^\| `[a-z_]+`' | tr -d '`| ' | sort -u)
+    [ -n "$tslp_doc_fields" ] || err "no TSLP bench-field table found in docs/ARCHITECTURE.md"
+    for f in $tslp_doc_fields; do
+        echo "$tslp_fields" | grep -qx "$f" ||
+            err "docs/ARCHITECTURE.md documents TSLP bench field '$f' but the record does not carry it"
+    done
+fi
+
 if [ -s "$errors" ]; then
     echo "check_docs: FAILED ($(wc -l < "$errors") problem(s))" >&2
     exit 1
