@@ -10,6 +10,7 @@
 #include <ostream>
 
 #include "sim/faults.h"
+#include "sim/lp.h"
 #include "util/fault_plan.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -131,7 +132,13 @@ FleetResult run_fleet(const std::vector<VpSpec>& specs, const FleetOptions& opt)
     out.metrics[i].vp_name = specs[i].vp_name;
     out.metrics[i].vp_index = i;
   }
-  out.jobs_used = ThreadPool::resolve_jobs(opt.jobs, specs.size());
+  // Fleet-level and intra-sim parallelism share one thread budget: a fleet
+  // asked for --jobs 16 with --sim-threads 4 runs 4 campaign workers, each
+  // entitled to 4 LP workers.  Integer division, floored at 1, so an
+  // over-subscribed sim-threads value degrades to a serial fleet rather
+  // than oversubscribing the host.
+  out.jobs_used = std::max(1, ThreadPool::resolve_jobs(opt.jobs, specs.size()) /
+                                  sim::resolve_sim_threads(opt.campaign.sim_threads));
 
   const auto fleet_t0 = WallClock::now();
   std::mutex progress_mu;

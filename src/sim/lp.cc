@@ -1,0 +1,257 @@
+#include "sim/lp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/strings.h"
+
+namespace ixp::sim {
+
+namespace {
+
+/// Links faster than this keep their endpoints in one island: an IXP
+/// fabric and its members sit microseconds apart, while inter-island
+/// long-haul links carry the milliseconds of propagation delay that make
+/// conservative lookahead worthwhile.
+constexpr Duration kIslandThreshold = milliseconds(1);
+
+// Cost charges per island, mirroring analysis/fleet.cc's
+// estimate_campaign_cost: a fixed base so tiny islands still cost
+// something to wake every window, plus per-node and per-link work.
+constexpr double kIslandBase = 1000.0;
+constexpr double kPerNode = 200.0;
+constexpr double kPerLink = 50.0;
+
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(std::size_t n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); }
+};
+
+}  // namespace
+
+LpPartition partition_network(const Network& net, int parts) {
+  LpPartition part;
+  const int n = static_cast<int>(net.node_count());
+  part.lp_of_node.assign(static_cast<std::size_t>(n), 0);
+  if (parts <= 1 || n == 0) return part;
+
+  // Islands: connected components over the sub-threshold links.
+  Dsu dsu(static_cast<std::size_t>(n));
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    const DuplexLink& l = net.link(static_cast<int>(li));
+    if (l.min_prop_delay() < kIslandThreshold) dsu.unite(l.node_a(), l.node_b());
+  }
+  std::vector<int> island_of(static_cast<std::size_t>(n), -1);
+  std::vector<double> island_weight;
+  for (int i = 0; i < n; ++i) {
+    const int root = dsu.find(i);
+    if (island_of[static_cast<std::size_t>(root)] < 0) {
+      island_of[static_cast<std::size_t>(root)] = static_cast<int>(island_weight.size());
+      island_weight.push_back(kIslandBase);
+    }
+    island_of[static_cast<std::size_t>(i)] = island_of[static_cast<std::size_t>(root)];
+    island_weight[static_cast<std::size_t>(island_of[static_cast<std::size_t>(i)])] += kPerNode;
+  }
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    const DuplexLink& l = net.link(static_cast<int>(li));
+    const int ia = island_of[static_cast<std::size_t>(l.node_a())];
+    const int ib = island_of[static_cast<std::size_t>(l.node_b())];
+    if (ia == ib) island_weight[static_cast<std::size_t>(ia)] += kPerLink;
+  }
+
+  // Greedy LPT: heaviest island first onto the least-loaded LP; ties
+  // resolve to the lowest index on both sides, so the packing is a pure
+  // function of the topology.
+  const int bins = std::min(parts, static_cast<int>(island_weight.size()));
+  if (bins <= 1) return part;
+  std::vector<int> order(island_weight.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return island_weight[static_cast<std::size_t>(a)] > island_weight[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> load(static_cast<std::size_t>(bins), 0.0);
+  std::vector<int> lp_of_island(island_weight.size(), 0);
+  for (const int isl : order) {
+    int best = 0;
+    for (int b = 1; b < bins; ++b) {
+      if (load[static_cast<std::size_t>(b)] < load[static_cast<std::size_t>(best)]) best = b;
+    }
+    lp_of_island[static_cast<std::size_t>(isl)] = best;
+    load[static_cast<std::size_t>(best)] += island_weight[static_cast<std::size_t>(isl)];
+  }
+  for (int i = 0; i < n; ++i) {
+    part.lp_of_node[static_cast<std::size_t>(i)] =
+        lp_of_island[static_cast<std::size_t>(island_of[static_cast<std::size_t>(i)])];
+  }
+  part.count = bins;
+  part.weights = std::move(load);
+
+  // The cut and its lookahead.
+  part.lookahead = Duration::max();
+  for (std::size_t li = 0; li < net.link_count(); ++li) {
+    const DuplexLink& l = net.link(static_cast<int>(li));
+    if (part.lp_of_node[static_cast<std::size_t>(l.node_a())] !=
+        part.lp_of_node[static_cast<std::size_t>(l.node_b())]) {
+      part.cut_links.push_back(static_cast<int>(li));
+      part.lookahead = std::min(part.lookahead, l.min_prop_delay());
+    }
+  }
+  if (!part.cut_links.empty() && part.lookahead <= Duration{}) {
+    // A zero-delay cut link admits same-instant cross-LP causality; no
+    // conservative window can make progress.  Fall back to serial.
+    part = LpPartition{};
+    part.lp_of_node.assign(static_cast<std::size_t>(n), 0);
+  }
+  return part;
+}
+
+int resolve_sim_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const auto v = env::int_value("IXP_SIM_THREADS"); v.has_value() && *v > 0) {
+    return static_cast<int>(*v);
+  }
+  return 1;
+}
+
+LpScheduler::LpScheduler(Network& net, int threads)
+    : net_(net),
+      part_(partition_network(net, std::max(1, threads))),
+      pool_(part_.count) {
+  ctxs_.resize(static_cast<std::size_t>(part_.count));
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    ctxs_[i].lp = static_cast<int>(i);
+    // Independent per-LP streams, NOT forked from the network RNG: the
+    // shared analytic stream must stay untouched so campaign goldens are
+    // unaffected by how many LPs exist.
+    ctxs_[i].rng = Rng(0x1bdca5a1e5ULL ^ (static_cast<std::uint64_t>(i) + 1));
+    ctxs_[i].outbox.resize(ctxs_.size());
+  }
+  stats_.lps = part_.count;
+  stats_.lookahead = part_.lookahead == Duration::max() ? Duration{} : part_.lookahead;
+  stats_.events_per_lp.assign(ctxs_.size(), 0);
+  stats_.scheduled_per_lp.assign(ctxs_.size(), 0);
+  busy_.assign(ctxs_.size(), 0.0);
+  net_.attach_lp(&part_.lp_of_node, &ctxs_);
+}
+
+LpScheduler::~LpScheduler() {
+  flush_counters();
+  net_.detach_lp();
+}
+
+void LpScheduler::run_until(TimePoint horizon) {
+  const bool bounded = part_.lookahead != Duration::max();
+  for (;;) {
+    // Idle-jump: the next window starts at the earliest pending event
+    // anywhere; empty stretches of simulated time cost nothing.
+    TimePoint earliest = TimePoint(Duration::max());
+    for (const LpContext& c : ctxs_) {
+      if (const auto t = c.sim.next_event_at()) earliest = std::min(earliest, *t);
+    }
+    if (earliest >= horizon) break;
+    const TimePoint end = bounded ? std::min(horizon, earliest + part_.lookahead) : horizon;
+    window(end, /*inclusive=*/false);
+  }
+  // Final inclusive pass: events at exactly `horizon` execute, matching
+  // serial run_until.  Their cross-LP messages arrive strictly after the
+  // horizon (lookahead > 0) and stay pending for the next run.
+  window(horizon, /*inclusive=*/true);
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    stats_.events_per_lp[i] = ctxs_[i].sim.executed();
+    stats_.scheduled_per_lp[i] = ctxs_[i].sim.scheduled();
+  }
+  stats_.sim_horizon = std::max(stats_.sim_horizon, horizon - TimePoint{});
+  net_.simulator().advance_to(horizon);
+  flush_counters();
+}
+
+void LpScheduler::window(TimePoint end, bool inclusive) {
+  const auto w0 = std::chrono::steady_clock::now();
+  pool_.parallel_for(ctxs_.size(), [&](std::size_t i) {
+    const auto b0 = std::chrono::steady_clock::now();
+    struct Armed {
+      explicit Armed(LpContext* c) { Network::arm_lp(c); }
+      ~Armed() { Network::arm_lp(nullptr); }
+    } armed(&ctxs_[i]);
+    if (inclusive) {
+      ctxs_[i].sim.run_until(end);
+    } else {
+      ctxs_[i].sim.run_before(end);
+    }
+    busy_[i] = std::chrono::duration<double>(std::chrono::steady_clock::now() - b0).count();
+  });
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - w0).count();
+  for (const double b : busy_) stats_.barrier_wait_seconds += std::max(0.0, wall - b);
+  ++stats_.windows;
+  exchange();
+}
+
+void LpScheduler::exchange() {
+  for (std::size_t dst = 0; dst < ctxs_.size(); ++dst) {
+    staging_.clear();
+    for (LpContext& src : ctxs_) {
+      std::vector<LpMessage>& box = src.outbox[dst];
+      for (LpMessage& m : box) staging_.push_back(std::move(m));
+      box.clear();
+    }
+    if (staging_.empty()) continue;
+    // (arrival, sent, source LP, sequence): unique total order -- the
+    // first two mirror the serial execution order, the last two are the
+    // documented tie-break for simultaneous cross-LP arrivals.
+    std::sort(staging_.begin(), staging_.end(), [](const LpMessage& a, const LpMessage& b) {
+      if (a.at != b.at) return a.at < b.at;
+      if (a.sent != b.sent) return a.sent < b.sent;
+      if (a.src_lp != b.src_lp) return a.src_lp < b.src_lp;
+      return a.seq < b.seq;
+    });
+    Simulator& sim = ctxs_[dst].sim;
+    Network* net = &net_;
+    for (LpMessage& m : staging_) {
+      ++stats_.cross_messages;
+      sim.schedule_at(m.at, [net, to = m.to, ifx = m.ifindex, pkt = std::move(m.pkt)]() mutable {
+        net->node(to).receive(*net, std::move(pkt), ifx);
+      });
+    }
+  }
+}
+
+void LpScheduler::flush_counters() {
+  // LP-index order: the sums land in the public totals exactly as the
+  // serial tally would have produced them.
+  for (LpContext& c : ctxs_) {
+    net_.packets_forwarded += c.forwarded;
+    net_.packets_dropped += c.dropped;
+    net_.icmp_generated += c.icmp;
+    net_.hops_walked += c.hops;
+    c.forwarded = c.dropped = c.icmp = c.hops = 0;
+  }
+}
+
+void publish_lp_stats(obs::Registry& reg, const LpRunStats& stats) {
+  reg.counter("afixp_sim_lp_windows_total")->set(stats.windows);
+  reg.counter("afixp_sim_lp_cross_messages_total")->set(stats.cross_messages);
+  reg.gauge("afixp_sim_lp_count")->set(stats.lps);
+  reg.gauge("afixp_sim_lp_lookahead_ms")->set(to_ms(stats.lookahead));
+  reg.gauge("afixp_sim_lp_barrier_wait_seconds")->set(stats.barrier_wait_seconds);
+  for (std::size_t i = 0; i < stats.events_per_lp.size(); ++i) {
+    const std::string label = strformat("lp=\"%d\"", static_cast<int>(i));
+    reg.counter("afixp_sim_lp_events_total", label)->set(stats.events_per_lp[i]);
+    reg.counter("afixp_sim_lp_scheduled_total", label)->set(stats.scheduled_per_lp[i]);
+    reg.span("afixp_sim_lp_run_simtime", label)->record(stats.sim_horizon);
+  }
+}
+
+}  // namespace ixp::sim

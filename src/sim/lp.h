@@ -1,0 +1,156 @@
+// Conservative logical-process (LP) parallel execution of one Network.
+//
+// The network is cut into islands along its long-haul links: any link
+// whose minimum propagation delay stays under the island threshold keeps
+// its endpoints in the same island (an IXP fabric plus the routers and
+// hosts hanging off it), and islands are packed onto the requested number
+// of logical processes by greedy LPT using estimate_campaign_cost-style
+// weights.  Each LP owns a private Simulator; the links that span two LPs
+// (the "cut") define the lookahead
+//
+//     L = min over cut links of min_prop_delay()
+//
+// -- every cross-LP packet needs at least L of simulated time to arrive,
+// because its total delay is queuing + transmission + propagation + extra
+// >= propagation >= L, and scheduled delay steps are already folded into
+// min_prop_delay().
+//
+// Execution proceeds in global barrier windows (YAWNS-style): all LPs run
+// their events in [W, W+L) in parallel, then exchange the cross-LP
+// packets buffered in per-pair outboxes.  A window's messages arrive at
+// >= W+L, i.e. never inside the window that produced them, so the
+// exchange at the barrier can never violate causality -- which the
+// IXP_PARANOID check in Simulator::schedule_at enforces at runtime.
+// Window starts idle-jump to the earliest pending event across all LPs,
+// so an idle substrate costs windows proportional to events, not to
+// simulated time.  One window is one "null-message round" in the stats.
+//
+// Determinism contract: merged inboxes are sorted by (arrival time, send
+// time, source LP, per-source sequence) before being scheduled into the
+// destination simulator.  This reproduces the serial global ordering --
+// and therefore byte-identical RTT bit patterns, counters, and executed
+// counts for ANY thread count -- whenever no two packets from *different*
+// source LPs collide on both arrival and send instants at the same
+// destination LP, and the workload draws no loss randomness (loss draws
+// come from per-LP RNG streams).  Campaign/bench workloads stagger their
+// send times with unique per-host offsets, which eliminates such ties by
+// construction; test_parallel_sim pins the guarantee for 1..16
+// partitions, with and without fault plans.
+//
+// Degenerate partitions fall back safely: a zero lookahead (some cut link
+// with zero propagation delay) collapses to a single LP, and a network
+// with no cut links at all (fully disconnected islands) runs every LP to
+// the horizon in a single window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/thread_pool.h"
+#include "util/time.h"
+
+namespace ixp::obs {
+class Registry;
+}
+
+namespace ixp::sim {
+
+/// How a network is split into logical processes.
+struct LpPartition {
+  std::vector<int> lp_of_node;  ///< node id -> LP index
+  int count = 1;                ///< number of LPs (1 = serial fallback)
+  /// Minimum propagation delay over the cut links; Duration::max() when
+  /// the cut is empty (disconnected partitions, one window to horizon).
+  Duration lookahead = Duration::max();
+  std::vector<double> weights;  ///< per-LP packed cost estimate
+  std::vector<int> cut_links;   ///< link ids spanning two LPs
+};
+
+/// Splits `net` into at most `parts` logical processes.  Deterministic:
+/// islands are discovered in node-id order and packed largest-first with
+/// index tie-breaks.  Collapses to a single LP when `parts` <= 1, when
+/// the topology is one island, or when the cut lookahead would be zero.
+LpPartition partition_network(const Network& net, int parts);
+
+/// Progress counters for one LP run; scraped into the observability
+/// registry by publish_lp_stats().  `barrier_wait_seconds` is host time
+/// (threads idling at window barriers) and is the only non-deterministic
+/// field -- it never feeds back into simulation results.
+struct LpRunStats {
+  int lps = 1;
+  Duration lookahead{};
+  std::uint64_t windows = 0;         ///< barrier windows == null-message rounds
+  std::uint64_t cross_messages = 0;  ///< packets exchanged across LPs
+  std::vector<std::uint64_t> events_per_lp;
+  std::vector<std::uint64_t> scheduled_per_lp;
+  Duration sim_horizon{};            ///< simulated time covered by run_until
+  double barrier_wait_seconds = 0.0;
+
+  [[nodiscard]] std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t e : events_per_lp) n += e;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_scheduled() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t s : scheduled_per_lp) n += s;
+    return n;
+  }
+};
+
+/// Resolves a --sim-threads request: positive values pass through, 0
+/// falls back to the IXP_SIM_THREADS env knob, and an unset knob means 1
+/// (serial).  Always >= 1.
+int resolve_sim_threads(int requested);
+
+/// Drives one Network's event workload across a partition.  Construction
+/// partitions and attaches; while attached, Network::lp_schedule() seeds
+/// workload events into the owning LP's simulator and every internal
+/// scheduling site follows the armed worker context.  Destruction
+/// detaches.  Counters are merged back into the Network's public totals
+/// (in LP-index order) at the end of every run_until().
+class LpScheduler {
+ public:
+  LpScheduler(Network& net, int threads);
+  ~LpScheduler();
+
+  LpScheduler(const LpScheduler&) = delete;
+  LpScheduler& operator=(const LpScheduler&) = delete;
+
+  /// Runs every LP to `horizon` (inclusive, matching the serial
+  /// Simulator::run_until semantics) through barrier windows, then
+  /// advances the Network's shared clock to `horizon`.
+  void run_until(TimePoint horizon);
+
+  [[nodiscard]] const LpPartition& partition() const { return part_; }
+  [[nodiscard]] const LpRunStats& stats() const { return stats_; }
+
+ private:
+  /// Runs one window on every LP in parallel ([.., end) exclusive, or
+  /// [.., end] inclusive for the final pass), then exchanges outboxes.
+  void window(TimePoint end, bool inclusive);
+  /// Merges all outboxes into their destination simulators in (arrival,
+  /// sent, source LP, sequence) order.
+  void exchange();
+  /// Adds the per-LP counter shadows into the Network's public totals.
+  void flush_counters();
+
+  Network& net_;
+  LpPartition part_;
+  std::vector<LpContext> ctxs_;
+  ThreadPool pool_;
+  LpRunStats stats_;
+  std::vector<LpMessage> staging_;  ///< reused merge buffer
+  std::vector<double> busy_;        ///< per-LP busy seconds, current window
+};
+
+/// Publishes an LP run's counters into `reg`: total windows (null-message
+/// rounds), cross-LP messages, per-LP executed/scheduled event counters
+/// (labelled lp="N"), a per-LP simulated-time span, and the barrier-wait
+/// gauge.  Campaign metrics exports never include these unless an LP run
+/// actually happened, keeping metrics bytes identical across
+/// --sim-threads for analytic workloads.
+void publish_lp_stats(obs::Registry& reg, const LpRunStats& stats);
+
+}  // namespace ixp::sim

@@ -6,6 +6,8 @@
 
 namespace ixp::sim {
 
+constinit thread_local LpContext* Network::active_lp_ctx_ = nullptr;
+
 NodeId Network::add_node(std::unique_ptr<Node> node) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   node->set_id(id);
@@ -65,23 +67,35 @@ NodeId Network::find_owner(net::Ipv4Address addr) const {
 void Network::transmit(NodeId from, int ifindex, net::Packet pkt, net::Ipv4Address next_hop) {
   Node& sender = node(from);
   if (ifindex < 0 || ifindex >= static_cast<int>(sender.interfaces().size())) {
-    ++packets_dropped;
+    bump_dropped();
     return;
   }
   const Interface& ifc = sender.interfaces()[static_cast<std::size_t>(ifindex)];
   DuplexLink& l = link(ifc.link_id);
-  TimePoint t = sim_.now();
+  Simulator& sim = active_sim();
+  TimePoint t = sim.now();
   if (!cross_link(l, from, pkt.size_bytes, t)) return;  // drop already counted
   pkt.l2_next_hop = next_hop;
   const NodeId peer = l.other(from);
   const int peer_if = l.ifindex_at(peer);
-  sim_.schedule(t - sim_.now(), [this, peer, peer_if, pkt = std::move(pkt)]() mutable {
+  LpContext* ctx = active_lp_ctx_;
+  if (ctx && lp_of_node_ &&
+      (*lp_of_node_)[static_cast<std::size_t>(peer)] != ctx->lp) {
+    // The peer lives in another logical process: buffer the crossing in
+    // the per-pair outbox.  The arrival is at least one lookahead past
+    // the current window, so exchanging at the barrier is safe.
+    const int dst = (*lp_of_node_)[static_cast<std::size_t>(peer)];
+    ctx->outbox[static_cast<std::size_t>(dst)].push_back(
+        LpMessage{t, sim.now(), ctx->out_seq++, ctx->lp, peer, peer_if, std::move(pkt)});
+    return;
+  }
+  sim.schedule_at(t, [this, peer, peer_if, pkt = std::move(pkt)]() mutable {
     node(peer).receive(*this, std::move(pkt), peer_if);
   });
 }
 
 void Network::deliver(NodeId to, net::Packet pkt, int in_ifindex, Duration delay) {
-  sim_.schedule(delay, [this, to, in_ifindex, pkt = std::move(pkt)]() mutable {
+  active_sim().schedule(delay, [this, to, in_ifindex, pkt = std::move(pkt)]() mutable {
     node(to).receive(*this, std::move(pkt), in_ifindex);
   });
 }
@@ -107,27 +121,30 @@ std::optional<Network::HopDecision> Network::route_at(NodeId at, net::Ipv4Addres
 
 bool Network::cross_link(DuplexLink& l, NodeId from, std::uint32_t size_bytes, TimePoint& t) {
   if (!l.is_up()) {
-    ++packets_dropped;
+    bump_dropped();
     return false;
   }
   FluidQueue& q = l.queue_from(from);
   const double p_drop = q.drop_probability(t);
-  if (p_drop > 0 && rng_.chance(p_drop)) {
-    ++packets_dropped;
+  if (p_drop > 0 && active_rng().chance(p_drop)) {
+    bump_dropped();
     return false;
   }
-  const Duration delay = q.queuing_delay(t) + q.transmission_delay(size_bytes) + l.prop_delay() +
-                         l.extra_delay_from(from);
+  // Delays are evaluated at the crossing instant `t`: a scheduled delay
+  // step (link.h) taking effect later never rewrites this packet's
+  // traversal, in either execution mode.
+  const Duration delay = q.queuing_delay(t) + q.transmission_delay(size_bytes) +
+                         l.prop_delay_at(t) + l.extra_delay_from(from, t);
   if (!q.enqueue(t, size_bytes) && q.offered_bps(t) <= q.config().capacity_bps) {
     // Buffer full but not overflowing: a genuine tail drop.  (Under fluid
     // overflow the backlog is pinned at the buffer so every enqueue fails;
     // admission there is already decided by the drop_probability draw above
     // -- the probe merely displaces fluid that was dropped anyway.)
-    ++packets_dropped;
+    bump_dropped();
     return false;
   }
   t += delay;
-  ++hops_walked;
+  bump_hops();
   return true;
 }
 
@@ -143,7 +160,7 @@ void Network::trace_forward_into(NodeId from, const net::Packet& pkt_in, bool& d
   hops.clear();
   dropped = false;
   net::Packet pkt = pkt_in;
-  TimePoint t = sim_.now();
+  TimePoint t = active_sim().now();
   NodeId cur = from;
   for (int budget = 0; budget < kWalkBudget; ++budget) {
     Node& n = node(cur);
@@ -265,7 +282,7 @@ ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
     res.forward_dropped = true;
     return res;
   }
-  ++icmp_generated;
+  bump_icmp();
 
   // Reverse walk from the responder to the probing host.
   NodeId cur = last.node;
@@ -275,7 +292,7 @@ ProbeResult Network::probe(NodeId from, const net::Packet& pkt_in) {
       res.answered = true;
       res.responder = reply.src;
       res.reply_type = reply.icmp_type;
-      res.rtt = t - sim_.now();
+      res.rtt = t - active_sim().now();
       res.record_route = std::move(reply.route_stamps);
       res.ip_id = reply.ip_id;
       return res;

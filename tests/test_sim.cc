@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "sim/network.h"
 #include "sim/queue.h"
 #include "sim/traffic.h"
+#include "util/check.h"
 
 namespace ixp::sim {
 namespace {
@@ -86,6 +88,66 @@ TEST(Simulator, ClearResetsState) {
   sim.run();
   EXPECT_EQ(fired_at, TimePoint(kSecond));
   EXPECT_EQ(sim.executed(), 1u);
+}
+
+// Scheduling into the past is a causality violation (in an LP world it
+// means a cross-partition message arrived behind its destination's
+// clock).  Under IXP_PARANOID it must check-fail with the offending
+// delta; with checks off it keeps the historic clamp-to-now behaviour.
+// Regression: schedule_at used to clamp silently in every build, which
+// let a broken lookahead bound corrupt results instead of aborting.
+TEST(SimulatorDeathTest, PastTimeScheduleFailsUnderParanoid) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The child process re-executes this test and inherits the environment,
+  // so the paranoid branch is armed before its first check runs.
+  setenv("IXP_PARANOID", "1", 1);
+  Simulator sim;
+  sim.advance_to(TimePoint(kMinute));
+  EXPECT_DEATH(sim.schedule_at(TimePoint(kSecond), [] {}),
+               "schedule_at into the past");
+  unsetenv("IXP_PARANOID");
+}
+
+TEST(Simulator, PastTimeScheduleClampsWhenChecksOff) {
+  if (paranoid_checks_enabled()) {
+    GTEST_SKIP() << "paranoid build: past-time scheduling aborts instead";
+  }
+  Simulator sim;
+  sim.advance_to(TimePoint(kMinute));
+  TimePoint fired{};
+  sim.schedule_at(TimePoint(kSecond), [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint(kMinute));  // clamped to now(), not t=1s
+  EXPECT_EQ(sim.now(), TimePoint(kMinute));
+}
+
+// Regression: run()/run_until() after advance_to() used to execute the
+// overdue event at its original (stale) timestamp, rewinding now() --
+// schedule(delay) inside the action then computed from a clock that had
+// already moved on.
+TEST(Simulator, AdvanceToThenRunFiresOverdueAtAdvancedClock) {
+  Simulator sim;
+  TimePoint fired{};
+  TimePoint nested{};
+  sim.schedule(kSecond, [&] {
+    fired = sim.now();
+    sim.schedule(kSecond, [&] { nested = sim.now(); });
+  });
+  sim.advance_to(TimePoint(kMinute));
+  sim.run();
+  EXPECT_EQ(fired, TimePoint(kMinute));
+  EXPECT_EQ(nested, TimePoint(kMinute + kSecond));
+  EXPECT_EQ(sim.now(), TimePoint(kMinute + kSecond));
+}
+
+TEST(Simulator, RunUntilNeverRewindsAdvancedClock) {
+  Simulator sim;
+  TimePoint fired{};
+  sim.schedule(kSecond, [&] { fired = sim.now(); });
+  sim.advance_to(TimePoint(kMinute));
+  sim.run_until(TimePoint(kSecond * 30));
+  EXPECT_EQ(fired, TimePoint(kMinute));      // overdue event sees the advanced clock
+  EXPECT_EQ(sim.now(), TimePoint(kMinute));  // boundary below now() must not rewind
 }
 
 // ---------------------------------------------------------------------------
@@ -653,6 +715,101 @@ TEST(Network, TtlExpiryAcrossFabricReportsPeerAddress) {
   const auto through = net.probe(h.id(), p);
   ASSERT_TRUE(through.answered);
   EXPECT_EQ(through.reply_type, net::IcmpType::kEchoReply);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled delay steps (mid-campaign reroutes).  Both execution modes
+// evaluate link delays at the instant a packet crosses the link, so a step
+// taking effect mid-flight never rewrites a crossing that already happened
+// -- and the event engine stays byte-for-byte equal to the analytic walk
+// across the boundary.  Regression: the immediate set_prop_delay() setter
+// was the only API, so a fault plan firing mid-run retroactively changed
+// packets already past the link (event mode kept the old delay baked into
+// its scheduled arrival; the analytic walk re-read the new value).
+
+struct ParityNet : TestNet {
+  ParityNet() {
+    // Zero the ICMP jitter so the two modes are deterministic and exactly
+    // comparable; every other delay term is already constant.
+    dynamic_cast<Router&>(net.node(r1)).mutable_config().icmp_jitter = Duration(0);
+    dynamic_cast<Router&>(net.node(r2)).mutable_config().icmp_jitter = Duration(0);
+    // Reroute at t=5s: the core link's propagation delay steps 1 ms -> 21 ms.
+    net.link(1).set_prop_delay(TimePoint(kSecond * 5), milliseconds(21));
+  }
+};
+
+TEST(Network, DelayStepMatchesEventAndAnalyticAcrossBoundary) {
+  // Probe instants: fully before the step, straddling it (the forward leg
+  // crosses the core link before t=5s, the reply crosses after), and fully
+  // after.
+  const TimePoint before_t(kSecond * 2);
+  const TimePoint straddle_t(kSecond * 5 - std::chrono::microseconds(200));
+  const TimePoint after_t(kSecond * 10);
+
+  // Analytic walks.
+  ParityNet a;
+  a.net.simulator().advance_to(before_t);
+  const auto fast_before = a.net.probe(a.host, a.probe(a.r2_r1_if, 64));
+  a.net.simulator().advance_to(straddle_t);
+  const auto fast_straddle = a.net.probe(a.host, a.probe(a.r2_r1_if, 64));
+  a.net.simulator().advance_to(after_t);
+  const auto fast_after = a.net.probe(a.host, a.probe(a.r2_r1_if, 64));
+  ASSERT_TRUE(fast_before.answered);
+  ASSERT_TRUE(fast_straddle.answered);
+  ASSERT_TRUE(fast_after.answered);
+
+  // Event mode, same instants on a separately built but identical net.
+  ParityNet e;
+  auto& h = dynamic_cast<Host&>(e.net.node(e.host));
+  std::vector<Duration> rtts;
+  h.set_rx_callback([&](const net::Packet& pkt, TimePoint at) {
+    if (pkt.icmp_type == net::IcmpType::kEchoReply) rtts.push_back(at - pkt.sent_at);
+  });
+  auto& sim = e.net.simulator();
+  for (const TimePoint at : {before_t, straddle_t, after_t}) {
+    sim.schedule_at(at, [&] {
+      auto pkt = e.probe(e.r2_r1_if, 64);
+      h.send(e.net, pkt);
+    });
+  }
+  sim.run();
+  ASSERT_EQ(rtts.size(), 3u);
+
+  // Byte-for-byte parity on each side of the reroute and across it.
+  EXPECT_EQ(rtts[0].count(), fast_before.rtt.count());
+  EXPECT_EQ(rtts[1].count(), fast_straddle.rtt.count());
+  EXPECT_EQ(rtts[2].count(), fast_after.rtt.count());
+
+  // The step never acts retroactively: the straddling probe's forward leg
+  // crossed at the old 1 ms delay and only its reply picked up the new
+  // 21 ms, so exactly one of the two 20 ms increments shows up.
+  EXPECT_EQ((fast_straddle.rtt - fast_before.rtt).count(), milliseconds(20).count());
+  EXPECT_EQ((fast_after.rtt - fast_before.rtt).count(), milliseconds(40).count());
+}
+
+TEST(Network, DelayStepDoesNotRewriteInFlightEventPackets) {
+  // A packet already past the link when the step fires must arrive on the
+  // old delay's schedule: launch at t=4.9998s (crossing the core at the
+  // 1 ms delay), then confirm the one-way arrival lands ~1 ms later, not
+  // 21 ms later.
+  ParityNet e;
+  auto& h = dynamic_cast<Host&>(e.net.node(e.host));
+  TimePoint got{};
+  h.set_rx_callback([&](const net::Packet& pkt, TimePoint at) {
+    if (pkt.icmp_type == net::IcmpType::kEchoReply) got = at;
+  });
+  auto& sim = e.net.simulator();
+  const TimePoint launch(kSecond * 5 - std::chrono::microseconds(200));
+  sim.schedule_at(launch, [&] {
+    auto pkt = e.probe(e.r2_r1_if, 64);
+    h.send(e.net, pkt);
+  });
+  sim.run();
+  ASSERT_NE(got, TimePoint{});
+  // Forward leg on the old delay (~1.12 ms to reach r2), reply on the new
+  // one: total stays far below the 42 ms a retroactive rewrite would give.
+  EXPECT_LT((got - launch).count(), milliseconds(30).count());
+  EXPECT_GT((got - launch).count(), milliseconds(22).count());
 }
 
 // Builds host -- rs -- target, with the target routing its replies back over

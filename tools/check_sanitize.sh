@@ -1,22 +1,47 @@
 #!/bin/sh
 # Sanitizer CI (layer 3 of the correctness harness), run from CTest.
 #
-# Configures a second build tree with -DIXP_SANITIZE=address;undefined and
-# -DIXP_PARANOID=ON, builds the statistics-path gtest suites, and runs them
-# with halt-on-error sanitizer settings.  The build tree is reused across
-# runs, so only the first invocation pays the full compile.
+# Two modes, selected by the IXP_SANITIZE environment variable:
 #
-# When the toolchain cannot produce a working ASan/UBSan binary (missing
-# runtime libraries, cross builds), the check is SKIPPED, not failed: the
-# golden corpus and the invariant layer still run in the normal build.
+#   address (default)  -DIXP_SANITIZE=address;undefined -DIXP_PARANOID=ON;
+#                      runs the statistics-path gtest suites with
+#                      halt-on-error ASan/UBSan settings.
+#   thread             -DIXP_SANITIZE=thread -DIXP_PARANOID=ON; runs the
+#                      suites that exercise real threads (the LP scheduler
+#                      and the fleet pool) under TSan, so a data race in
+#                      the barrier-window exchange or the counter-shadow
+#                      merge fails CI instead of silently corrupting a
+#                      "byte-identical" run.
+#
+# Each mode configures its own build tree (reused across runs, so only the
+# first invocation pays the full compile).
+#
+# When the toolchain cannot produce a working sanitized binary for the
+# requested mode (missing runtime libraries, cross builds), the check is
+# SKIPPED, not failed: the golden corpus and the invariant layer still run
+# in the normal build.
 #
 # usage: check_sanitize.sh <source_dir> [build_dir]
+#   IXP_SANITIZE         "address" (default) or "thread"
 #   IXP_SANITIZE_SUITES  override the space-separated list of test binaries
 set -u
 
 src=${1:?usage: check_sanitize.sh <source_dir> [build_dir]}
-build=${2:-$src/build-sanitize}
-suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults}
+mode=${IXP_SANITIZE:-address}
+case "$mode" in
+    thread)
+        build=${2:-$src/build-sanitize-thread}
+        suites=${IXP_SANITIZE_SUITES:-test_parallel_sim test_fleet}
+        probe_flags="-fsanitize=thread"
+        cmake_sanitize="thread"
+        ;;
+    address|*)
+        build=${2:-$src/build-sanitize}
+        suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults}
+        probe_flags="-fsanitize=address,undefined"
+        cmake_sanitize="address;undefined"
+        ;;
+esac
 
 # --- Toolchain probe: can we compile AND run a sanitized binary? ----------
 probe_dir=$(mktemp -d)
@@ -24,24 +49,24 @@ trap 'rm -rf "$probe_dir"' EXIT
 cat > "$probe_dir/probe.cc" <<'EOF'
 int main() { return 0; }
 EOF
-if ! c++ -fsanitize=address,undefined "$probe_dir/probe.cc" -o "$probe_dir/probe" \
+if ! c++ $probe_flags "$probe_dir/probe.cc" -o "$probe_dir/probe" \
         > /dev/null 2>&1 || ! "$probe_dir/probe" > /dev/null 2>&1; then
-    echo "check_sanitize: SKIPPED (toolchain cannot build/run sanitized binaries)"
+    echo "check_sanitize: SKIPPED ($mode: toolchain cannot build/run sanitized binaries)"
     exit 0
 fi
 
 # --- Configure + build the sanitized tree ---------------------------------
 if ! cmake -B "$build" -S "$src" \
-        -DIXP_SANITIZE="address;undefined" -DIXP_PARANOID=ON \
+        -DIXP_SANITIZE="$cmake_sanitize" -DIXP_PARANOID=ON \
         > "$probe_dir/configure.log" 2>&1; then
-    echo "check_sanitize: FAILED to configure the sanitized build" >&2
+    echo "check_sanitize: FAILED to configure the $mode-sanitized build" >&2
     tail -n 30 "$probe_dir/configure.log" >&2
     exit 1
 fi
 # shellcheck disable=SC2086  # suites is a deliberate word list
 if ! cmake --build "$build" --target $suites -j "$(nproc)" \
         > "$probe_dir/build.log" 2>&1; then
-    echo "check_sanitize: FAILED to build the sanitized test suites" >&2
+    echo "check_sanitize: FAILED to build the $mode-sanitized test suites" >&2
     tail -n 30 "$probe_dir/build.log" >&2
     exit 1
 fi
@@ -49,10 +74,11 @@ fi
 # --- Run the suites with halt-on-error sanitizer settings -----------------
 ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS UBSAN_OPTIONS
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+export ASAN_OPTIONS UBSAN_OPTIONS TSAN_OPTIONS
 status=0
 for s in $suites; do
-    printf 'check_sanitize: running %s ... ' "$s"
+    printf 'check_sanitize: running %s [%s] ... ' "$s" "$mode"
     if "$build/tests/$s" --gtest_brief=1 > "$probe_dir/$s.log" 2>&1; then
         echo "OK"
     else
@@ -61,5 +87,5 @@ for s in $suites; do
         status=1
     fi
 done
-[ "$status" -eq 0 ] && echo "check_sanitize: OK ($suites)"
+[ "$status" -eq 0 ] && echo "check_sanitize: OK [$mode] ($suites)"
 exit $status
