@@ -265,6 +265,48 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     opt.on_progress(CampaignProgress{at, finished});
   };
 
+  // Live verdicts for the serving layer: finalize every link's online far
+  // detector against its series-so-far.  The window scans already ran as
+  // rounds completed, so this is only the assembly tail per link; finalize
+  // does not mutate the detector, so later segments keep pushing into it.
+  tslp::DetectScratch verdict_scratch;
+  std::vector<double> verdict_near_buf, verdict_far_buf;
+  auto report_verdicts = [&](TimePoint at) {
+    if (!opt.online || !opt.on_verdicts) return;
+    LiveVerdictBatch batch;
+    batch.vp_name = spec.vp_name;
+    batch.ixp = spec.ixp.name;
+    batch.at = at;
+    const std::size_t link_count = store != nullptr ? store->size() : series.size();
+    batch.links.reserve(link_count);
+    for (std::size_t i = 0; i < link_count; ++i) {
+      LiveLinkVerdict v;
+      if (store != nullptr) {
+        store->decode_into(i, verdict_near_buf, verdict_far_buf);
+        const series::LinkMeta& m = store->meta(i);
+        v.key = m.key;
+        v.far_asn = m.far_asn;
+        v.at_ixp = m.at_ixp;
+        v.samples = verdict_far_buf.size();
+        tslp::RttSeries tmp;
+        tmp.start = store->start();
+        tmp.interval = store->interval();
+        tmp.ms = std::move(verdict_far_buf);
+        v.far = online_far[i].finalize(tslp::view_of(tmp), verdict_scratch);
+        verdict_far_buf = std::move(tmp.ms);  // reuse the buffer next link
+      } else {
+        const tslp::LinkSeries& ls = series[i];
+        v.key = ls.key;
+        v.far_asn = ls.far_asn;
+        v.at_ixp = ls.at_ixp;
+        v.samples = ls.far_rtt.ms.size();
+        v.far = online_far[i].finalize(tslp::view_of(ls.far_rtt), verdict_scratch);
+      }
+      batch.links.push_back(std::move(v));
+    }
+    opt.on_verdicts(batch);
+  };
+
   // ---- Main loop ------------------------------------------------------------
   // Probing rounds live on the campaign-global grid start + k*interval.
   // Segment boundaries (membership events, snapshot dates) may fall
@@ -358,6 +400,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       series.push_back(std::move(ls));
     }
     if (snapshot_set.count(b)) record_snapshot(b, borders);
+    report_verdicts(b);
     if (opt.verbose) {
       IXP_INFO << spec.vp_name << " boundary " << format_time(b) << ": " << targets.size()
                << " monitored links";

@@ -79,6 +79,33 @@ struct CampaignProgress {
   bool finished = false;
 };
 
+/// One monitored link's live far-side detection state, delivered through
+/// CampaignOptions::on_verdicts while a campaign is still running.  `far`
+/// holds the level shifts over the series-so-far: the online detector has
+/// already scanned every completed window, so producing it at a boundary
+/// only replays the cheap assembly tail (tslp/online.h's always-on
+/// observatory mode).  Full LinkReports -- diurnal pattern, near-side
+/// cleanliness, the final verdict -- still come from the end-of-campaign
+/// classification; a live verdict is the evidence available mid-flight.
+struct LiveLinkVerdict {
+  std::string key;            ///< MonitorTarget key (stable across segments)
+  std::uint32_t far_asn = 0;
+  bool at_ixp = false;
+  std::size_t samples = 0;    ///< rounds accumulated so far (incl. gap padding)
+  tslp::LevelShiftResult far; ///< level shifts over the series so far
+};
+
+/// Everything on_verdicts sees at one segment boundary: which campaign
+/// produced it, the simulated time reached, and one entry per monitored
+/// link in monitored-set order.  The VP/IXP identity rides along because a
+/// fleet shares one on_verdicts callback across every campaign it runs.
+struct LiveVerdictBatch {
+  std::string vp_name;
+  std::string ixp;      ///< IXP name from the spec
+  TimePoint at{};
+  std::vector<LiveLinkVerdict> links;
+};
+
 struct CampaignOptions {
   Duration round_interval = kMinute * 5;
   /// Override of the campaign window (0 = use the spec's window).  Benches
@@ -97,6 +124,13 @@ struct CampaignOptions {
   /// fleet driver (fleet.h) hooks this to render live per-VP status; must
   /// not touch the runtime.
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Live-verdict observer for the serving layer (docs/SERVING.md):
+  /// invoked on the campaign's own thread at every segment boundary with
+  /// the level shifts detected so far on every monitored link.  Requires
+  /// `online` (the incremental detectors are the only source of mid-run
+  /// shifts); never invoked otherwise.  Like on_progress, the callback
+  /// must not touch the runtime -- hand the batch off and return.
+  std::function<void(const LiveVerdictBatch&)> on_verdicts;
   /// Optional fault injector (not owned; keep it alive for the run).
   /// Obtain one from attach_fault_plan() so the timeline faults and the
   /// probe-level gates come from the same expanded plan.

@@ -1,0 +1,67 @@
+#include "analysis/chaos.h"
+
+#include <set>
+
+namespace ixp::analysis {
+
+const char* ChaosRow::outcome() const {
+  return truth ? (classified ? "TP" : "FN") : (classified ? "FP" : "TN");
+}
+
+double ChaosScore::precision() const {
+  return tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 1.0;
+}
+
+double ChaosScore::recall() const {
+  return tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 1.0;
+}
+
+bool ChaosScore::case_studies_ok() const {
+  for (const ChaosRow& r : case_studies) {
+    if (r.truth != r.classified) return false;
+  }
+  return true;
+}
+
+ChaosScore score_chaos(const std::vector<VpSpec>& specs,
+                       const std::vector<VpCampaignResult>& results,
+                       Duration duration_override) {
+  ChaosScore score;
+  score.per_vp.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size() && i < results.size(); ++i) {
+    const VpSpec& spec = specs[i];
+    const VpCampaignResult& result = results[i];
+    const TimePoint start = spec.campaign_start;
+    const TimePoint end = duration_override.count() > 0 ? start + duration_override
+                                                        : spec.campaign_end;
+    std::set<Asn> congested_asns;
+    for (std::size_t k = 0; k < result.reports.size(); ++k) {
+      if (result.reports[k].congested()) congested_asns.insert(result.series[k].far_asn);
+    }
+    const auto overlaps = [&](TimePoint b, TimePoint e) { return b < end && e > start; };
+    ChaosVpScore& vp = score.per_vp[i];
+    for (const auto& n : spec.neighbors) {
+      if (n.silent) continue;  // invisible to the prober by design
+      ChaosRow row;
+      row.vp = i;
+      row.asn = n.asn;
+      row.name = n.name;
+      for (const auto& c : n.congestion) row.truth |= overlaps(c.begin, c.end);
+      for (const auto& c : n.congestion_ptp) row.truth |= overlaps(c.begin, c.end);
+      if (n.slow_icmp) row.truth |= overlaps(n.slow_icmp->begin, n.slow_icmp->end);
+      row.classified = congested_asns.count(n.asn) > 0;
+      (row.truth ? (row.classified ? vp.tp : vp.fn) : (row.classified ? vp.fp : vp.tn)) += 1;
+      if (row.truth || row.classified) score.interesting.push_back(row);
+      if (spec.vp_name == "VP1" && (n.asn == 29614 || n.asn == 33786)) {
+        score.case_studies.push_back(row);
+      }
+    }
+    score.tp += vp.tp;
+    score.fp += vp.fp;
+    score.fn += vp.fn;
+    score.tn += vp.tn;
+  }
+  return score;
+}
+
+}  // namespace ixp::analysis

@@ -1,0 +1,241 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ixp::serve {
+namespace {
+
+// Minimal JSON string escaper.  Link keys, VP names, and IXP names are
+// plain ASCII by construction, but the renderers must stay safe for any
+// input that reaches a snapshot.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_link_json(std::string& out, const LinkState& l, bool with_episodes) {
+  out += "{";
+  out += strformat("\"key\":\"%s\",", json_escape(l.key).c_str());
+  out += strformat("\"vp\":\"%s\",", json_escape(l.vp_name).c_str());
+  out += strformat("\"ixp\":\"%s\",", json_escape(l.ixp).c_str());
+  out += strformat("\"far_asn\":%u,", l.far_asn);
+  out += strformat("\"at_ixp\":%s,", l.at_ixp ? "true" : "false");
+  out += strformat("\"samples\":%zu,", l.samples);
+  out += strformat("\"baseline_ms\":%.6g,", l.baseline_ms);
+  out += strformat("\"coverage\":%.6g,", l.coverage);
+  out += strformat("\"refused_low_coverage\":%s,", l.refused_low_coverage ? "true" : "false");
+  out += strformat("\"episode_count\":%zu,", l.episodes.size());
+  out += strformat("\"max_magnitude_ms\":%.6g,", l.max_magnitude_ms());
+  if (l.has_verdict) {
+    out += strformat("\"verdict\":\"%s\",", verdict_name(l.verdict));
+    out += strformat("\"persistence\":\"%s\",", persistence_name(l.persistence));
+    out += strformat("\"diurnal\":%s,", l.diurnal ? "true" : "false");
+    out += strformat("\"near_clean\":%s,", l.near_clean ? "true" : "false");
+  } else {
+    out += "\"verdict\":null,";
+  }
+  if (with_episodes) {
+    out += "\"episodes\":[";
+    for (std::size_t i = 0; i < l.episodes.size(); ++i) {
+      const tslp::Episode& e = l.episodes[i];
+      if (i > 0) out += ",";
+      out += strformat("{\"begin_round\":%zu,\"end_round\":%zu,"
+                       "\"magnitude_ms\":%.6g,\"p_value\":%.6g}",
+                       e.begin, e.end, e.magnitude_ms, e.p_value);
+    }
+    out += "],";
+  }
+  out.pop_back();  // trailing comma
+  out += "}";
+}
+
+void append_snapshot_header(std::string& out, const Snapshot& snap) {
+  out += strformat("\"epoch\":%llu,\"pass\":%llu,\"final\":%s,\"sim_time\":\"%s\",",
+                   static_cast<unsigned long long>(snap.epoch),
+                   static_cast<unsigned long long>(snap.pass),
+                   snap.final_pass ? "true" : "false",
+                   format_time(snap.sim_time).c_str());
+}
+
+bool rank_less(const LinkState& a, const LinkState& b) {
+  if (a.congested() != b.congested()) return a.congested();
+  const double ma = a.max_magnitude_ms(), mb = b.max_magnitude_ms();
+  if (ma != mb) return ma > mb;
+  if (a.key != b.key) return a.key < b.key;
+  return a.vp_name < b.vp_name;
+}
+
+}  // namespace
+
+double LinkState::max_magnitude_ms() const {
+  double m = 0.0;
+  for (const tslp::Episode& e : episodes) m = std::max(m, e.magnitude_ms);
+  return m;
+}
+
+const char* verdict_name(tslp::Verdict v) {
+  switch (v) {
+    case tslp::Verdict::kNotCongested: return "not_congested";
+    case tslp::Verdict::kPotentiallyCongested: return "potentially_congested";
+    case tslp::Verdict::kInconclusive: return "inconclusive";
+    case tslp::Verdict::kCongested: return "congested";
+  }
+  return "unknown";
+}
+
+const char* persistence_name(tslp::Persistence p) {
+  switch (p) {
+    case tslp::Persistence::kNone: return "none";
+    case tslp::Persistence::kTransient: return "transient";
+    case tslp::Persistence::kSustained: return "sustained";
+  }
+  return "unknown";
+}
+
+std::string render_links_top(const Snapshot& snap, std::size_t n) {
+  std::string out = "{";
+  append_snapshot_header(out, snap);
+  out += strformat("\"total_links\":%zu,\"links\":[", snap.links.size());
+  const std::size_t count = std::min(n, snap.links.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) out += ",";
+    append_link_json(out, snap.links[i], /*with_episodes=*/false);
+  }
+  out += "]}";
+  return out;
+}
+
+bool render_ixp_summary(const Snapshot& snap, std::string_view ixp, std::string* out) {
+  std::size_t links = 0, congested = 0, potentially = 0, refused = 0, episodes = 0;
+  std::size_t with_verdict = 0;
+  double max_mag = 0.0;
+  for (const LinkState& l : snap.links) {
+    if (l.ixp != ixp) continue;
+    ++links;
+    if (l.congested()) ++congested;
+    if (l.has_verdict) {
+      ++with_verdict;
+      if (l.verdict != tslp::Verdict::kNotCongested) ++potentially;
+    } else if (!l.episodes.empty()) {
+      ++potentially;  // live evidence only: shifts seen, verdict pending
+    }
+    if (l.refused_low_coverage) ++refused;
+    episodes += l.episodes.size();
+    max_mag = std::max(max_mag, l.max_magnitude_ms());
+  }
+  if (links == 0) return false;
+  std::string body = "{";
+  append_snapshot_header(body, snap);
+  body += strformat("\"ixp\":\"%s\",", json_escape(ixp).c_str());
+  body += strformat("\"links\":%zu,", links);
+  body += strformat("\"classified\":%zu,", with_verdict);
+  body += strformat("\"congested\":%zu,", congested);
+  body += strformat("\"potentially_congested\":%zu,", potentially);
+  body += strformat("\"refused_low_coverage\":%zu,", refused);
+  body += strformat("\"episodes\":%zu,", episodes);
+  body += strformat("\"max_magnitude_ms\":%.6g}", max_mag);
+  *out = std::move(body);
+  return true;
+}
+
+bool render_link_episodes(const Snapshot& snap, std::string_view key, std::string* out) {
+  for (const LinkState& l : snap.links) {
+    if (l.key != key) continue;
+    std::string body = "{";
+    append_snapshot_header(body, snap);
+    body += "\"link\":";
+    append_link_json(body, l, /*with_episodes=*/true);
+    body += "}";
+    *out = std::move(body);
+    return true;
+  }
+  return false;
+}
+
+void SnapshotBuilder::fold_live(const std::string& vp, const std::string& ixp,
+                                const analysis::LiveVerdictBatch& batch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sim_time_ = std::max(sim_time_, batch.at);
+  for (const analysis::LiveLinkVerdict& v : batch.links) {
+    LinkState& l = links_[vp + "/" + v.key];
+    l.key = v.key;
+    l.vp_name = vp;
+    l.ixp = ixp;
+    l.far_asn = v.far_asn;
+    l.at_ixp = v.at_ixp;
+    l.samples = v.samples;
+    l.baseline_ms = v.far.baseline_ms;
+    l.coverage = v.far.coverage;
+    l.refused_low_coverage = v.far.refused_low_coverage;
+    l.episodes = v.far.episodes;
+    // A live fold never clears a final verdict from an earlier pass; the
+    // verdict stays until this pass's final fold replaces it.
+  }
+}
+
+void SnapshotBuilder::fold_final(const std::string& vp, const std::string& ixp,
+                                 const analysis::VpCampaignResult& result) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < result.reports.size() && i < result.series.size(); ++i) {
+    const tslp::LinkReport& rep = result.reports[i];
+    const tslp::LinkSeries& ls = result.series[i];
+    LinkState& l = links_[vp + "/" + ls.key];
+    l.key = ls.key;
+    l.vp_name = vp;
+    l.ixp = ixp;
+    l.far_asn = ls.far_asn;
+    l.at_ixp = ls.at_ixp;
+    l.baseline_ms = rep.far_shifts.baseline_ms;
+    l.coverage = rep.far_shifts.coverage;
+    l.refused_low_coverage = rep.far_shifts.refused_low_coverage;
+    l.episodes = rep.far_shifts.episodes;
+    l.has_verdict = true;
+    l.verdict = rep.verdict;
+    l.persistence = rep.persistence;
+    l.diurnal = rep.has_diurnal_pattern();
+    l.near_clean = rep.near_clean;
+  }
+}
+
+void SnapshotBuilder::begin_pass(std::uint64_t pass) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  pass_ = pass;
+}
+
+std::shared_ptr<const Snapshot> SnapshotBuilder::build(std::string metrics_prom,
+                                                       bool final_pass) {
+  auto snap = std::make_shared<Snapshot>();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap->epoch = next_epoch_++;
+    snap->pass = pass_;
+    snap->sim_time = sim_time_;
+    snap->links.reserve(links_.size());
+    for (const auto& [id, l] : links_) snap->links.push_back(l);
+  }
+  snap->final_pass = final_pass;
+  snap->metrics_prom = std::move(metrics_prom);
+  std::sort(snap->links.begin(), snap->links.end(), rank_less);
+  snap->links_top_default = render_links_top(*snap, Snapshot::kDefaultTopN);
+  return snap;
+}
+
+}  // namespace ixp::serve

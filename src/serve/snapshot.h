@@ -1,0 +1,149 @@
+// Immutable epoch snapshots: the serving layer's read model.
+//
+// The observatory folds detection state into a builder as campaigns
+// progress and periodically freezes it into a Snapshot -- an immutable,
+// heap-allocated value published through SnapshotStore by atomically
+// swapping a shared_ptr.  Readers pin the current epoch with one atomic
+// load (a shared_ptr copy) and render JSON from the pinned object; they
+// take no lock, never observe a half-written epoch, and keep their epoch
+// alive for as long as they hold the pointer even if a hundred newer
+// epochs are published meanwhile.  Writers serialize among themselves on
+// the builder's mutex -- only the reader side must stay lock-free, because
+// readers are the ones sharing cores with the simulation hot path
+// (tests/test_serve.cc pins the isolation property under TSan).
+//
+// Two kinds of epoch feed the builder:
+//   * live folds -- LiveVerdictBatch from a running campaign's online
+//     detectors (campaign.h): level shifts over the series-so-far;
+//   * final folds -- end-of-pass VpCampaignResult reports: the
+//     authoritative verdict ladder (diurnality, near-side cleanliness).
+// A link keeps its latest live evidence until the pass completes, then
+// carries the final verdict until a newer pass overwrites it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/campaign.h"
+#include "tslp/classifier.h"
+
+namespace ixp::serve {
+
+/// One monitored link's state inside a snapshot.
+struct LinkState {
+  std::string key;       ///< MonitorTarget key; the <id> in /api/v1/links/<id>
+  std::string vp_name;
+  std::string ixp;       ///< IXP name; the <id> in /api/v1/ixps/<id>
+  std::uint32_t far_asn = 0;
+  bool at_ixp = false;
+  std::size_t samples = 0;
+  double baseline_ms = 0.0;
+  double coverage = 1.0;
+  bool refused_low_coverage = false;
+  std::vector<tslp::Episode> episodes;  ///< sanitized far-side level shifts
+  // Authoritative end-of-pass classification; absent (has_verdict=false)
+  // while only live evidence has arrived.
+  bool has_verdict = false;
+  tslp::Verdict verdict = tslp::Verdict::kNotCongested;
+  tslp::Persistence persistence = tslp::Persistence::kNone;
+  bool diurnal = false;
+  bool near_clean = true;
+
+  /// Largest episode magnitude (0 when episode-free): the ranking key.
+  [[nodiscard]] double max_magnitude_ms() const;
+  [[nodiscard]] bool congested() const {
+    return has_verdict && verdict == tslp::Verdict::kCongested;
+  }
+};
+
+/// One frozen epoch.  Everything a read needs is inside the object -- link
+/// states in rank order plus the pre-rendered Prometheus exposition -- so
+/// rendering any endpoint touches nothing outside the pinned pointer.
+struct Snapshot {
+  std::uint64_t epoch = 0;  ///< 0 = the empty pre-first-publish snapshot
+  std::uint64_t pass = 0;   ///< fleet pass the state came from (1-based)
+  TimePoint sim_time{};     ///< latest simulated time folded in
+  bool final_pass = false;  ///< built from end-of-pass reports
+  /// Rank order: congested links first, then by descending max episode
+  /// magnitude, then (key, vp) for a total order.
+  std::vector<LinkState> links;
+  std::string metrics_prom;  ///< Prometheus text of the campaign registry
+  /// `/api/v1/links/top` at the default depth, rendered once at freeze
+  /// time: the hottest read is a string copy off the pinned epoch instead
+  /// of a fresh render per request (bench_serve measures this path).
+  static constexpr std::size_t kDefaultTopN = 20;
+  std::string links_top_default;
+};
+
+const char* verdict_name(tslp::Verdict v);
+const char* persistence_name(tslp::Persistence p);
+
+// JSON renderers -- pure functions of the snapshot: the same pinned epoch
+// renders the same bytes no matter what is published concurrently (the
+// snapshot-isolation property test_serve.cc pins).
+/// `/api/v1/links/top?n=K`: the first K links in rank order.
+std::string render_links_top(const Snapshot& snap, std::size_t n);
+/// `/api/v1/ixps/<id>/summary`: per-IXP aggregate.  False = unknown IXP.
+bool render_ixp_summary(const Snapshot& snap, std::string_view ixp, std::string* out);
+/// `/api/v1/links/<id>/episodes`: one link's episode list.  False =
+/// unknown link key.
+bool render_link_episodes(const Snapshot& snap, std::string_view key, std::string* out);
+
+/// Accumulates detection state across folds and freezes epochs.  All
+/// methods serialize on an internal mutex; build() does not disturb the
+/// accumulated state, so the next fold continues from it.
+class SnapshotBuilder {
+ public:
+  /// Folds a live mid-campaign batch from `vp` (at IXP `ixp`).
+  void fold_live(const std::string& vp, const std::string& ixp,
+                 const analysis::LiveVerdictBatch& batch);
+  /// Folds one VP's end-of-pass result: authoritative reports replace the
+  /// link's live evidence.
+  void fold_final(const std::string& vp, const std::string& ixp,
+                  const analysis::VpCampaignResult& result);
+  /// Marks the pass number subsequent folds belong to.
+  void begin_pass(std::uint64_t pass);
+  /// Freezes the current state into the next epoch (epochs number from 1).
+  [[nodiscard]] std::shared_ptr<const Snapshot> build(std::string metrics_prom,
+                                                      bool final_pass);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, LinkState> links_;  ///< "<vp>/<key>" -> state
+  std::uint64_t next_epoch_ = 1;
+  std::uint64_t pass_ = 0;
+  TimePoint sim_time_{};
+};
+
+/// The publication point.  publish() atomically swaps the current-epoch
+/// pointer; current() pins it with one atomic shared_ptr load.
+class SnapshotStore {
+ public:
+  SnapshotStore() : current_(std::make_shared<const Snapshot>()) {}
+
+  /// Pins the current epoch: lock-free, never blocks a writer.
+  [[nodiscard]] std::shared_ptr<const Snapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  void publish(std::shared_ptr<const Snapshot> next) {
+    current_.store(std::move(next), std::memory_order_release);
+    published_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t epochs_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> current_;
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace ixp::serve

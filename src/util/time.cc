@@ -21,7 +21,11 @@ std::string format_duration(Duration d) {
   char buf[64];
   const std::int64_t ns = d.count();
   const double ms = static_cast<double>(ns) / 1e6;
-  if (ns < 0) return "-" + format_duration(-d);
+  if (ns < 0) {
+    std::string out = "-";
+    out += format_duration(-d);
+    return out;
+  }
   if (ns < kMillisecond.count()) {
     std::snprintf(buf, sizeof buf, "%ldus", static_cast<long>(ns / 1000));
   } else if (ns < kSecond.count()) {

@@ -161,8 +161,12 @@ TEST(LpScheduler, DisconnectedIslandsRunToHorizonInOnePass) {
   };
   std::vector<Island> islands;
   for (int i = 0; i < 2; ++i) {
-    auto& h = net.add_host("vp" + std::to_string(i));
-    auto& r = net.add_router("r" + std::to_string(i), {});
+    std::string vpname = "vp";
+    vpname += std::to_string(i);
+    auto& h = net.add_host(vpname);
+    std::string rname = "r";
+    rname += std::to_string(i);
+    auto& r = net.add_router(rname, {});
     sim::LinkConfig lan;
     lan.capacity_bps = 1e9;
     lan.prop_delay = milliseconds(0.1);

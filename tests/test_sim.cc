@@ -836,7 +836,9 @@ struct AsymmetricNet {
     // Return chain: target -> c1 -> ... -> cn -> rs.
     Router* prev = &target;
     for (int i = 1; i <= n; ++i) {
-      auto& c = net.add_router("c" + std::to_string(i), {});
+      std::string cname = "c";
+      cname += std::to_string(i);
+      auto& c = net.add_router(cname, {});
       net.connect(prev->id(), net::Ipv4Address(10, 2, static_cast<std::uint8_t>(i), 1), c.id(),
                   net::Ipv4Address(10, 2, static_cast<std::uint8_t>(i), 2), lan,
                   *net::Ipv4Prefix::parse("10.2." + std::to_string(i) + ".0/30"));

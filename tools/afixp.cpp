@@ -26,6 +26,10 @@
 //       expand a declarative topology spec into a whole IXP substrate and
 //       (optionally) run the fleet over it with columnar RTT storage, or
 //       benchmark it into BENCH_substrate.json (see docs/SCALING.md).
+//   afixp serve     [--rounds N] [--port P] [--fault-plan default]
+//       run the always-on congestion observatory: fleet passes feed epoch
+//       snapshots served over HTTP (/metrics + the /api/v1 query API;
+//       see docs/SERVING.md).
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -34,6 +38,7 @@
 #include "analysis/benchmarks.h"
 #include "analysis/campaign.h"
 #include "analysis/casebook.h"
+#include "analysis/chaos.h"
 #include "analysis/fleet.h"
 #include "analysis/report.h"
 #include "analysis/selftest.h"
@@ -41,6 +46,7 @@
 #include "analysis/tables.h"
 #include "obs/export.h"
 #include "prober/warts_lite.h"
+#include "serve/serve.h"
 #include "tslp/classifier.h"
 #include "util/env.h"
 #include "util/fault_plan.h"
@@ -359,15 +365,6 @@ int cmd_bench(int argc, const char* const* argv) {
   return 0;
 }
 
-// One neighbor's ground-truth-vs-classified outcome in a chaos run.
-struct ChaosRow {
-  std::size_t vp = 0;          ///< spec index
-  topo::Asn asn = 0;
-  std::string name;
-  bool truth = false;          ///< engineered to be classified congested
-  bool classified = false;     ///< some monitored link to it came back congested
-};
-
 int cmd_chaos(int argc, const char* const* argv) {
   Flags flags("afixp chaos",
               "run the six VP campaigns under a fault plan and score the classifier");
@@ -447,68 +444,34 @@ int cmd_chaos(int argc, const char* const* argv) {
     std::cout << "; window: full calendar\n";
   }
 
-  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
-  std::vector<ChaosRow> interesting;  // every non-TN outcome
-  auto outcome = [](const ChaosRow& r) {
-    return r.truth ? (r.classified ? "TP" : "FN") : (r.classified ? "FP" : "TN");
-  };
-  std::vector<ChaosRow> case_studies;
+  const analysis::ChaosScore score =
+      analysis::score_chaos(specs, fleet.results, fopt.campaign.duration_override);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& spec = specs[i];
-    const auto& result = fleet.results[i];
-    const TimePoint start = spec.campaign_start;
-    const TimePoint end = fopt.campaign.duration_override.count() > 0
-                              ? start + fopt.campaign.duration_override
-                              : spec.campaign_end;
-    std::set<topo::Asn> congested_asns;
-    for (std::size_t k = 0; k < result.reports.size(); ++k) {
-      if (result.reports[k].congested()) congested_asns.insert(result.series[k].far_asn);
-    }
-    const auto overlaps = [&](TimePoint b, TimePoint e) { return b < end && e > start; };
-    std::size_t vtp = 0, vfp = 0, vfn = 0, vtn = 0;
-    for (const auto& n : spec.neighbors) {
-      if (n.silent) continue;  // invisible to the prober by design
-      ChaosRow row;
-      row.vp = i;
-      row.asn = n.asn;
-      row.name = n.name;
-      for (const auto& c : n.congestion) row.truth |= overlaps(c.begin, c.end);
-      for (const auto& c : n.congestion_ptp) row.truth |= overlaps(c.begin, c.end);
-      if (n.slow_icmp) row.truth |= overlaps(n.slow_icmp->begin, n.slow_icmp->end);
-      row.classified = congested_asns.count(n.asn) > 0;
-      (row.truth ? (row.classified ? vtp : vfn) : (row.classified ? vfp : vtn)) += 1;
-      if (row.truth || row.classified) interesting.push_back(row);
-      if (spec.vp_name == "VP1" && (n.asn == 29614 || n.asn == 33786)) {
-        case_studies.push_back(row);
-      }
-    }
-    tp += vtp; fp += vfp; fn += vfn; tn += vtn;
+    const auto& vp = score.per_vp[i];
     const auto& m = fleet.metrics[i];
     std::cout << strformat(
         "%s (%s): links=%zu TP=%zu FP=%zu FN=%zu TN=%zu | faults=%llu suppressed=%llu "
         "outage_rounds=%llu stale_relearns=%llu loss_relearns=%llu\n",
-        spec.vp_name.c_str(), spec.ixp.name.c_str(), result.series.size(), vtp, vfp, vfn,
-        vtn, static_cast<unsigned long long>(m.fault_events()),
+        spec.vp_name.c_str(), spec.ixp.name.c_str(), fleet.results[i].series.size(),
+        vp.tp, vp.fp, vp.fn, vp.tn, static_cast<unsigned long long>(m.fault_events()),
         static_cast<unsigned long long>(m.probes_suppressed()),
         static_cast<unsigned long long>(m.outage_rounds()),
         static_cast<unsigned long long>(m.stale_relearns()),
         static_cast<unsigned long long>(m.loss_relearns()));
   }
   std::cout << "\n";
-  for (const auto& r : interesting) {
+  for (const auto& r : score.interesting) {
     std::cout << strformat("  %s AS%-6u %-12s truth=%-3s classified=%-3s %s\n",
                            specs[r.vp].vp_name.c_str(), r.asn, r.name.c_str(),
                            r.truth ? "yes" : "no", r.classified ? "yes" : "no",
-                           outcome(r));
+                           r.outcome());
   }
-  const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 1.0;
-  const double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 1.0;
   std::cout << strformat("\noverall: TP=%zu FP=%zu FN=%zu TN=%zu precision=%.3f recall=%.3f\n",
-                         tp, fp, fn, tn, precision, recall);
-  bool case_ok = true;
-  for (const auto& r : case_studies) {
+                         score.tp, score.fp, score.fn, score.tn, score.precision(),
+                         score.recall());
+  for (const auto& r : score.case_studies) {
     const bool ok = r.truth == r.classified;
-    case_ok = case_ok && ok;
     std::cout << strformat("case study GIXA-%s (AS%u): truth=%s classified=%s %s\n",
                            r.name.c_str(), r.asn, r.truth ? "congested" : "clean",
                            r.classified ? "congested" : "clean",
@@ -517,7 +480,108 @@ int cmd_chaos(int argc, const char* const* argv) {
   if (const int rc = export_metrics(resolve_metrics_out(flags), fleet.registry); rc != 0) {
     return rc;
   }
-  return case_ok ? 0 : 1;
+  return score.case_studies_ok() ? 0 : 1;
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  Flags flags("afixp serve",
+              "run the always-on congestion observatory (see docs/SERVING.md)");
+  flags.add_string("spec", "",
+                   "substrate to serve: empty = the paper's six VPs, else a preset "
+                   "name or spec-file path (docs/SCALING.md)");
+  flags.add_string("fault-plan", "",
+                   "fault plan applied live to every pass (empty = fault-free; "
+                   "see `afixp chaos --list-plans`)");
+  flags.add_int("seed", 1,
+                "fault seed; pass 1 replays `afixp chaos --seed N` byte-identically");
+  flags.add_int("rounds", 1, "fleet passes to run (0 = serve until SIGTERM/SIGINT)");
+  flags.add_int("port", 0, "HTTP port on 127.0.0.1 (0 = kernel-assigned)");
+  flags.add_int("http-threads", 2, "HTTP worker threads");
+  flags.add_bool("fast", false, "6-week campaigns instead of the full calendar");
+  flags.add_int("days", 0, "campaign length in days (0 = full; overrides --fast)");
+  flags.add_int("round-minutes", 30, "TSLP probing cadence");
+  flags.add_bool("columnar", false, "columnar RTT storage (recommended for substrates)");
+  flags.add_int("jobs", 0, "campaigns to run in parallel (0 = IXP_JOBS, else hardware)");
+  flags.add_int("sim-threads", 0,
+                "LP workers inside each campaign's simulation (0 = IXP_SIM_THREADS, "
+                "else 1); output is byte-identical");
+  flags.add_string("metrics-out", "",
+                   "shutdown metrics flush path (default IXP_METRICS; empty = off)");
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.help_text() << "\nendpoints:\n";
+    for (const auto& e : serve::ServeDaemon::endpoints()) {
+      std::cout << strformat("  %-28s %s\n", e.pattern, e.help);
+    }
+    std::cout << "\n" << kEnvHelp;
+    return 0;
+  }
+
+  serve::ServeOptions sopt;
+  const std::string spec_arg = flags.get_string("spec");
+  if (spec_arg.empty()) {
+    sopt.specs = analysis::make_all_vps();
+  } else {
+    std::optional<topo::TopoSpec> spec = topo::topo_spec_preset(spec_arg);
+    if (!spec) {
+      std::string err;
+      spec = topo::load_topo_spec(spec_arg, &err);
+      if (!spec) {
+        std::cerr << "--spec '" << spec_arg << "' is neither a preset nor a spec file: "
+                  << err << "\n";
+        return 2;
+      }
+    }
+    sopt.specs = analysis::generate_substrate(*spec);
+  }
+  const std::string plan_name = flags.get_string("fault-plan");
+  if (!plan_name.empty()) {
+    sopt.fault_plan = fault_plan_by_name(plan_name);
+    if (sopt.fault_plan == nullptr) {
+      std::cerr << "unknown fault plan '" << plan_name << "'; known plans:";
+      for (const auto& name : known_fault_plan_names()) std::cerr << " " << name;
+      std::cerr << "\n";
+      return 2;
+    }
+  }
+  sopt.fault_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  sopt.rounds = static_cast<std::uint64_t>(flags.get_int("rounds"));
+  sopt.campaign.round_interval = kMinute * flags.get_int("round-minutes");
+  if (flags.get_int("days") > 0) {
+    sopt.campaign.duration_override = kDay * flags.get_int("days");
+  } else if (flags.get_bool("fast")) {
+    sopt.campaign.duration_override = kDay * 42;
+  }
+  sopt.campaign.columnar = flags.get_bool("columnar");
+  sopt.campaign.sim_threads = static_cast<int>(flags.get_int("sim-threads"));
+  sopt.jobs = static_cast<int>(flags.get_int("jobs"));
+  sopt.port = static_cast<int>(flags.get_int("port"));
+  sopt.http_threads = static_cast<int>(flags.get_int("http-threads"));
+  sopt.log = &std::cerr;
+
+  serve::ServeDaemon daemon(std::move(sopt));
+  daemon.install_signal_handlers();
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::cerr << "serve: " << err << "\n";
+    return 1;
+  }
+  std::cerr << "serve: listening on 127.0.0.1:" << daemon.port() << "\n";
+  const int rc = daemon.wait();
+  std::cerr << strformat(
+      "serve: done; passes=%llu epochs=%llu requests=%llu bad_requests=%llu\n",
+      static_cast<unsigned long long>(daemon.passes_completed()),
+      static_cast<unsigned long long>(daemon.epochs_published()),
+      static_cast<unsigned long long>(daemon.http().requests_served()),
+      static_cast<unsigned long long>(daemon.http().bad_requests()));
+  if (const int mrc = export_metrics(resolve_metrics_out(flags), daemon.registry());
+      mrc != 0) {
+    return mrc;
+  }
+  return rc;
 }
 
 // "3.2M" / "1.4 GiB" style figures for the gen summary lines.  Sizing a
@@ -715,6 +779,7 @@ constexpr Command kCommands[] = {
      &cmd_chaos},
     {"gen", "expand a topology spec into an IXP substrate and run or bench it",
      &cmd_gen},
+    {"serve", "run the always-on congestion observatory over HTTP", &cmd_serve},
 };
 
 void print_usage(std::ostream& out) {

@@ -38,14 +38,23 @@
 # engine at >= 3x the scalar baseline.  The reference record is a committed
 # artifact, not a CI measurement, so asserting its speedup is safe.
 #
+# When a bench_serve binary is supplied, its smoke workload runs too: the
+# afixp-bench-serve/1 record must carry the full field set docs/SERVING.md
+# documents, with positive read throughput and an error-free soak.  The
+# committed reference BENCH_serve.json is gated as well: full continent100
+# workload, no errors, and a minimum queries/s floor -- 10k on a
+# multi-core recorder, relaxed to 5k when the recording host had a single
+# CPU (the campaign driver, HTTP workers, and soak clients all share it).
+#
 # usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary] \
-#                       [bench_tslp_binary] [source_dir]
+#                       [bench_tslp_binary] [bench_serve_binary] [source_dir]
 set -u
 
-bench=${1:?usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary] [bench_tslp_binary] [source_dir]}
+bench=${1:?usage: check_bench.sh <bench_probe_binary> [bench_substrate_binary] [bench_tslp_binary] [bench_serve_binary] [source_dir]}
 substrate=${2:-}
 tslp=${3:-}
-srcdir=${4:-}
+serve=${4:-}
+srcdir=${5:-}
 [ -x "$bench" ] || { echo "check_bench: cannot execute $bench" >&2; exit 1; }
 
 out=$(mktemp)
@@ -237,6 +246,57 @@ print("check_bench: tslp smoke OK")
 EOF
 [ $? -eq 0 ] || exit 1
 
+# --- Serve benchmark smoke gate --------------------------------------------
+if [ -n "$serve" ]; then
+    [ -x "$serve" ] || { echo "check_bench: cannot execute $serve" >&2; exit 1; }
+
+    serve_out=$(mktemp)
+    trap 'rm -f "$out" "$metrics_out" "$sub_out" "$tslp_out" "$serve_out"' EXIT
+    if ! "$serve" --smoke --out "$serve_out"; then
+        echo "check_bench: bench_serve --smoke exited non-zero" >&2
+        exit 1
+    fi
+
+    python3 - "$serve_out" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed serve JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: {msg}")
+
+if record.get("schema") != "afixp-bench-serve/1":
+    fail(f"unexpected serve schema tag {record.get('schema')!r}")
+if record.get("workload") != "smoke":
+    fail(f"expected serve workload 'smoke', got {record.get('workload')!r}")
+# The full field set docs/SERVING.md documents.
+fields = {
+    "schema", "workload", "spec", "http_threads", "client_threads",
+    "soak_seconds", "queries", "errors", "queries_per_sec", "passes",
+    "epochs", "links", "host_cpus",
+}
+missing = fields - record.keys()
+if missing:
+    fail(f"serve record lacks field(s) {sorted(missing)}")
+for key in ("queries", "queries_per_sec", "passes", "epochs", "links",
+            "soak_seconds"):
+    if not (isinstance(record[key], (int, float)) and record[key] > 0):
+        fail(f"serve record has non-positive {key}: {record[key]!r}")
+# A clean soak answers every query; allow nothing worse than 1% transport
+# noise on a loaded CI box.
+if record["errors"] * 100 > record["queries"]:
+    fail(f"serve soak errors too high ({record['errors']} of "
+         f"{record['queries']} queries)")
+print("check_bench: serve smoke OK")
+EOF
+    [ $? -eq 0 ] || exit 1
+fi
+
 # --- TSLP committed reference gate -----------------------------------------
 [ -n "$srcdir" ] || exit 0
 ref="$srcdir/BENCH_tslp.json"
@@ -319,4 +379,45 @@ else:
     # speedup gate.
     print(f"check_bench: sim reference OK (identical; speedup gate idle, "
           f"recorded with host_cpus={host_cpus!r} < threads)")
+EOF
+
+# --- Serve committed reference gate ----------------------------------------
+[ -n "$serve" ] || exit 0
+serveref="$srcdir/BENCH_serve.json"
+[ -f "$serveref" ] || { echo "check_bench: missing committed reference $serveref" >&2; exit 1; }
+
+python3 - "$serveref" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    try:
+        record = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: malformed reference JSON: {e}")
+
+def fail(msg):
+    sys.exit(f"check_bench: BENCH_serve.json {msg}")
+
+if record.get("schema") != "afixp-bench-serve/1":
+    fail(f"has unexpected schema tag {record.get('schema')!r}")
+if record.get("workload") != "full":
+    fail(f"is not a full-workload record ({record.get('workload')!r})")
+if record.get("spec") != "continent100":
+    fail(f"was not measured against continent100 ({record.get('spec')!r})")
+if record.get("errors") != 0:
+    fail(f"records a soak with errors ({record.get('errors')!r})")
+qps = record.get("queries_per_sec")
+if not (isinstance(qps, (int, float)) and qps > 0):
+    fail(f"has non-positive queries_per_sec {qps!r}")
+host_cpus = record.get("host_cpus")
+# The floor is conditional on the recording host: with a single CPU the
+# campaign driver, HTTP workers, and soak clients all timeshare one core,
+# so the bar drops to half.
+floor = 10000.0 if isinstance(host_cpus, int) and host_cpus >= 2 else 5000.0
+if qps < floor:
+    fail(f"queries_per_sec {qps!r} is below the {floor:.0f}/s floor "
+         f"(host_cpus={host_cpus!r})")
+print(f"check_bench: serve reference OK ({qps:.0f} queries/s on a "
+      f"{host_cpus}-CPU host)")
 EOF

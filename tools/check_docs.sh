@@ -7,7 +7,11 @@
 # Also holds docs/SCALING.md to its two contracts: the topology-spec keys
 # it documents must match the kSpecKeys parser table in src/topo/gen.cc,
 # and its benchmark-field table must match the committed
-# BENCH_substrate.json record (both directions each).
+# BENCH_substrate.json record (both directions each).  docs/SERVING.md
+# carries the same kind of contracts for the serving layer: its endpoint
+# table must match the kEndpoints dispatch table in src/serve/serve.cc,
+# and its bench-field table must match the committed BENCH_serve.json
+# (both directions each).
 #
 # usage: check_docs.sh <source_dir> <afixp_binary>
 set -u
@@ -180,6 +184,55 @@ if [ -r "$arch" ] && [ -r "$tslp_record" ]; then
     for f in $tslp_doc_fields; do
         echo "$tslp_fields" | grep -qx "$f" ||
             err "docs/ARCHITECTURE.md documents TSLP bench field '$f' but the record does not carry it"
+    done
+fi
+
+# --- 10. Serving endpoints: docs/SERVING.md <-> src/serve/serve.cc --------
+# The kEndpoints dispatch table in ServeDaemon::endpoints() is the single
+# source of truth for the HTTP surface; the endpoint table in
+# docs/SERVING.md (first column under '## Endpoints') is the operator
+# contract.  Both directions must agree: every routed pattern is
+# documented, and SERVING.md documents no ghost endpoints.
+serving="$src/docs/SERVING.md"
+serve_cc="$src/src/serve/serve.cc"
+[ -r "$serving" ] || err "docs/SERVING.md does not exist (the serving guide is part of the docs contract)"
+[ -r "$serve_cc" ] || err "cannot read $serve_cc"
+if [ -r "$serving" ] && [ -r "$serve_cc" ]; then
+    routed=$(sed -n '/kEndpoints = {/,/^  };/p' "$serve_cc" |
+        grep -oE '\{"/[^"]*"' | sed 's/^{"//; s/"$//' | sort -u)
+    [ -n "$routed" ] || err "no patterns found in the kEndpoints table of $serve_cc"
+    for e in $routed; do
+        grep -q "\`$e\`" "$serving" ||
+            err "endpoint '$e' (kEndpoints) is not documented in docs/SERVING.md"
+    done
+    doc_endpoints=$(sed -n '/^## Endpoints/,/^## /p' "$serving" |
+        grep -oE '^\| `/[^`]*`' | sed 's/^| `//; s/`$//' | sort -u)
+    [ -n "$doc_endpoints" ] || err "no endpoint table found in docs/SERVING.md"
+    for e in $doc_endpoints; do
+        echo "$routed" | grep -qxF "$e" ||
+            err "docs/SERVING.md documents endpoint '$e' but kEndpoints does not route it"
+    done
+fi
+
+# --- 11. BENCH_serve.json fields: record <-> docs/SERVING.md --------------
+# The committed record at the repo root is the reference live-observatory
+# soak; SERVING.md documents every field of the afixp-bench-serve/1 schema,
+# and documents no ghost fields.
+serve_record="$src/BENCH_serve.json"
+[ -r "$serve_record" ] || err "BENCH_serve.json does not exist at the repo root"
+if [ -r "$serving" ] && [ -r "$serve_record" ]; then
+    serve_fields=$(grep -oE '^  "[a-z_]+"' "$serve_record" | tr -d ' "' | sort -u)
+    [ -n "$serve_fields" ] || err "no fields found in $serve_record"
+    for f in $serve_fields; do
+        grep -q "\`$f\`" "$serving" ||
+            err "BENCH_serve.json field '$f' is not documented in docs/SERVING.md"
+    done
+    serve_doc_fields=$(sed -n '/^## The serving benchmark/,$p' "$serving" |
+        grep -oE '^\| `[a-z_]+`' | tr -d '`| ' | sort -u)
+    [ -n "$serve_doc_fields" ] || err "no bench-field table found in docs/SERVING.md"
+    for f in $serve_doc_fields; do
+        echo "$serve_fields" | grep -qx "$f" ||
+            err "docs/SERVING.md documents bench field '$f' but the record does not carry it"
     done
 fi
 

@@ -7,11 +7,12 @@
 #                      runs the statistics-path gtest suites with
 #                      halt-on-error ASan/UBSan settings.
 #   thread             -DIXP_SANITIZE=thread -DIXP_PARANOID=ON; runs the
-#                      suites that exercise real threads (the LP scheduler
-#                      and the fleet pool) under TSan, so a data race in
-#                      the barrier-window exchange or the counter-shadow
-#                      merge fails CI instead of silently corrupting a
-#                      "byte-identical" run.
+#                      suites that exercise real threads (the LP scheduler,
+#                      the fleet pool, and the serving layer's snapshot
+#                      publish/pin path) under TSan, so a data race in the
+#                      barrier-window exchange, the counter-shadow merge,
+#                      or the epoch swap fails CI instead of silently
+#                      corrupting a "byte-identical" run.
 #
 # Each mode configures its own build tree (reused across runs, so only the
 # first invocation pays the full compile).
@@ -31,13 +32,13 @@ mode=${IXP_SANITIZE:-address}
 case "$mode" in
     thread)
         build=${2:-$src/build-sanitize-thread}
-        suites=${IXP_SANITIZE_SUITES:-test_parallel_sim test_fleet}
+        suites=${IXP_SANITIZE_SUITES:-test_parallel_sim test_fleet test_serve}
         probe_flags="-fsanitize=thread"
         cmake_sanitize="thread"
         ;;
     address|*)
         build=${2:-$src/build-sanitize}
-        suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults}
+        suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults test_serve}
         probe_flags="-fsanitize=address,undefined"
         cmake_sanitize="address;undefined"
         ;;
@@ -74,7 +75,9 @@ fi
 # --- Run the suites with halt-on-error sanitizer settings -----------------
 ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+# tools/tsan.supp masks libstdc++'s _Sp_atomic false positive (relaxed
+# spinlock unlock in atomic<shared_ptr>::load); see the comment there.
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$src/tools/tsan.supp"
 export ASAN_OPTIONS UBSAN_OPTIONS TSAN_OPTIONS
 status=0
 for s in $suites; do
