@@ -131,9 +131,16 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     }
   };
 
+  // Responder-identity change rounds per link, accumulated across segments
+  // in campaign-global round indices (the driver reports segment-relative
+  // ones).  Feeds the reroute-vs-congestion cross-check after final
+  // classification, in both raw and columnar accumulation modes.
+  std::vector<std::vector<std::size_t>> responder_rounds;
+
   std::set<net::Ipv4Address> known_far;
   for (const auto& t : targets) {
     known_far.insert(t.far_ip);
+    responder_rounds.emplace_back();
     add_online(0);
     if (store != nullptr) {
       store->add_link(to_meta(t));
@@ -345,6 +352,14 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
         opt.metrics->span(metric::kSegmentSpan)->record(b - t);
       }
       for (std::size_t i = 0; i < segment.size(); ++i) {
+        if (!segment[i].responder_changes.empty()) {
+          const std::size_t base = store != nullptr
+                                       ? static_cast<std::size_t>(store->samples(i))
+                                       : series[i].far_rtt.ms.size();
+          for (const std::size_t rr : segment[i].responder_changes) {
+            responder_rounds[i].push_back(base + rr);
+          }
+        }
         if (opt.online) {
           online_near[i].push(segment[i].near_rtt.ms);
           online_far[i].push(segment[i].far_rtt.ms);
@@ -368,6 +383,7 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
       if (known_far.count(nt.far_ip)) continue;
       known_far.insert(nt.far_ip);
       targets.push_back(nt);
+      responder_rounds.emplace_back();
       // Like the sample accumulators, a link discovered mid-campaign joins
       // the online detectors with its past padded as one missing run.
       if (store != nullptr) {
@@ -490,6 +506,16 @@ VpCampaignResult run_campaign(ScenarioRuntime& rt, const VpSpec& spec, const Cam
     for (const auto& ls : series) result.reports.push_back(final_classifier.classify(ls));
     result.series = std::move(series);
   }
+  // Reroute-vs-congestion cross-check: a verdict whose every far episode
+  // begins at a responder-identity change is explained by the path moving
+  // under the monitor, not by queueing — downgrade it (the scenario
+  // diversity pack's discrimination requirement; see tslp::crosscheck_reroute).
+  for (std::size_t i = 0; i < result.reports.size(); ++i) {
+    if (i >= responder_rounds.size() || i >= result.series.size()) break;
+    result.series[i].responder_changes = std::move(responder_rounds[i]);
+    tslp::crosscheck_reroute(result.reports[i], result.series[i].responder_changes);
+  }
+
   result.probes_sent = prober.probes_sent();
   if (opt.faults != nullptr) {
     result.fault_events = opt.faults->counters().timeline_faults;

@@ -9,6 +9,7 @@
 // regression (tests/test_serve.cc) scores against the exact same oracle.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "analysis/campaign.h"
@@ -31,10 +32,22 @@ struct ChaosVpScore {
   std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
 };
 
+/// Confusion counts for one scenario family ("paper6", "rixp", "reroute",
+/// "facility", ...).  The link-congestion oracle contributes one row named
+/// after the plan's family; the facility-aggregation oracle contributes a
+/// "facility" row whose unit is a *facility*, not a link.
+struct FamilyScore {
+  std::string family;
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+};
+
 struct ChaosScore {
   std::vector<ChaosRow> interesting;   ///< every non-TN outcome
   std::vector<ChaosRow> case_studies;  ///< VP1 GHANATEL + KNET (paper §6)
   std::vector<ChaosVpScore> per_vp;    ///< one entry per spec, spec order
+  std::vector<FamilyScore> families;   ///< per-scenario-family breakdown
   std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
 
   [[nodiscard]] double precision() const;
@@ -54,6 +67,22 @@ struct ChaosScore {
 /// only against faults it could have seen.
 ChaosScore score_chaos(const std::vector<VpSpec>& specs,
                        const std::vector<VpCampaignResult>& results,
-                       Duration duration_override = Duration(0));
+                       Duration duration_override = Duration(0),
+                       std::string_view family = "paper6");
+
+/// Scores the facility-aggregation detector (analysis/facility.h) against
+/// the plan's facility-outage ground truth, per *facility*: a facility is
+/// a true positive when some FacilityFault targeted it inside the measured
+/// window and the detector flags it from the per-link far-series gaps.
+/// The realized windows are reconstructed by re-expanding `plan` with the
+/// same per-VP seed derivation the fleet uses (`fault_seed` must match
+/// FleetOptions::fault_seed, `duration_override` the campaign's), so the
+/// oracle needs no side channel out of the workers.  Requires raw series
+/// (far_rtt.ms populated); columnar campaigns score zero detections.
+FamilyScore score_facilities(const std::vector<VpSpec>& specs,
+                             const std::vector<VpCampaignResult>& results,
+                             const FaultPlan& plan,
+                             std::uint64_t fault_seed,
+                             Duration duration_override = Duration(0));
 
 }  // namespace ixp::analysis

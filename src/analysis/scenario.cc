@@ -152,6 +152,19 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
   vp_port.buffer_bytes = 8e6;
   vp_port.egress_cross = light_load(vp_port.capacity_bps, rng.next());
   vp_port.ingress_cross = light_load(vp_port.capacity_bps, rng.next());
+  // Remote-peering (RIXP) tail: the VP reaches the fabric over a long
+  // leased circuit whose cross load is far burstier than an in-building
+  // port's, so the *near* segment of every TSLP series carries the tail's
+  // delay and jitter.  Both knobs default off; the draws above always
+  // happen so default specs keep their exact random streams.
+  if (spec.vp_tail_ms > 0.0) vp_port.prop_delay = milliseconds(spec.vp_tail_ms);
+  if (spec.vp_tail_jitter > 0.0) {
+    auto tail_base = std::make_shared<sim::ConstantProfile>(0.35 * vp_port.capacity_bps);
+    vp_port.egress_cross =
+        std::make_shared<sim::JitteredProfile>(tail_base, spec.vp_tail_jitter, rng.next());
+    vp_port.ingress_cross =
+        std::make_shared<sim::JitteredProfile>(tail_base, spec.vp_tail_jitter, rng.next());
+  }
   tp.attach_to_ixp(rt->vp_router, spec.ixp.name, vp_port);
 
   // VP transit: customer of the regional transit over a clean 10G ptp,
@@ -421,6 +434,7 @@ std::unique_ptr<ScenarioRuntime> build_scenario(const VpSpec& spec) {
     const bool windowed = n.join > spec.campaign_start || n.leave < kForever ||
                           !n.lan_windows.empty() || !n.ptp_windows.empty();
     h.always_on = !windowed;
+    h.facility = n.facility;
     h.routers = rts;
     h.lan_links = lan_ports;
     h.ptp_links = ptps;
@@ -590,6 +604,49 @@ std::shared_ptr<sim::FaultInjector> attach_fault_plan(ScenarioRuntime& rt, const
            });
       push(w.end, "chaos: detour route withdrawn (" + target.name + ")",
            [rtp]() { rtp->reroute(); });
+    }
+  }
+
+  // Facility outages: every link of every member homed at the chosen
+  // colocation facility goes down together at window start and is restored
+  // at window end — the correlated multi-link signature the facility
+  // detector (analysis/facility.h) aggregates over.  Facilities are
+  // enumerated in neighbor order (first appearance), so `nth_facility`
+  // picks deterministically for a given substrate.  Engineered / windowed
+  // members are skipped for the same ground-truth reasons as above.
+  std::vector<std::string> facilities;
+  for (const auto& h : rt.neighbor_handles) {
+    if (h.facility.empty() || !h.always_on || h.engineered) continue;
+    if (std::find(facilities.begin(), facilities.end(), h.facility) == facilities.end()) {
+      facilities.push_back(h.facility);
+    }
+  }
+  for (std::size_t k = 0; k < plan.facility_outages.size() && !facilities.empty(); ++k) {
+    const std::string& fac =
+        facilities[static_cast<std::size_t>(plan.facility_outages[k].nth_facility) %
+                   facilities.size()];
+    std::vector<int> fac_links;
+    for (const auto& h : rt.neighbor_handles) {
+      if (h.facility != fac || !h.always_on || h.engineered) continue;
+      fac_links.insert(fac_links.end(), h.lan_links.begin(), h.lan_links.end());
+      fac_links.insert(fac_links.end(), h.ptp_links.begin(), h.ptp_links.end());
+    }
+    if (fac_links.empty()) continue;
+    for (const auto& w : fi->facility_windows()[k]) {
+      push(w.begin, "chaos: facility " + fac + " outage (all links down)",
+           [rtp, fac_links]() {
+             for (const int link_id : fac_links) {
+               rtp->topology.net().link(link_id).set_up(false);
+             }
+             rtp->reroute();
+           });
+      push(w.end, "chaos: facility " + fac + " restored",
+           [rtp, fac_links]() {
+             for (const int link_id : fac_links) {
+               rtp->topology.net().link(link_id).set_up(true);
+             }
+             rtp->reroute();
+           });
     }
   }
 

@@ -116,6 +116,11 @@ struct NeighborSpec {
   bool upgrade_ptp = false;  ///< capacity_upgrades target ptp 0, not LAN 0
   std::optional<SlowIcmpSpec> slow_icmp;
   std::vector<NoiseShiftSpec> noise_list;  ///< per-link route-change noise
+
+  /// Colocation facility this member is homed at ("" = unassigned).  Set
+  /// by the substrate generator when TopoSpec::facilities > 0; facility
+  /// faults and the facility-aggregation detector group links by it.
+  std::string facility;
 };
 
 struct VpSpec {
@@ -138,6 +143,13 @@ struct VpSpec {
   bool vp_has_regional_transit = true;
   std::vector<NeighborSpec> neighbors;
   std::uint64_t seed = 42;
+  /// Remote-peering (RIXP) tail: when > 0, the VP reaches the fabric over
+  /// a long leased circuit instead of an in-building port — the VP port
+  /// gets this one-way propagation delay, and `vp_tail_jitter` replaces
+  /// its light cross-load with a burstier jittered profile so the *near*
+  /// segment of every TSLP series is itself noisy.
+  double vp_tail_ms = 0.0;
+  double vp_tail_jitter = 0.0;
   /// Start/end of the paper's measurement window for this VP.
   TimePoint campaign_start{};
   TimePoint campaign_end = topo::kCampaignEnd;
@@ -167,6 +179,7 @@ struct NeighborHandles {
   /// neighbors are eligible fault targets (flapping a windowed member's
   /// link would fight the membership timeline).
   bool always_on = false;
+  std::string facility;  ///< colocation facility ("" = unassigned)
   std::vector<sim::NodeId> routers;
   std::vector<int> lan_links;  ///< IXP-port link ids, port order
   std::vector<int> ptp_links;

@@ -117,6 +117,22 @@ NeighborSpec make_member(const topo::TopoSpec& spec, const topo::IxpInfo& ixp, i
     ns.seed = noise_seed;
     n.noise_list.push_back(ns);
   }
+  // Scenario-diversity draws (PR 10), gated on non-default knobs so every
+  // pre-existing preset reproduces its exact pre-PR random streams.
+  if (spec.remote_fraction > 0.0) {
+    // Remote peering: the member reaches the exchange over a long resold
+    // tail instead of an in-building port ("Poor Peering", PAPERS.md).
+    const bool remote = rng.chance(spec.remote_fraction);
+    const double stretch = rng.uniform(0.8, 1.3);
+    if (remote) {
+      n.lan_prop_ms = spec.rtt_remote_ms * stretch;
+      n.ptp_prop_ms = std::max(n.lan_prop_ms, n.ptp_prop_ms);
+    }
+  }
+  if (spec.facilities > 0) {
+    const auto f = rng.uniform_int(0, spec.facilities - 1);
+    n.facility = strformat("%s-F%d", ixp.name.c_str(), static_cast<int>(f) + 1);
+  }
   return n;
 }
 
@@ -148,6 +164,8 @@ std::vector<VpSpec> generate_substrate(const topo::TopoSpec& spec) {
     vp.country = vp.ixp.country;
     vp.vp_is_ixp_network = true;
     vp.vp_has_regional_transit = true;
+    vp.vp_tail_ms = spec.vp_tail_ms;
+    vp.vp_tail_jitter = spec.vp_tail_jitter;
     vp.seed = rng.next();
     vp.campaign_start = TimePoint{};
     vp.campaign_end = TimePoint(kDay * spec.days);

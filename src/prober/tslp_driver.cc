@@ -139,8 +139,11 @@ std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& 
 
       if (far_stale) {
         // Stale path detected from the far side: relearn immediately, as
-        // the real driver re-triggers bdrmap for the affected link.
+        // the real driver re-triggers bdrmap for the affected link.  The
+        // round index is recorded on the series so the classifier can
+        // cross-check level-shift onsets against forwarding changes.
         ++stale_relearns_;
+        ls.responder_changes.push_back(ls.far_rtt.ms.size());
         relearn(s);
       } else if (std::isnan(far_ms)) {
         if (++s.consecutive_losses >= cfg_.relearn_after_losses) {
@@ -162,6 +165,7 @@ std::vector<tslp::LinkSeries> TslpDriver::run(const std::vector<MonitorTarget>& 
           // as the loss path.
           if (++s.near_mismatches >= cfg_.relearn_after_losses) {
             ++stale_relearns_;
+            ls.responder_changes.push_back(ls.far_rtt.ms.size());
             relearn(s);
           }
         } else {

@@ -32,7 +32,19 @@ ServeDaemon::ServeDaemon(ServeOptions opt)
               o.port = static_cast<std::uint16_t>(opt_.port);
               o.threads = std::max(1, opt_.http_threads);
               return o;
-            }()) {}
+            }()) {
+  // Facility metadata is spec-static: install it once so every fold (live
+  // or final) can tag links for the /api/v1/facilities/* aggregation.
+  std::map<std::string, std::string> fmap;
+  for (const analysis::VpSpec& spec : opt_.specs) {
+    for (const analysis::NeighborSpec& n : spec.neighbors) {
+      if (!n.facility.empty()) {
+        fmap[spec.vp_name + "/" + std::to_string(n.asn)] = n.facility;
+      }
+    }
+  }
+  builder_.set_facilities(std::move(fmap));
+}
 
 ServeDaemon::~ServeDaemon() {
   request_stop();
@@ -174,6 +186,17 @@ net::HttpResponse ServeDaemon::handle(const net::HttpRequest& req) const {
     }
     return resp;
   }
+  if (path == "/api/v1/facilities/top") {
+    long n = std::strtol(req.query_param("n", "20").c_str(), nullptr, 10);
+    n = std::clamp<long>(n, 1, 100000);
+    if (static_cast<std::size_t>(n) == Snapshot::kDefaultTopN &&
+        !snap->facilities_top_default.empty()) {
+      resp.body = snap->facilities_top_default;  // pre-rendered at freeze time
+    } else {
+      resp.body = render_facilities_top(*snap, static_cast<std::size_t>(n));
+    }
+    return resp;
+  }
   const auto route = [&](std::string_view prefix, std::string_view suffix,
                          std::string_view* id) {
     if (path.size() <= prefix.size() + suffix.size()) return false;
@@ -196,6 +219,12 @@ net::HttpResponse ServeDaemon::handle(const net::HttpRequest& req) const {
     resp.body = "{\"error\":\"unknown link\"}";
     return resp;
   }
+  if (route("/api/v1/facilities/", "/summary", &id)) {
+    if (render_facility_summary(*snap, id, &resp.body)) return resp;
+    resp.status = 404;
+    resp.body = "{\"error\":\"unknown facility\"}";
+    return resp;
+  }
   resp.status = 404;
   resp.body = "{\"error\":\"unknown endpoint\"}";
   return resp;
@@ -212,6 +241,8 @@ const std::vector<ServeDaemon::Endpoint>& ServeDaemon::endpoints() {
       {"/api/v1/links/top", "links ranked by congestion evidence (?n=K, default 20)"},
       {"/api/v1/ixps/<id>/summary", "one IXP's aggregate congestion state"},
       {"/api/v1/links/<id>/episodes", "one link's level-shift episode list"},
+      {"/api/v1/facilities/top", "colocation facilities ranked by correlated disruption (?n=K)"},
+      {"/api/v1/facilities/<id>/summary", "one facility's aggregate and member links"},
   };
   return kEndpoints;
 }

@@ -1,7 +1,9 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <map>
 
+#include "analysis/facility.h"
 #include "util/strings.h"
 
 namespace ixp::serve {
@@ -38,6 +40,9 @@ void append_link_json(std::string& out, const LinkState& l, bool with_episodes) 
   out += strformat("\"ixp\":\"%s\",", json_escape(l.ixp).c_str());
   out += strformat("\"far_asn\":%u,", l.far_asn);
   out += strformat("\"at_ixp\":%s,", l.at_ixp ? "true" : "false");
+  if (!l.facility.empty()) {
+    out += strformat("\"facility\":\"%s\",", json_escape(l.facility).c_str());
+  }
   out += strformat("\"samples\":%zu,", l.samples);
   out += strformat("\"baseline_ms\":%.6g,", l.baseline_ms);
   out += strformat("\"coverage\":%.6g,", l.coverage);
@@ -81,6 +86,64 @@ bool rank_less(const LinkState& a, const LinkState& b) {
   if (ma != mb) return ma > mb;
   if (a.key != b.key) return a.key < b.key;
   return a.vp_name < b.vp_name;
+}
+
+/// A link counts as disrupted for facility aggregation when its far side
+/// never produced enough coverage to judge, or went dark for over 10 % of
+/// its rounds — the snapshot-level proxy for "all links at this facility
+/// dropped together".
+bool link_disrupted(const LinkState& l) {
+  return l.refused_low_coverage || l.coverage < 0.90;
+}
+
+struct FacilityAgg {
+  std::size_t links = 0;
+  std::size_t congested = 0;
+  std::size_t disrupted = 0;
+  double max_magnitude_ms = 0.0;
+  double p_value = 1.0;
+  bool disrupted_verdict = false;
+  std::vector<const LinkState*> members;
+};
+
+/// Groups the snapshot's links by facility and runs the facility
+/// aggregation detector over every link (unassigned links feed the
+/// background disruption rate only).  Returned in detector rank order.
+std::vector<std::pair<std::string, FacilityAgg>> aggregate_facilities(const Snapshot& snap) {
+  std::vector<analysis::FacilityObservation> obs;
+  obs.reserve(snap.links.size());
+  std::map<std::string, FacilityAgg> agg;
+  for (const LinkState& l : snap.links) {
+    obs.push_back({l.facility, l.vp_name + "/" + l.key, link_disrupted(l)});
+    if (l.facility.empty()) continue;
+    FacilityAgg& a = agg[l.facility];
+    ++a.links;
+    if (l.congested()) ++a.congested;
+    if (link_disrupted(l)) ++a.disrupted;
+    a.max_magnitude_ms = std::max(a.max_magnitude_ms, l.max_magnitude_ms());
+    a.members.push_back(&l);
+  }
+  std::vector<std::pair<std::string, FacilityAgg>> out;
+  out.reserve(agg.size());
+  for (const analysis::FacilityVerdict& v : analysis::detect_facility_disruptions(obs)) {
+    const auto it = agg.find(v.facility);
+    if (it == agg.end()) continue;
+    it->second.p_value = v.p_value;
+    it->second.disrupted_verdict = v.disrupted_verdict;
+    out.emplace_back(it->first, std::move(it->second));
+  }
+  return out;
+}
+
+void append_facility_json(std::string& out, const std::string& name, const FacilityAgg& a) {
+  out += "{";
+  out += strformat("\"facility\":\"%s\",", json_escape(name).c_str());
+  out += strformat("\"links\":%zu,", a.links);
+  out += strformat("\"congested\":%zu,", a.congested);
+  out += strformat("\"disrupted\":%zu,", a.disrupted);
+  out += strformat("\"p_value\":%.6g,", a.p_value);
+  out += strformat("\"disrupted_verdict\":%s,", a.disrupted_verdict ? "true" : "false");
+  out += strformat("\"max_magnitude_ms\":%.6g}", a.max_magnitude_ms);
 }
 
 }  // namespace
@@ -170,6 +233,45 @@ bool render_link_episodes(const Snapshot& snap, std::string_view key, std::strin
   return false;
 }
 
+std::string render_facilities_top(const Snapshot& snap, std::size_t n) {
+  const auto ranked = aggregate_facilities(snap);
+  std::string out = "{";
+  append_snapshot_header(out, snap);
+  out += strformat("\"total_facilities\":%zu,\"facilities\":[", ranked.size());
+  const std::size_t count = std::min(n, ranked.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) out += ",";
+    append_facility_json(out, ranked[i].first, ranked[i].second);
+  }
+  out += "]}";
+  return out;
+}
+
+bool render_facility_summary(const Snapshot& snap, std::string_view facility,
+                             std::string* out) {
+  const auto ranked = aggregate_facilities(snap);
+  for (const auto& [name, agg] : ranked) {
+    if (name != facility) continue;
+    std::string body = "{";
+    append_snapshot_header(body, snap);
+    body += "\"summary\":";
+    append_facility_json(body, name, agg);
+    body += ",\"links\":[";
+    for (std::size_t i = 0; i < agg.members.size(); ++i) {
+      const LinkState& l = *agg.members[i];
+      if (i > 0) body += ",";
+      body += strformat("{\"key\":\"%s\",\"vp\":\"%s\",\"coverage\":%.6g,"
+                        "\"disrupted\":%s}",
+                        json_escape(l.key).c_str(), json_escape(l.vp_name).c_str(),
+                        l.coverage, link_disrupted(l) ? "true" : "false");
+    }
+    body += "]}";
+    *out = std::move(body);
+    return true;
+  }
+  return false;
+}
+
 void SnapshotBuilder::fold_live(const std::string& vp, const std::string& ixp,
                                 const analysis::LiveVerdictBatch& batch) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -181,6 +283,10 @@ void SnapshotBuilder::fold_live(const std::string& vp, const std::string& ixp,
     l.ixp = ixp;
     l.far_asn = v.far_asn;
     l.at_ixp = v.at_ixp;
+    if (const auto it = facility_of_.find(vp + "/" + std::to_string(v.far_asn));
+        it != facility_of_.end()) {
+      l.facility = it->second;
+    }
     l.samples = v.samples;
     l.baseline_ms = v.far.baseline_ms;
     l.coverage = v.far.coverage;
@@ -203,6 +309,10 @@ void SnapshotBuilder::fold_final(const std::string& vp, const std::string& ixp,
     l.ixp = ixp;
     l.far_asn = ls.far_asn;
     l.at_ixp = ls.at_ixp;
+    if (const auto it = facility_of_.find(vp + "/" + std::to_string(ls.far_asn));
+        it != facility_of_.end()) {
+      l.facility = it->second;
+    }
     l.baseline_ms = rep.far_shifts.baseline_ms;
     l.coverage = rep.far_shifts.coverage;
     l.refused_low_coverage = rep.far_shifts.refused_low_coverage;
@@ -220,6 +330,11 @@ void SnapshotBuilder::begin_pass(std::uint64_t pass) {
   pass_ = pass;
 }
 
+void SnapshotBuilder::set_facilities(std::map<std::string, std::string> by_vp_asn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  facility_of_ = std::move(by_vp_asn);
+}
+
 std::shared_ptr<const Snapshot> SnapshotBuilder::build(std::string metrics_prom,
                                                        bool final_pass) {
   auto snap = std::make_shared<Snapshot>();
@@ -235,6 +350,7 @@ std::shared_ptr<const Snapshot> SnapshotBuilder::build(std::string metrics_prom,
   snap->metrics_prom = std::move(metrics_prom);
   std::sort(snap->links.begin(), snap->links.end(), rank_less);
   snap->links_top_default = render_links_top(*snap, Snapshot::kDefaultTopN);
+  snap->facilities_top_default = render_facilities_top(*snap, Snapshot::kDefaultTopN);
   return snap;
 }
 

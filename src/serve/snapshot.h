@@ -42,6 +42,10 @@ struct LinkState {
   std::string ixp;       ///< IXP name; the <id> in /api/v1/ixps/<id>
   std::uint32_t far_asn = 0;
   bool at_ixp = false;
+  /// Colocation facility of the far member ("" = unassigned); the grouping
+  /// key of /api/v1/facilities/*.  From the spec's substrate metadata, via
+  /// SnapshotBuilder::set_facilities().
+  std::string facility;
   std::size_t samples = 0;
   double baseline_ms = 0.0;
   double coverage = 1.0;
@@ -79,6 +83,8 @@ struct Snapshot {
   /// of a fresh render per request (bench_serve measures this path).
   static constexpr std::size_t kDefaultTopN = 20;
   std::string links_top_default;
+  /// `/api/v1/facilities/top` at the default depth, same treatment.
+  std::string facilities_top_default;
 };
 
 const char* verdict_name(tslp::Verdict v);
@@ -94,6 +100,14 @@ bool render_ixp_summary(const Snapshot& snap, std::string_view ixp, std::string*
 /// `/api/v1/links/<id>/episodes`: one link's episode list.  False =
 /// unknown link key.
 bool render_link_episodes(const Snapshot& snap, std::string_view key, std::string* out);
+/// `/api/v1/facilities/top?n=K`: colocation facilities ranked by the
+/// facility-aggregation detector (disruption verdict first, then ascending
+/// p-value).  A link counts as disrupted when its far side was refused for
+/// low coverage or covers less than 90 % of rounds.
+std::string render_facilities_top(const Snapshot& snap, std::size_t n);
+/// `/api/v1/facilities/<id>/summary`: one facility's aggregate plus its
+/// member links.  False = unknown facility.
+bool render_facility_summary(const Snapshot& snap, std::string_view facility, std::string* out);
 
 /// Accumulates detection state across folds and freezes epochs.  All
 /// methods serialize on an internal mutex; build() does not disturb the
@@ -109,6 +123,10 @@ class SnapshotBuilder {
                   const analysis::VpCampaignResult& result);
   /// Marks the pass number subsequent folds belong to.
   void begin_pass(std::uint64_t pass);
+  /// Installs the "<vp>/<far_asn>" -> facility map folds consult; from the
+  /// specs' substrate metadata (NeighborSpec::facility).  Call before the
+  /// first fold; links without an entry stay unassigned.
+  void set_facilities(std::map<std::string, std::string> by_vp_asn);
   /// Freezes the current state into the next epoch (epochs number from 1).
   [[nodiscard]] std::shared_ptr<const Snapshot> build(std::string metrics_prom,
                                                       bool final_pass);
@@ -116,6 +134,7 @@ class SnapshotBuilder {
  private:
   std::mutex mu_;
   std::map<std::string, LinkState> links_;  ///< "<vp>/<key>" -> state
+  std::map<std::string, std::string> facility_of_;  ///< "<vp>/<far_asn>" -> facility
   std::uint64_t next_epoch_ = 1;
   std::uint64_t pass_ = 0;
   TimePoint sim_time_{};

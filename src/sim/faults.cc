@@ -48,6 +48,9 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, TimePoint start
   Rng silent_rng = root.fork();
   Rng reroute_rng = root.fork();
   Rng burst_win_rng = root.fork();
+  // Forked after every pre-existing category so plans without facility
+  // faults replay byte-identically against older recordings.
+  Rng facility_rng = root.fork();
 
   for (const auto& f : plan_.vp_outages) {
     auto w = expand(f.windows, outage_rng.fork(), start, end);
@@ -65,6 +68,8 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, TimePoint start
     reroute_windows_.push_back(expand(f.windows, reroute_rng.fork(), start, end));
   for (const auto& f : plan_.loss_bursts)
     burst_windows_.push_back(expand(f.windows, burst_win_rng.fork(), start, end));
+  for (const auto& f : plan_.facility_outages)
+    facility_windows_.push_back(expand(f.windows, facility_rng.fork(), start, end));
 }
 
 bool FaultInjector::vp_down(TimePoint t) const {

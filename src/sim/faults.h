@@ -82,6 +82,9 @@ class FaultInjector {
   [[nodiscard]] const std::vector<std::vector<FaultWindow>>& burst_windows() const {
     return burst_windows_;
   }
+  [[nodiscard]] const std::vector<std::vector<FaultWindow>>& facility_windows() const {
+    return facility_windows_;
+  }
 
  private:
   FaultPlan plan_;
@@ -91,6 +94,7 @@ class FaultInjector {
   std::vector<std::vector<FaultWindow>> silent_windows_;
   std::vector<std::vector<FaultWindow>> reroute_windows_;
   std::vector<std::vector<FaultWindow>> burst_windows_;
+  std::vector<std::vector<FaultWindow>> facility_windows_;
   Rng burst_rng_;
   FaultCounters counters_;
 };

@@ -51,6 +51,11 @@ const KeyDef kSpecKeys[] = {
      &TopoSpec::congested_dtud_hours},
     {"noise.fraction", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::noise_fraction},
     {"silent.fraction", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::silent_fraction},
+    {"vp.tail.ms", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::vp_tail_ms},
+    {"vp.tail.jitter", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::vp_tail_jitter},
+    {"remote.fraction", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::remote_fraction},
+    {"rtt.remote.ms", Kind::kDouble, nullptr, nullptr, nullptr, &TopoSpec::rtt_remote_ms},
+    {"facilities", Kind::kInt, nullptr, nullptr, &TopoSpec::facilities},
 };
 
 const KeyDef* find_key(std::string_view key) {
@@ -220,6 +225,11 @@ std::string validate_topo_spec(const TopoSpec& spec) {
   }
   if (!fraction(spec.noise_fraction)) return "spec: noise.fraction not in [0,1]";
   if (!fraction(spec.silent_fraction)) return "spec: silent.fraction not in [0,1]";
+  if (spec.vp_tail_ms < 0) return "spec: vp.tail.ms must be >= 0";
+  if (!fraction(spec.vp_tail_jitter)) return "spec: vp.tail.jitter not in [0,1]";
+  if (!fraction(spec.remote_fraction)) return "spec: remote.fraction not in [0,1]";
+  if (spec.rtt_remote_ms <= 0) return "spec: rtt.remote.ms must be positive";
+  if (spec.facilities < 0) return "spec: facilities must be >= 0";
   return {};
 }
 
@@ -266,11 +276,48 @@ std::optional<TopoSpec> topo_spec_preset(const std::string& name) {
     spec.seed = 100;
     return spec;
   }
+  if (name == "rixp16") {
+    // Remote-peering exchange ("Poor Peering: a reflexion about a RIXP",
+    // PAPERS.md): the VP reaches the fabric over a ~35 ms jittery tail and
+    // a third of the members peer remotely, so the near-segment baseline
+    // the TSLP differential rests on is itself long and noisy.
+    spec.ixps = 1;
+    spec.days = 28;
+    spec.members_dist = "uniform";
+    spec.members_min = 10;
+    spec.members_max = 22;
+    spec.members_mean = 16.0;
+    spec.vp_tail_ms = 35.0;
+    spec.vp_tail_jitter = 0.25;
+    spec.remote_fraction = 0.35;
+    spec.rtt_remote_ms = 60.0;
+    spec.seed = 161;
+    return spec;
+  }
+  if (name == "facility8") {
+    // Colocation-facility substrate: one exchange whose members are homed
+    // at three facilities, no scripted congestion — the only disruptions
+    // are the ones a facility fault plan injects, which is what makes the
+    // facility detector's precision/recall against the "facility" plan a
+    // clean measurement.
+    spec.ixps = 1;
+    spec.days = 28;
+    spec.members_dist = "uniform";
+    spec.members_min = 9;
+    spec.members_max = 15;
+    spec.members_mean = 12.0;
+    spec.facilities = 3;
+    spec.congested_fraction = 0.0;
+    spec.noise_fraction = 0.0;
+    spec.silent_fraction = 0.0;
+    spec.seed = 88;
+    return spec;
+  }
   return std::nullopt;
 }
 
 std::vector<std::string> topo_spec_preset_names() {
-  return {"paper6", "regional50", "continent100"};
+  return {"paper6", "regional50", "continent100", "rixp16", "facility8"};
 }
 
 }  // namespace ixp::topo

@@ -61,6 +61,17 @@ struct TopoSpec {
   double congested_dtud_hours = 5.0; ///< daily congested hours at those ports
   double noise_fraction = 0.05;      ///< members with route-change RTT noise
   double silent_fraction = 0.04;     ///< members whose routers drop ICMP
+
+  // Remote-peering (RIXP) knobs.  All default off so pre-existing presets
+  // draw the exact same random streams as before; see docs/SCENARIOS.md.
+  double vp_tail_ms = 0.0;      ///< one-way VP↔fabric tail (0 = in-building)
+  double vp_tail_jitter = 0.0;  ///< cross-load jitter fraction on the VP port
+  double remote_fraction = 0.0; ///< members peering remotely over long tails
+  double rtt_remote_ms = 60.0;  ///< one-way tail of remotely peered members
+
+  /// Colocation facilities per IXP (0 = members unassigned; facility
+  /// faults and the facility detector need >= 1).
+  int facilities = 0;
 };
 
 /// Parses `key = value` spec text.  Returns nullopt and fills `*error`
@@ -78,8 +89,9 @@ std::string topo_spec_to_string(const TopoSpec& spec);
 /// counts, fractions outside [0,1], min > max, unknown members.dist).
 std::string validate_topo_spec(const TopoSpec& spec);
 
-/// Named presets for the documented scale tiers: "paper6" (the paper's
-/// scale), "regional50", "continent100".  Returns nullopt for other names.
+/// Named presets for the documented scale tiers ("paper6", "regional50",
+/// "continent100") and the scenario-diversity substrates ("rixp16",
+/// "facility8"; see docs/SCENARIOS.md).  Returns nullopt for other names.
 std::optional<TopoSpec> topo_spec_preset(const std::string& name);
 std::vector<std::string> topo_spec_preset_names();
 

@@ -156,6 +156,29 @@ LinkReport CongestionClassifier::classify_with_shifts(const LinkSeries& link, Le
   return report;
 }
 
+bool crosscheck_reroute(LinkReport& report, const std::vector<std::size_t>& responder_changes,
+                        std::size_t tolerance_rounds) {
+  const auto& eps = report.far_shifts.episodes;
+  if (eps.empty() || responder_changes.empty()) return false;
+  for (const auto& e : eps) {
+    bool explained = false;
+    for (const std::size_t r : responder_changes) {
+      const std::size_t lo = e.begin > tolerance_rounds ? e.begin - tolerance_rounds : 0;
+      if (r >= lo && r <= e.begin + tolerance_rounds) {
+        explained = true;
+        break;
+      }
+    }
+    if (!explained) return false;
+  }
+  report.reroute_suspect = true;
+  if (report.verdict == Verdict::kCongested || report.verdict == Verdict::kInconclusive) {
+    report.verdict = Verdict::kPotentiallyCongested;
+    report.persistence = Persistence::kNone;
+  }
+  return true;
+}
+
 LinkReport CongestionClassifier::classify(const LinkSeries& link) const {
   LevelShiftOptions near_opts = opts_.level_shift;
   near_opts.threshold_ms = opts_.near_threshold_ms;

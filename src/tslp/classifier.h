@@ -70,6 +70,10 @@ struct LinkReport {
   stats::DiurnalScore diurnal;
   WaveformStats waveform;
   bool near_clean = true;
+  /// Every far episode's onset coincides with a responder-identity change:
+  /// the level shifts are explained by a forwarding change, and any
+  /// congestion verdict was downgraded by crosscheck_reroute().
+  bool reroute_suspect = false;
 
   [[nodiscard]] bool potentially_congested() const {
     return verdict != Verdict::kNotCongested;
@@ -77,6 +81,21 @@ struct LinkReport {
   [[nodiscard]] bool congested() const { return verdict == Verdict::kCongested; }
   [[nodiscard]] bool has_diurnal_pattern() const { return diurnal.recurring; }
 };
+
+/// Reroute-vs-congestion discrimination: cross-checks the report's far
+/// level-shift episodes against the rounds where the TSLP driver re-learned
+/// the hop distance because the responder identity changed
+/// (LinkSeries::responder_changes).  When the link has episodes and every
+/// one of them begins within `tolerance_rounds` of such a change, the RTT
+/// level shift is explained by the path moving under the monitor, not by a
+/// queue: the report is flagged `reroute_suspect` and a kCongested /
+/// kInconclusive verdict is downgraded to kPotentiallyCongested.  Returns
+/// true when the flag was applied.  A link with even one unexplained
+/// episode keeps its verdict — partial reroutes must not launder real
+/// congestion.
+bool crosscheck_reroute(LinkReport& report,
+                        const std::vector<std::size_t>& responder_changes,
+                        std::size_t tolerance_rounds = 6);
 
 class CongestionClassifier {
  public:

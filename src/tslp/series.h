@@ -99,6 +99,12 @@ struct LinkSeries {
   bool at_ixp = false;
   RttSeries near_rtt;
   RttSeries far_rtt;
+  /// Rounds (indices into far_rtt) where the driver re-learned the hop
+  /// distance because the responder identity changed — the path under the
+  /// monitor moved.  The classifier cross-checks level-shift episodes
+  /// against these: a "congestion" onset that coincides with a forwarding
+  /// change is a reroute, not a queue (tslp::crosscheck_reroute).
+  std::vector<std::size_t> responder_changes;
 };
 
 /// Restricts a series to [from, to): used by the case-study analyses that
@@ -118,6 +124,13 @@ inline LinkSeries slice(const LinkSeries& ls, TimePoint from, TimePoint to) {
   LinkSeries out = ls;
   out.near_rtt = slice(ls.near_rtt, from, to);
   out.far_rtt = slice(ls.far_rtt, from, to);
+  // Re-base the responder-change rounds into the sliced index space,
+  // dropping the ones outside the window.
+  const std::size_t b = std::min(ls.far_rtt.index_of(from), ls.far_rtt.ms.size());
+  out.responder_changes.clear();
+  for (const std::size_t r : ls.responder_changes) {
+    if (r >= b && r - b < out.far_rtt.ms.size()) out.responder_changes.push_back(r - b);
+  }
   return out;
 }
 

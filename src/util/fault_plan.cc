@@ -1,7 +1,7 @@
 #include "util/fault_plan.h"
 
 #include <cstdio>
-#include <map>
+#include <iterator>
 
 namespace ixp {
 
@@ -13,9 +13,12 @@ namespace {
 // that the paper's case-study links (GIXA-GHANATEL, GIXA-KNET) remain
 // classifiable — that property is the acceptance run recorded in
 // EXPERIMENTS.md.
+FaultPlan make_none_plan() {
+  return {};
+}
+
 FaultPlan make_default_plan() {
   FaultPlan p;
-  p.name = "default";
   p.vp_outages.push_back(
       {{{{kDay * 10, kHour * 36}}, /*random_count=*/1, kHour * 12, kHour * 48}});
   p.link_flaps.push_back(
@@ -35,7 +38,6 @@ FaultPlan make_default_plan() {
 // Heavier monitor-side pathologies only: outages plus loss bursts.
 FaultPlan make_outages_plan() {
   FaultPlan p;
-  p.name = "outages";
   p.vp_outages.push_back(
       {{{{kDay * 7, kDay * 4}, {kDay * 120, kDay * 7}}, /*random_count=*/2, kDay, kDay * 4}});
   p.loss_bursts.push_back(
@@ -46,7 +48,6 @@ FaultPlan make_outages_plan() {
 // Responder-side pathologies: rate limiting and silent drops.
 FaultPlan make_icmp_plan() {
   FaultPlan p;
-  p.name = "icmp";
   p.icmp_tighten.push_back({/*nth_router=*/0,
                             /*rate_per_sec=*/0.0003,
                             {{{kDay * 15, kDay * 5}}, /*random_count=*/2, kDay, kDay * 4}});
@@ -55,10 +56,12 @@ FaultPlan make_icmp_plan() {
   return p;
 }
 
-// Path-change pathologies: reroutes plus link flaps.
+// Path-change pathologies only: reroutes plus link flaps, zero scripted
+// congestion — the substrate this runs on decides whether any congestion
+// exists at all.  Against the paper's six VPs the acceptance criterion is
+// that the reroute cross-check leaves zero congestion false positives.
 FaultPlan make_reroutes_plan() {
   FaultPlan p;
-  p.name = "reroutes";
   p.reroutes.push_back(
       {/*nth_link=*/0, {{{kDay * 25, kDay * 3}}, /*random_count=*/2, kDay, kDay * 3}});
   p.link_flaps.push_back(
@@ -66,20 +69,63 @@ FaultPlan make_reroutes_plan() {
   return p;
 }
 
-const std::map<std::string, FaultPlan, std::less<>>& registry() {
-  static const std::map<std::string, FaultPlan, std::less<>> plans = [] {
-    std::map<std::string, FaultPlan, std::less<>> m;
-    FaultPlan none;
-    none.name = "none";
-    m.emplace("none", std::move(none));
-    m.emplace("default", make_default_plan());
-    m.emplace("outages", make_outages_plan());
-    m.emplace("icmp", make_icmp_plan());
-    m.emplace("reroutes", make_reroutes_plan());
-    return m;
-  }();
-  return plans;
+// Remote-peering exchange (rixp16 substrate, 28-day calendar): the stress
+// comes from the topology — a long, jittery VP↔fabric tail and remotely
+// peered members — so the fault schedule only adds the monitor-side noise
+// any real remote VP suffers.  Nothing here changes scenario ground truth.
+FaultPlan make_rixp_plan() {
+  FaultPlan p;
+  p.vp_outages.push_back(
+      {{{{kDay * 6, kHour * 12}}, /*random_count=*/1, kHour * 6, kHour * 24}});
+  p.loss_bursts.push_back(
+      {/*loss_prob=*/0.5, {{{kDay * 3, kHour * 6}}, /*random_count=*/2, kHour, kHour * 6}});
+  return p;
 }
+
+// Colocation-facility outages (facility8 substrate, 28-day calendar):
+// every link homed at one facility drops together, twice on the fixed
+// calendar plus one seed-drawn window.  No other fault category runs, so
+// the facility-aggregation detector's precision/recall against this plan
+// is a pure measure of the concentration score.
+FaultPlan make_facility_plan() {
+  FaultPlan p;
+  p.facility_outages.push_back(
+      {/*nth_facility=*/1,
+       {{{kDay * 8, kHour * 36}, {kDay * 18, kDay}}, /*random_count=*/1, kHour * 6, kDay}});
+  return p;
+}
+
+// The scenario-plan registry.  One row per named plan; tools/check_docs.sh
+// extracts the first column of this table and lints it two-way against the
+// "Plan registry" table in docs/SCENARIOS.md, so adding a row here without
+// documenting it (or vice versa) fails CI.
+struct PlanDef {
+  const char* name;
+  const char* family;
+  const char* substrate;
+  const char* description;
+  FaultPlan (*make)();
+};
+
+constexpr PlanDef kScenarioPlans[] = {
+    {"none", "paper6", "",
+     "no faults; the clean paper-calendar baseline", make_none_plan},
+    {"default", "paper6", "",
+     "every fault category, gentle enough that the case studies survive", make_default_plan},
+    {"outages", "paper6", "",
+     "monitor-side pathologies only: VP outages plus probe-loss bursts", make_outages_plan},
+    {"icmp", "paper6", "",
+     "responder-side pathologies: ICMP rate limiting and silent drops", make_icmp_plan},
+    {"reroutes", "reroute", "",
+     "path changes only: detour routes plus link flaps, zero scripted congestion",
+     make_reroutes_plan},
+    {"rixp", "rixp", "rixp16",
+     "remote-peering exchange: long jittery VP tail, remote members, monitor noise",
+     make_rixp_plan},
+    {"facility", "facility", "facility8",
+     "colocation-facility outages: every link homed at one facility drops together",
+     make_facility_plan},
+};
 
 void describe_windows(std::string& out, const FaultWindowSpec& w) {
   char buf[96];
@@ -90,14 +136,30 @@ void describe_windows(std::string& out, const FaultWindowSpec& w) {
 
 }  // namespace
 
-const FaultPlan* fault_plan_by_name(std::string_view name) {
-  const auto& plans = registry();
-  const auto it = plans.find(name);
-  return it == plans.end() ? nullptr : &it->second;
+const std::vector<ScenarioPlan>& list_plans() {
+  static const std::vector<ScenarioPlan> plans = [] {
+    std::vector<ScenarioPlan> v;
+    v.reserve(std::size(kScenarioPlans));
+    for (const PlanDef& d : kScenarioPlans) {
+      ScenarioPlan p;
+      p.name = d.name;
+      p.family = d.family;
+      p.substrate = d.substrate;
+      p.description = d.description;
+      p.faults = d.make();
+      p.faults.name = d.name;
+      v.push_back(std::move(p));
+    }
+    return v;
+  }();
+  return plans;
 }
 
-std::vector<std::string> known_fault_plan_names() {
-  return {"none", "default", "outages", "icmp", "reroutes"};
+const ScenarioPlan* find_plan(std::string_view name) {
+  for (const ScenarioPlan& p : list_plans()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
 }
 
 std::string describe_fault_plan(const FaultPlan& plan) {
@@ -135,6 +197,11 @@ std::string describe_fault_plan(const FaultPlan& plan) {
     char buf[48];
     std::snprintf(buf, sizeof buf, "%.0f%%", f.loss_prob * 100.0);
     out += "  probe-loss burst (" + std::string(buf) + "): ";
+    describe_windows(out, f.windows);
+    out += "\n";
+  }
+  for (const auto& f : plan.facility_outages) {
+    out += "  facility-outage (facility #" + std::to_string(f.nth_facility) + "): ";
     describe_windows(out, f.windows);
     out += "\n";
   }

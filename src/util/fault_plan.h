@@ -81,6 +81,17 @@ struct ProbeLossBurstFault {
   FaultWindowSpec windows;
 };
 
+/// A colocation-facility disruption: every link homed at one facility goes
+/// down at window start and is restored at window end — the correlated
+/// multi-link failure signature of "Detecting Network Disruptions At
+/// Colocation Facilities" (PAPERS.md).  Facilities only exist on generated
+/// substrates with `facilities > 0` (docs/SCALING.md); against an
+/// unassigned topology the fault is a no-op.
+struct FacilityFault {
+  int nth_facility = 0;  ///< picks the nth facility at the IXP (mod count)
+  FaultWindowSpec windows;
+};
+
 /// A named bundle of fault schedules, attachable to any VP campaign.
 struct FaultPlan {
   std::string name;
@@ -90,24 +101,44 @@ struct FaultPlan {
   std::vector<SilentDropFault> silent_drops;
   std::vector<RerouteFault> reroutes;
   std::vector<ProbeLossBurstFault> loss_bursts;
+  std::vector<FacilityFault> facility_outages;
 
   [[nodiscard]] bool empty() const {
     return vp_outages.empty() && link_flaps.empty() && icmp_tighten.empty() &&
-           silent_drops.empty() && reroutes.empty() && loss_bursts.empty();
+           silent_drops.empty() && reroutes.empty() && loss_bursts.empty() &&
+           facility_outages.empty();
   }
   /// Total number of fault specs across all categories.
   [[nodiscard]] std::size_t fault_count() const {
     return vp_outages.size() + link_flaps.size() + icmp_tighten.size() +
-           silent_drops.size() + reroutes.size() + loss_bursts.size();
+           silent_drops.size() + reroutes.size() + loss_bursts.size() +
+           facility_outages.size();
   }
 };
 
-/// Looks up a built-in plan ("none", "default", "outages", "icmp",
-/// "reroutes"); nullptr when unknown.
-const FaultPlan* fault_plan_by_name(std::string_view name);
+/// A scenario plan: one registry entry the CLI, daemon, tests, and docs
+/// lint all enumerate from.  Beyond the fault schedule it names the
+/// substrate the scenario runs on ("" = the paper's six hand-written VPs,
+/// otherwise a topo-spec preset name resolved through
+/// topo::topo_spec_preset) and the scoring family its chaos results are
+/// reported under (`afixp chaos` prints one row per family so a regression
+/// in one family cannot hide behind another's true negatives).
+struct ScenarioPlan {
+  std::string name;
+  std::string family;       ///< scoring family: paper6 / reroute / rixp / facility
+  std::string substrate;    ///< topo preset name; "" = the paper's six VPs
+  std::string description;  ///< one line for `afixp chaos --list-plans`
+  FaultPlan faults;
+};
 
-/// Names of all built-in plans, in presentation order.
-std::vector<std::string> known_fault_plan_names();
+/// Looks up a registered plan by name; nullptr when unknown.  Callers that
+/// reject unknown names should print the names from list_plans().
+const ScenarioPlan* find_plan(std::string_view name);
+
+/// Every registered plan, in presentation order.  The single source of
+/// truth for `--list-plans`, the chaos CLI, `afixp serve --fault-plan`,
+/// and the docs lint against docs/SCENARIOS.md (tools/check_docs.sh).
+const std::vector<ScenarioPlan>& list_plans();
 
 /// Human-readable one-line-per-category description, for `afixp chaos
 /// --list-plans` and chaos report headers.

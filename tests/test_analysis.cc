@@ -3,6 +3,7 @@
 #include "analysis/africa.h"
 #include "analysis/campaign.h"
 #include "analysis/casebook.h"
+#include "analysis/facility.h"
 #include <sstream>
 
 #include "analysis/report.h"
@@ -466,6 +467,156 @@ TEST(Tables, PrintersProduceOutput) {
   std::ostringstream out2;
   print_table2(out2, paper_table2());
   EXPECT_NE(out2.str().find("GIXA"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Facility-aggregation detector
+
+// Hand-built observation set: `fac` gets `n` links of which `disrupted`
+// are down; `background` clean unassigned links pad the substrate.
+std::vector<FacilityObservation> facility_obs(const std::string& fac, int n, int disrupted,
+                                              int background) {
+  std::vector<FacilityObservation> obs;
+  for (int i = 0; i < n; ++i) {
+    obs.push_back({fac, fac + "-L" + std::to_string(i), i < disrupted});
+  }
+  for (int i = 0; i < background; ++i) {
+    obs.push_back({"", "BG-L" + std::to_string(i), false});
+  }
+  return obs;
+}
+
+TEST(FacilityDetector, BinomialTailEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(0, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(11, 10, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(3, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(3, 10, 1.0), 1.0);
+  // P(X >= 3 | n=3, p=0.1) = 0.001.
+  EXPECT_NEAR(binomial_upper_tail(3, 3, 0.1), 1e-3, 1e-9);
+  // Tail of the full support is the whole probability mass.
+  EXPECT_NEAR(binomial_upper_tail(0, 20, 0.3), 1.0, 1e-12);
+}
+
+TEST(FacilityDetector, AllLinksDownAtOneFacilityIsFlagged) {
+  // Every link homed at F1 is dark while the rest of the substrate is
+  // clean: the concentration is overwhelming evidence.
+  const auto verdicts = detect_facility_disruptions(facility_obs("F1", 3, 3, 8));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].facility, "F1");
+  EXPECT_EQ(verdicts[0].links, 3u);
+  EXPECT_EQ(verdicts[0].disrupted, 3u);
+  EXPECT_TRUE(verdicts[0].disrupted_verdict);
+  EXPECT_LE(verdicts[0].p_value, 1e-2);
+}
+
+TEST(FacilityDetector, SingleLinkFailureIsNotAFacilityEvent) {
+  // One member losing its port is ordinary link trouble, not a facility
+  // disruption, no matter how quiet the background is.
+  const auto verdicts = detect_facility_disruptions(facility_obs("F1", 3, 1, 8));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].facility, "F1");
+  EXPECT_FALSE(verdicts[0].disrupted_verdict);
+}
+
+TEST(FacilityDetector, SubstrateWideOutageIsNotConcentrated) {
+  // When the background is just as dark as the facility (a VP outage, a
+  // fabric-wide event), the facility shows no *concentration* and must not
+  // be flagged -- the binomial tail against the elevated background rate
+  // stays far above alpha.
+  auto obs = facility_obs("F1", 3, 3, 8);
+  for (auto& o : obs) o.disrupted = true;
+  const auto verdicts = detect_facility_disruptions(obs);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].disrupted_verdict);
+  EXPECT_GT(verdicts[0].p_value, 1e-2);
+}
+
+TEST(FacilityDetector, TooFewLinksNeverFlagged) {
+  // min_links = 2: a one-link "facility" cannot show correlation.
+  const auto verdicts = detect_facility_disruptions(facility_obs("F1", 1, 1, 10));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].disrupted_verdict);
+}
+
+TEST(FacilityDetector, RanksDisruptedFacilitiesFirst) {
+  auto obs = facility_obs("F1", 3, 0, 10);
+  const auto more = facility_obs("F2", 3, 3, 0);
+  obs.insert(obs.end(), more.begin(), more.end());
+  const auto verdicts = detect_facility_disruptions(obs);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].facility, "F2");
+  EXPECT_TRUE(verdicts[0].disrupted_verdict);
+  EXPECT_EQ(verdicts[1].facility, "F1");
+  EXPECT_FALSE(verdicts[1].disrupted_verdict);
+}
+
+// ---------------------------------------------------------------------------
+// Reroute-vs-congestion cross-check
+
+tslp::LinkReport report_with_episode(std::size_t begin, std::size_t end) {
+  tslp::LinkReport rep;
+  rep.verdict = tslp::Verdict::kCongested;
+  rep.persistence = tslp::Persistence::kSustained;
+  tslp::Episode e;
+  e.begin = begin;
+  e.end = end;
+  e.magnitude_ms = 20.0;
+  rep.far_shifts.episodes.push_back(e);
+  return rep;
+}
+
+TEST(RerouteCrosscheck, EpisodeAtResponderChangeIsDowngraded) {
+  auto rep = report_with_episode(100, 200);
+  EXPECT_TRUE(tslp::crosscheck_reroute(rep, {103}));
+  EXPECT_TRUE(rep.reroute_suspect);
+  EXPECT_EQ(rep.verdict, tslp::Verdict::kPotentiallyCongested);
+  EXPECT_EQ(rep.persistence, tslp::Persistence::kNone);
+}
+
+TEST(RerouteCrosscheck, UnexplainedEpisodeKeepsTheVerdict) {
+  // A responder change elsewhere must not launder a genuine congestion
+  // episode whose onset is nowhere near it.
+  auto rep = report_with_episode(100, 200);
+  EXPECT_FALSE(tslp::crosscheck_reroute(rep, {300}));
+  EXPECT_FALSE(rep.reroute_suspect);
+  EXPECT_EQ(rep.verdict, tslp::Verdict::kCongested);
+}
+
+TEST(RerouteCrosscheck, PartialExplanationKeepsTheVerdict) {
+  // Two episodes, only one coincides with a forwarding change: partial
+  // reroutes must not clear the link.
+  auto rep = report_with_episode(100, 200);
+  tslp::Episode e2;
+  e2.begin = 500;
+  e2.end = 600;
+  e2.magnitude_ms = 18.0;
+  rep.far_shifts.episodes.push_back(e2);
+  EXPECT_FALSE(tslp::crosscheck_reroute(rep, {101}));
+  EXPECT_EQ(rep.verdict, tslp::Verdict::kCongested);
+}
+
+TEST(RerouteCrosscheck, NoEpisodesOrChangesIsANoOp) {
+  tslp::LinkReport empty;
+  EXPECT_FALSE(tslp::crosscheck_reroute(empty, {50}));
+  auto rep = report_with_episode(10, 20);
+  EXPECT_FALSE(tslp::crosscheck_reroute(rep, {}));
+  EXPECT_EQ(rep.verdict, tslp::Verdict::kCongested);
+}
+
+TEST(RerouteCrosscheck, SliceRebasesResponderChanges) {
+  tslp::LinkSeries ls;
+  ls.far_rtt.start = TimePoint{};
+  ls.far_rtt.interval = kMinute * 5;
+  ls.near_rtt = ls.far_rtt;
+  for (int i = 0; i < 100; ++i) {
+    ls.far_rtt.ms.push_back(1.0);
+    ls.near_rtt.ms.push_back(1.0);
+  }
+  ls.responder_changes = {5, 40, 90};
+  const auto cut = tslp::slice(ls, TimePoint(kMinute * 5 * 30), TimePoint(kMinute * 5 * 80));
+  ASSERT_EQ(cut.far_rtt.ms.size(), 50u);
+  ASSERT_EQ(cut.responder_changes.size(), 1u);
+  EXPECT_EQ(cut.responder_changes[0], 10u);  // 40 re-based into the window
 }
 
 }  // namespace

@@ -9,11 +9,15 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <set>
+#include <string>
 
 #include "analysis/africa.h"
 #include "analysis/campaign.h"
+#include "analysis/substrate.h"
 #include "sim/faults.h"
 #include "topo/calendar.h"
+#include "topo/gen.h"
 #include "util/fault_plan.h"
 
 namespace ixp {
@@ -27,33 +31,56 @@ using topo::date;
 // Plan registry
 
 TEST(FaultPlanRegistry, KnownPlansResolveAndDescribe) {
-  const auto names = known_fault_plan_names();
-  ASSERT_FALSE(names.empty());
-  for (const auto& name : names) {
-    const FaultPlan* p = fault_plan_by_name(name);
-    ASSERT_NE(p, nullptr) << name;
-    EXPECT_EQ(p->name, name);
-    const std::string desc = describe_fault_plan(*p);
+  const auto& plans = list_plans();
+  ASSERT_FALSE(plans.empty());
+  for (const auto& p : plans) {
+    ASSERT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.family.empty()) << p.name;
+    EXPECT_FALSE(p.description.empty()) << p.name;
+    const ScenarioPlan* found = find_plan(p.name);
+    ASSERT_NE(found, nullptr) << p.name;
+    EXPECT_EQ(found, &p);  // find_plan returns registry storage, not a copy
+    EXPECT_EQ(found->faults.name, p.name);
+    const std::string desc = describe_fault_plan(found->faults);
     ASSERT_FALSE(desc.empty());
     EXPECT_EQ(desc.back(), '\n');  // callers print it raw
   }
-  EXPECT_EQ(fault_plan_by_name("no-such-plan"), nullptr);
+  EXPECT_EQ(find_plan("no-such-plan"), nullptr);
 }
 
 TEST(FaultPlanRegistry, NoneIsEmptyAndDefaultCoversEveryCategory) {
-  const FaultPlan* none = fault_plan_by_name("none");
+  const ScenarioPlan* none = find_plan("none");
   ASSERT_NE(none, nullptr);
-  EXPECT_TRUE(none->empty());
-  EXPECT_EQ(none->fault_count(), 0u);
+  EXPECT_TRUE(none->faults.empty());
+  EXPECT_EQ(none->faults.fault_count(), 0u);
 
-  const FaultPlan* def = fault_plan_by_name("default");
+  const ScenarioPlan* def = find_plan("default");
   ASSERT_NE(def, nullptr);
-  EXPECT_FALSE(def->vp_outages.empty());
-  EXPECT_FALSE(def->link_flaps.empty());
-  EXPECT_FALSE(def->icmp_tighten.empty());
-  EXPECT_FALSE(def->silent_drops.empty());
-  EXPECT_FALSE(def->reroutes.empty());
-  EXPECT_FALSE(def->loss_bursts.empty());
+  EXPECT_EQ(def->family, "paper6");
+  EXPECT_TRUE(def->substrate.empty());  // runs on the paper's six VPs
+  EXPECT_FALSE(def->faults.vp_outages.empty());
+  EXPECT_FALSE(def->faults.link_flaps.empty());
+  EXPECT_FALSE(def->faults.icmp_tighten.empty());
+  EXPECT_FALSE(def->faults.silent_drops.empty());
+  EXPECT_FALSE(def->faults.reroutes.empty());
+  EXPECT_FALSE(def->faults.loss_bursts.empty());
+}
+
+TEST(FaultPlanRegistry, ScenarioFamiliesBindTheirSubstrates) {
+  const ScenarioPlan* rixp = find_plan("rixp");
+  ASSERT_NE(rixp, nullptr);
+  EXPECT_EQ(rixp->family, "rixp");
+  EXPECT_EQ(rixp->substrate, "rixp16");
+  EXPECT_TRUE(rixp->faults.facility_outages.empty());
+
+  const ScenarioPlan* fac = find_plan("facility");
+  ASSERT_NE(fac, nullptr);
+  EXPECT_EQ(fac->family, "facility");
+  EXPECT_EQ(fac->substrate, "facility8");
+  ASSERT_FALSE(fac->faults.facility_outages.empty());
+  // Pure facility scenario: no other category may muddy the detector's
+  // precision/recall measurement.
+  EXPECT_EQ(fac->faults.fault_count(), fac->faults.facility_outages.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -69,12 +96,14 @@ std::vector<sim::FaultWindow> all_windows(const sim::FaultInjector& fi) {
   absorb(fi.silent_windows());
   absorb(fi.reroute_windows());
   absorb(fi.burst_windows());
+  absorb(fi.facility_windows());
   return out;
 }
 
 TEST(FaultInjector, SamePlanAndSeedExpandIdentically) {
-  const FaultPlan* def = fault_plan_by_name("default");
-  ASSERT_NE(def, nullptr);
+  const ScenarioPlan* plan = find_plan("default");
+  ASSERT_NE(plan, nullptr);
+  const FaultPlan* def = &plan->faults;
   const TimePoint start = date(1, 3, 2016);
   const TimePoint end = start + kDay * 200;
   sim::FaultInjector a(*def, 7, start, end);
@@ -95,8 +124,9 @@ TEST(FaultInjector, SamePlanAndSeedExpandIdentically) {
 }
 
 TEST(FaultInjector, DifferentSeedMovesRandomWindows) {
-  const FaultPlan* def = fault_plan_by_name("default");
-  ASSERT_NE(def, nullptr);
+  const ScenarioPlan* plan = find_plan("default");
+  ASSERT_NE(plan, nullptr);
+  const FaultPlan* def = &plan->faults;
   const TimePoint start = date(1, 3, 2016);
   const TimePoint end = start + kDay * 200;
   sim::FaultInjector a(*def, 7, start, end);
@@ -140,6 +170,50 @@ TEST(FaultInjector, LoseProbeOnlyDrawsInsideBurstWindows) {
   EXPECT_FALSE(fi.lose_probe(start));
   EXPECT_TRUE(fi.lose_probe(start + kDay + kHour));
   EXPECT_FALSE(fi.lose_probe(start + kDay * 2));
+}
+
+TEST(FaultInjector, FacilityWindowsExpandByteIdentically) {
+  const ScenarioPlan* fac = find_plan("facility");
+  ASSERT_NE(fac, nullptr);
+  const TimePoint start = date(1, 3, 2016);
+  const TimePoint end = start + kDay * 28;
+  sim::FaultInjector a(fac->faults, 21, start, end);
+  sim::FaultInjector b(fac->faults, 21, start, end);
+  ASSERT_EQ(a.facility_windows().size(), fac->faults.facility_outages.size());
+  ASSERT_FALSE(a.facility_windows().empty());
+  // Two fixed windows plus the seed-drawn one land inside a 28-day run.
+  ASSERT_EQ(a.facility_windows()[0].size(), 3u);
+  ASSERT_EQ(b.facility_windows()[0].size(), 3u);
+  for (std::size_t i = 0; i < a.facility_windows()[0].size(); ++i) {
+    EXPECT_EQ(a.facility_windows()[0][i].begin, b.facility_windows()[0][i].begin) << i;
+    EXPECT_EQ(a.facility_windows()[0][i].end, b.facility_windows()[0][i].end) << i;
+  }
+}
+
+TEST(FaultInjector, FacilityCategoryDoesNotPerturbOlderStreams) {
+  // The facility stream is forked *after* every pre-existing category, so
+  // appending a FacilityFault to a plan must leave all other categories'
+  // windows byte-identical — the property that keeps old plan+seed
+  // recordings replayable.
+  const ScenarioPlan* plan = find_plan("default");
+  ASSERT_NE(plan, nullptr);
+  FaultPlan with_facility = plan->faults;
+  FacilityFault f;
+  f.nth_facility = 0;
+  f.windows.random_count = 2;
+  with_facility.facility_outages.push_back(f);
+  const TimePoint start = date(1, 3, 2016);
+  const TimePoint end = start + kDay * 200;
+  sim::FaultInjector a(plan->faults, 7, start, end);
+  sim::FaultInjector b(with_facility, 7, start, end);
+  const auto wa = all_windows(a);
+  auto wb = all_windows(b);
+  ASSERT_EQ(wb.size(), wa.size() + b.facility_windows()[0].size());
+  wb.resize(wa.size());  // all_windows appends the facility group last
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i].begin, wb[i].begin) << i;
+    EXPECT_EQ(wa[i].end, wb[i].end) << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +334,69 @@ TEST(FaultCampaign, RerouteGoesStaleThenRecovers) {
     EXPECT_GT(finite_tail, per_day * 5) << ls.key;  // >half of the last 10 days
   }
   EXPECT_TRUE(checked);
+}
+
+TEST(FaultCampaign, FacilityOutageDropsEveryHomedLinkAndReplays) {
+  // Run the registry's facility scenario on its own substrate: the first
+  // fixed window (day 8, 36 h) must punch an all-NaN gap into *every* link
+  // homed at the targeted facility and into no link outside it, and the
+  // whole campaign must replay byte-identically for the same plan + seed.
+  const ScenarioPlan* plan = find_plan("facility");
+  ASSERT_NE(plan, nullptr);
+  const auto specs = analysis::generate_substrate(*topo::topo_spec_preset(plan->substrate));
+  ASSERT_FALSE(specs.empty());
+  const analysis::VpSpec& spec = specs[0];
+
+  auto run_once = [&] {
+    auto rt = analysis::build_scenario(spec);
+    CampaignOptions opt;
+    opt.round_interval = kMinute * 30;
+    opt.duration_override = kDay * 12;
+    auto faults = analysis::attach_fault_plan(*rt, spec, plan->faults, 17,
+                                              spec.campaign_start + opt.duration_override);
+    opt.faults = faults.get();
+    return analysis::run_campaign(*rt, spec, opt);
+  };
+  const auto a = run_once();
+  EXPECT_GE(a.fault_events, 2u);  // at least the fixed window's down + up
+
+  // Links dark through the middle of the day-8 window (one round of slack
+  // either side for loss-relearn timing).
+  const std::size_t per_day = 48;  // 30-minute rounds
+  const std::size_t gap_b = per_day * 8 + 2;
+  const std::size_t gap_e = per_day * 8 + 70;  // 36 h minus slack
+  std::set<std::uint32_t> dark_asns;
+  for (const auto& ls : a.series) {
+    if (ls.far_rtt.ms.size() < per_day * 12) continue;
+    bool all_nan = true;
+    for (std::size_t k = gap_b; k < gap_e && all_nan; ++k) {
+      all_nan = std::isnan(ls.far_rtt.ms[k]);
+    }
+    if (all_nan) dark_asns.insert(ls.far_asn);
+  }
+  ASSERT_FALSE(dark_asns.empty());
+  // The dark members are exactly one facility's membership.
+  std::set<std::string> dark_facilities;
+  for (const auto& n : spec.neighbors) {
+    if (dark_asns.count(n.asn) == 0) continue;
+    ASSERT_FALSE(n.facility.empty()) << n.name << " dark but not homed at a facility";
+    dark_facilities.insert(n.facility);
+  }
+  ASSERT_EQ(dark_facilities.size(), 1u);
+  const std::string target = *dark_facilities.begin();
+  for (const auto& n : spec.neighbors) {
+    if (n.facility != target || n.silent) continue;
+    EXPECT_TRUE(dark_asns.count(n.asn) > 0)
+        << n.name << " homed at " << target << " but stayed up";
+  }
+
+  const auto b = run_once();
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(a.series[i].far_rtt.ms, b.series[i].far_rtt.ms))
+        << a.series[i].key;
+  }
 }
 
 TEST(FaultCampaign, VpOutagePunchesAllNanGap) {

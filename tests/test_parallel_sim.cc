@@ -280,8 +280,9 @@ TEST(Campaign, ByteIdenticalAcrossSimThreadsWithFaultPlan) {
   CampaignOptions base;
   base.round_interval = kMinute * 60;
   base.duration_override = kDay * 7;
-  const FaultPlan* plan = fault_plan_by_name("default");
-  ASSERT_NE(plan, nullptr);
+  const ScenarioPlan* splan = find_plan("default");
+  ASSERT_NE(splan, nullptr);
+  const FaultPlan* plan = &splan->faults;
 
   auto run_once = [&](int sim_threads) {
     CampaignOptions o = base;

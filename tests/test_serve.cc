@@ -387,6 +387,51 @@ TEST(Snapshot, RenderersAreTotalOnUnknownIds) {
   EXPECT_NE(top.find("\"total_links\":8"), std::string::npos);
 }
 
+TEST(Snapshot, FacilityAggregationRanksAndRenders) {
+  // Three links homed at NBO-F1 all go dark; NBO-F2 and the unassigned
+  // background stay healthy.  The facilities endpoints must flag exactly
+  // F1, rank it first, and expose its member links.
+  SnapshotBuilder builder;
+  builder.set_facilities({{"VP1/65000", "NBO-F1"},
+                          {"VP1/65001", "NBO-F1"},
+                          {"VP1/65002", "NBO-F1"},
+                          {"VP1/65003", "NBO-F2"},
+                          {"VP1/65004", "NBO-F2"}});
+  auto batch = make_batch("VP1", 1);
+  for (std::size_t i = 0; i < 3; ++i) batch.links[i].far.coverage = 0.2;
+  builder.fold_live("VP1", "GIXA", batch);
+  const auto snap = builder.build("", false);
+
+  const std::string top = render_facilities_top(*snap, 100);
+  EXPECT_NE(top.find("\"total_facilities\":2"), std::string::npos);
+  // Rank order: the disrupted facility leads.
+  const std::size_t f1 = top.find("\"facility\":\"NBO-F1\"");
+  const std::size_t f2 = top.find("\"facility\":\"NBO-F2\"");
+  ASSERT_NE(f1, std::string::npos);
+  ASSERT_NE(f2, std::string::npos);
+  EXPECT_LT(f1, f2);
+  EXPECT_NE(top.find("\"disrupted\":3,"), std::string::npos);
+  EXPECT_NE(top.find("\"disrupted_verdict\":true"), std::string::npos);
+
+  // The default depth is pre-rendered at freeze time and must match a
+  // fresh render byte for byte.
+  EXPECT_EQ(snap->facilities_top_default,
+            render_facilities_top(*snap, Snapshot::kDefaultTopN));
+
+  std::string out;
+  ASSERT_TRUE(render_facility_summary(*snap, "NBO-F1", &out));
+  EXPECT_NE(out.find("\"summary\":{\"facility\":\"NBO-F1\""), std::string::npos);
+  EXPECT_NE(out.find("\"links\":3,"), std::string::npos);
+  EXPECT_NE(out.find("\"disrupted\":true"), std::string::npos);
+  ASSERT_TRUE(render_facility_summary(*snap, "NBO-F2", &out));
+  EXPECT_NE(out.find("\"disrupted_verdict\":false"), std::string::npos);
+  EXPECT_FALSE(render_facility_summary(*snap, "NBO-F9", &out));
+  // Healthy facility: no verdict (its links are all covered).
+  EXPECT_NE(top.find("\"facility\":\"NBO-F2\",\"links\":2,\"congested\":0,"
+                     "\"disrupted\":0,"),
+            std::string::npos);
+}
+
 // The snapshot-isolation property, pinned under TSan by
 // check_sanitize_thread: M readers pin epochs while a writer publishes N
 // more; a pinned epoch renders byte-identical JSON every time, on every
@@ -486,6 +531,12 @@ TEST(ServeDaemon, RoutesRequestsFromTheDispatchTable) {
   EXPECT_EQ(daemon.handle(make_get("/api/v1/ixps/GIXA/summary")).status, 404);  // empty snap
   EXPECT_EQ(daemon.handle(make_get("/api/v1/links/X/episodes")).status, 404);
   EXPECT_EQ(daemon.handle(make_get("/api/v1/ixps//summary")).status, 404);
+  EXPECT_EQ(daemon.handle(make_get("/api/v1/facilities/top")).status, 200);
+  EXPECT_EQ(daemon.handle(make_get("/api/v1/facilities/top?n=abc")).status, 200);  // clamped
+  EXPECT_EQ(daemon.handle(make_get("/api/v1/facilities/NOPE/summary")).status, 404);
+  EXPECT_EQ(daemon.handle(make_get("/api/v1/facilities/NOPE/summary")).body,
+            "{\"error\":\"unknown facility\"}");
+  EXPECT_EQ(daemon.handle(make_get("/api/v1/facilities//summary")).status, 404);
   EXPECT_EQ(daemon.handle(make_get("/nope")).status, 404);
   HttpRequest post = make_get("/metrics");
   post.method = "POST";
@@ -494,6 +545,9 @@ TEST(ServeDaemon, RoutesRequestsFromTheDispatchTable) {
   const HttpResponse top = daemon.handle(make_get("/api/v1/links/top?n=3"));
   EXPECT_NE(top.body.find("\"epoch\":0"), std::string::npos);
   EXPECT_NE(top.body.find("\"links\":[]"), std::string::npos);
+  const HttpResponse ftop = daemon.handle(make_get("/api/v1/facilities/top?n=3"));
+  EXPECT_NE(ftop.body.find("\"total_facilities\":0"), std::string::npos);
+  EXPECT_NE(ftop.body.find("\"facilities\":[]"), std::string::npos);
 }
 
 TEST(ServeDaemon, EveryEndpointPatternIsRouted) {
@@ -549,8 +603,9 @@ TEST(ServeDaemon, ServesLiveEpochsOverHttp) {
 // chaos` oracle, scored by the exact same analysis::score_chaos.
 TEST(ServeDaemon, ChaosUnderLoadReproducesTheBatchOracle) {
   const auto specs = analysis::make_all_vps();
-  const FaultPlan* plan = fault_plan_by_name("default");
-  ASSERT_NE(plan, nullptr);
+  const ScenarioPlan* splan = find_plan("default");
+  ASSERT_NE(splan, nullptr);
+  const FaultPlan* plan = &splan->faults;
   const Duration window = kChaosDays > 0 ? kDay * kChaosDays : Duration(0);
 
   // Batch oracle: what `afixp chaos` runs (offline detection path).

@@ -72,7 +72,7 @@ TEST(TopoSpecParse, CanonicalTextRoundTrips) {
 
 TEST(TopoSpecParse, PresetsAreValid) {
   const auto names = topo::topo_spec_preset_names();
-  EXPECT_EQ(names.size(), 3u);
+  EXPECT_EQ(names.size(), 5u);
   for (const auto& name : names) {
     const auto preset = topo::topo_spec_preset(name);
     ASSERT_TRUE(preset.has_value()) << name;

@@ -390,9 +390,12 @@ int cmd_chaos(int argc, const char* const* argv) {
     return 0;
   }
   if (flags.get_bool("list-plans")) {
-    for (const auto& name : known_fault_plan_names()) {
-      const FaultPlan* p = fault_plan_by_name(name);
-      std::cout << name << "\n" << describe_fault_plan(*p);
+    for (const auto& p : list_plans()) {
+      std::cout << strformat("%-9s family=%-8s substrate=%-10s %s\n", p.name.c_str(),
+                             p.family.c_str(),
+                             p.substrate.empty() ? "paper6-vps" : p.substrate.c_str(),
+                             p.description.c_str());
+      std::cout << describe_fault_plan(p.faults);
     }
     return 0;
   }
@@ -401,15 +404,21 @@ int cmd_chaos(int argc, const char* const* argv) {
     plan_name = env::string_value("IXP_FAULT_PLAN").value_or("");
     if (plan_name.empty()) plan_name = "default";
   }
-  const FaultPlan* plan = fault_plan_by_name(plan_name);
+  const ScenarioPlan* plan = find_plan(plan_name);
   if (plan == nullptr) {
-    std::cerr << "unknown fault plan '" << plan_name << "'; known plans:";
-    for (const auto& name : known_fault_plan_names()) std::cerr << " " << name;
+    std::cerr << "unknown scenario plan '" << plan_name << "'; known plans:";
+    for (const auto& p : list_plans()) std::cerr << " " << p.name;
     std::cerr << "\n";
     return 2;
   }
 
-  const auto specs = analysis::make_all_vps();
+  // The registry binds each plan to the substrate its scenario family is
+  // calibrated for: paper-era plans run the six hand-written VPs, the RIXP
+  // and facility families generate their own topologies.
+  const auto specs = plan->substrate.empty()
+                         ? analysis::make_all_vps()
+                         : analysis::generate_substrate(
+                               *topo::topo_spec_preset(plan->substrate));
   analysis::FleetOptions fopt;
   fopt.campaign.round_interval = kMinute * flags.get_int("round-minutes");
   if (flags.get_int("days") > 0) {
@@ -419,7 +428,7 @@ int cmd_chaos(int argc, const char* const* argv) {
   }
   fopt.jobs = static_cast<int>(flags.get_int("jobs"));
   fopt.campaign.sim_threads = static_cast<int>(flags.get_int("sim-threads"));
-  fopt.fault_plan = plan;
+  fopt.fault_plan = &plan->faults;
   fopt.fault_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   analysis::FleetStatusPrinter status(std::cerr, specs);
   fopt.on_progress = [&status](const analysis::CampaignMetrics& m) { status(m); };
@@ -434,8 +443,9 @@ int cmd_chaos(int argc, const char* const* argv) {
   // apart from congestion; the paper's KNET case study).  Route-change
   // noise is "potentially congested, no diurnal" by design: a negative.
   std::cout << "chaos report\n";
-  std::cout << "plan: " << plan_name << " (seed " << flags.get_int("seed") << ")\n";
-  std::cout << describe_fault_plan(*plan);
+  std::cout << "plan: " << plan_name << " (family " << plan->family << ", seed "
+            << flags.get_int("seed") << ")\n";
+  std::cout << describe_fault_plan(plan->faults);
   std::cout << "cadence: " << flags.get_int("round-minutes") << " min rounds";
   if (fopt.campaign.duration_override.count() > 0) {
     std::cout << "; window: " << fopt.campaign.duration_override.count() / kDay.count()
@@ -444,8 +454,13 @@ int cmd_chaos(int argc, const char* const* argv) {
     std::cout << "; window: full calendar\n";
   }
 
-  const analysis::ChaosScore score =
-      analysis::score_chaos(specs, fleet.results, fopt.campaign.duration_override);
+  analysis::ChaosScore score = analysis::score_chaos(
+      specs, fleet.results, fopt.campaign.duration_override, plan->family);
+  if (!plan->faults.facility_outages.empty()) {
+    score.families.push_back(analysis::score_facilities(specs, fleet.results, plan->faults,
+                                                        fopt.fault_seed,
+                                                        fopt.campaign.duration_override));
+  }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& spec = specs[i];
     const auto& vp = score.per_vp[i];
@@ -470,6 +485,15 @@ int cmd_chaos(int argc, const char* const* argv) {
   std::cout << strformat("\noverall: TP=%zu FP=%zu FN=%zu TN=%zu precision=%.3f recall=%.3f\n",
                          score.tp, score.fp, score.fn, score.tn, score.precision(),
                          score.recall());
+  // One row per scenario family.  The link-congestion oracle contributes
+  // the plan's own family; plans with facility faults add a "facility" row
+  // whose unit is a facility, not a link.
+  std::cout << "per-family scores:\n";
+  for (const auto& f : score.families) {
+    std::cout << strformat("  %-9s TP=%zu FP=%zu FN=%zu TN=%zu precision=%.3f recall=%.3f\n",
+                           f.family.c_str(), f.tp, f.fp, f.fn, f.tn, f.precision(),
+                           f.recall());
+  }
   for (const auto& r : score.case_studies) {
     const bool ok = r.truth == r.classified;
     std::cout << strformat("case study GIXA-%s (AS%u): truth=%s classified=%s %s\n",
@@ -521,9 +545,28 @@ int cmd_serve(int argc, const char* const* argv) {
   }
 
   serve::ServeOptions sopt;
+  const std::string plan_name = flags.get_string("fault-plan");
+  const ScenarioPlan* plan = nullptr;
+  if (!plan_name.empty()) {
+    plan = find_plan(plan_name);
+    if (plan == nullptr) {
+      std::cerr << "unknown scenario plan '" << plan_name << "'; known plans:";
+      for (const auto& p : list_plans()) std::cerr << " " << p.name;
+      std::cerr << "\n";
+      return 2;
+    }
+    sopt.fault_plan = &plan->faults;
+  }
   const std::string spec_arg = flags.get_string("spec");
   if (spec_arg.empty()) {
-    sopt.specs = analysis::make_all_vps();
+    // No explicit substrate: serve whatever the plan's scenario family is
+    // calibrated for (the paper's six VPs when the plan has no substrate,
+    // or no plan was named).
+    if (plan != nullptr && !plan->substrate.empty()) {
+      sopt.specs = analysis::generate_substrate(*topo::topo_spec_preset(plan->substrate));
+    } else {
+      sopt.specs = analysis::make_all_vps();
+    }
   } else {
     std::optional<topo::TopoSpec> spec = topo::topo_spec_preset(spec_arg);
     if (!spec) {
@@ -536,16 +579,6 @@ int cmd_serve(int argc, const char* const* argv) {
       }
     }
     sopt.specs = analysis::generate_substrate(*spec);
-  }
-  const std::string plan_name = flags.get_string("fault-plan");
-  if (!plan_name.empty()) {
-    sopt.fault_plan = fault_plan_by_name(plan_name);
-    if (sopt.fault_plan == nullptr) {
-      std::cerr << "unknown fault plan '" << plan_name << "'; known plans:";
-      for (const auto& name : known_fault_plan_names()) std::cerr << " " << name;
-      std::cerr << "\n";
-      return 2;
-    }
   }
   sopt.fault_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   sopt.rounds = static_cast<std::uint64_t>(flags.get_int("rounds"));

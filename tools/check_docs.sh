@@ -236,6 +236,35 @@ if [ -r "$serving" ] && [ -r "$serve_record" ]; then
     done
 fi
 
+# --- 12. Scenario plans: docs/SCENARIOS.md <-> src/util/fault_plan.cc -----
+# The kScenarioPlans registry is the single source of truth for named
+# scenario plans (afixp chaos/serve --plan, --list-plans); the plan-registry
+# table in docs/SCENARIOS.md (first column under '## Plan registry') is the
+# operator contract.  Both directions must agree: every registered plan is
+# documented, and SCENARIOS.md documents no ghost plans.
+scenarios="$src/docs/SCENARIOS.md"
+plan_cc="$src/src/util/fault_plan.cc"
+[ -r "$scenarios" ] || err "docs/SCENARIOS.md does not exist (the scenario guide is part of the docs contract)"
+[ -r "$plan_cc" ] || err "cannot read $plan_cc"
+if [ -r "$scenarios" ] && [ -r "$plan_cc" ]; then
+    plans=$(sed -n '/kScenarioPlans\[\]/,/^};/p' "$plan_cc" |
+        grep -oE '^    \{"[a-z0-9-]+"' | tr -d '{" ' | sort -u)
+    [ -n "$plans" ] || err "no plans found in the kScenarioPlans table of $plan_cc"
+    for p in $plans; do
+        grep -q "\`$p\`" "$scenarios" ||
+            err "scenario plan '$p' (kScenarioPlans) is not documented in docs/SCENARIOS.md"
+        "$afixp" chaos --list-plans 2>&1 | grep -qw "$p" ||
+            err "'afixp chaos --list-plans' does not list scenario plan '$p'"
+    done
+    doc_plans=$(sed -n '/^## Plan registry/,/^## /p' "$scenarios" |
+        grep -oE '^\| `[a-z0-9-]+`' | tr -d '`| ' | sort -u)
+    [ -n "$doc_plans" ] || err "no plan-registry table found in docs/SCENARIOS.md"
+    for p in $doc_plans; do
+        echo "$plans" | grep -qx "$p" ||
+            err "docs/SCENARIOS.md documents scenario plan '$p' but kScenarioPlans does not register it"
+    done
+fi
+
 if [ -s "$errors" ]; then
     echo "check_docs: FAILED ($(wc -l < "$errors") problem(s))" >&2
     exit 1

@@ -38,7 +38,7 @@ case "$mode" in
         ;;
     address|*)
         build=${2:-$src/build-sanitize}
-        suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults test_serve}
+        suites=${IXP_SANITIZE_SUITES:-test_util test_obs test_net test_stats test_sim test_tslp test_golden test_prober test_faults test_analysis test_serve}
         probe_flags="-fsanitize=address,undefined"
         cmake_sanitize="address;undefined"
         ;;
